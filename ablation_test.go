@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sram"
+)
+
+// driveCountingMisses runs an adversarial full-load trace, tolerating
+// (and counting) guarantee violations — misses, overflows and drops —
+// used by ablations that deliberately forfeit the guarantees.
+func driveCountingMisses(tb testing.TB, b *core.Buffer, queues, slots int) (deliveries, violations uint64) {
+	tb.Helper()
+	for i := 0; i < slots; i++ {
+		in := core.TickInput{Arrival: cell.QueueID(i % queues), Request: cell.NoQueue}
+		q := cell.QueueID(i % queues)
+		if b.Requestable(q) > 0 {
+			in.Request = q
+		}
+		out, err := b.Tick(in)
+		switch {
+		case err == nil:
+		case errors.Is(err, core.ErrMiss),
+			errors.Is(err, core.ErrTailOverflow),
+			errors.Is(err, core.ErrBufferFull),
+			errors.Is(err, core.ErrOutOfOrder),
+			errors.Is(err, sram.ErrFull):
+			// Degradation evidence (drop-induced gaps cascade into
+			// order violations); keep running and keep counting.
+			violations++
+		default:
+			tb.Fatalf("slot %d: %v", i, err)
+		}
+		if out.Delivered != nil {
+			deliveries++
+		}
+	}
+	return deliveries, violations
+}
+
+// TestAblationFIFOSchedulerDegrades demonstrates the §5.3 motivation
+// end to end: replacing the DSA's oldest-ready-first selection with
+// head-of-line blocking on the same configuration loses throughput
+// and/or the zero-miss guarantee, while the paper's scheduler keeps
+// both.
+func TestAblationFIFOSchedulerDegrades(t *testing.T) {
+	const queues, slots = 16, 60000
+	mk := func(fifo bool) *core.Buffer {
+		b, err := core.New(core.Config{
+			Q: queues, B: 32, Bsmall: 2, Banks: 64, FIFOScheduler: fifo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Backlog deep into DRAM so the DRAM path carries the drain.
+		for i := 0; i < queues*64; i++ {
+			if _, err := b.Tick(core.TickInput{Arrival: cell.QueueID(i % queues), Request: cell.NoQueue}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b
+	}
+	goodDel, goodViol := driveCountingMisses(t, mk(false), queues, slots)
+	fifoDel, fifoViol := driveCountingMisses(t, mk(true), queues, slots)
+	if goodViol != 0 {
+		t.Fatalf("paper scheduler violated guarantees %d times", goodViol)
+	}
+	degraded := fifoViol > 0 || fifoDel < goodDel*95/100
+	if !degraded {
+		t.Errorf("FIFO ablation did not degrade: deliveries %d vs %d, violations %d",
+			fifoDel, goodDel, fifoViol)
+	}
+	t.Logf("oldest-ready: %d deliveries, %d violations; FIFO: %d deliveries, %d violations",
+		goodDel, goodViol, fifoDel, fifoViol)
+}
+
+// BenchmarkAblationScheduler times both disciplines on the same
+// adversarial workload, reporting deliveries/slot and misses.
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, fifo := range []bool{false, true} {
+		name := "oldest-ready-first"
+		if fifo {
+			name = "fifo-blocking"
+		}
+		b.Run(name, func(b *testing.B) {
+			buf, err := core.New(core.Config{
+				Q: 16, B: 32, Bsmall: 2, Banks: 64, FIFOScheduler: fifo,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16*64; i++ {
+				if _, err := buf.Tick(core.TickInput{Arrival: cell.QueueID(i % 16), Request: cell.NoQueue}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			del, viol := driveCountingMisses(b, buf, 16, b.N)
+			b.StopTimer()
+			b.ReportMetric(float64(del)/float64(b.N), "deliveries/slot")
+			b.ReportMetric(float64(viol), "violations")
+		})
+	}
+}
+
+// BenchmarkAblationMMASizing quantifies [13]'s lookahead trade-off on
+// the running system: ECQF vs the lookahead-free MDQF at identical
+// capacity, reporting the head SRAM high-water mark each actually
+// needs.
+func BenchmarkAblationMMASizing(b *testing.B) {
+	for _, kind := range []core.MMAKind{core.ECQF, core.MDQF} {
+		b.Run(fmt.Sprintf("%v", kind), func(b *testing.B) {
+			cfg, err := (core.Config{Q: 16, B: 32, Bsmall: 4, Banks: 64, MMA: kind}).ApplyDefaults()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.HeadSRAMCells *= 8 // headroom so both finish cleanly
+			buf, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 16*64; i++ {
+				if _, err := buf.Tick(core.TickInput{Arrival: cell.QueueID(i % 16), Request: cell.NoQueue}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			_, viol := driveCountingMisses(b, buf, 16, b.N)
+			b.StopTimer()
+			if viol != 0 {
+				b.Fatalf("violations: %d", viol)
+			}
+			b.ReportMetric(float64(buf.Stats().HeadHighWater), "headSRAM-highwater-cells")
+		})
+	}
+}

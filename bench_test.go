@@ -1,0 +1,234 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// ------------------------------------------------------------------
+// Paper experiment benchmarks: one per table/figure. Each bench both
+// times the generator and sanity-checks its output, so `go test
+// -bench=.` regenerates the full evaluation.
+// ------------------------------------------------------------------
+
+// BenchmarkFigure8 regenerates Figure 8 (RADS h-SRAM access time and
+// area vs lookahead, OC-768 and OC-3072, CAM vs linked list).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs := experiments.Figure8()
+		if len(figs) != 2 {
+			b.Fatal("bad Figure8 output")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (Requests Register sizes and
+// scheduling times per granularity).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table2()) != 2 {
+			b.Fatal("bad Table2 output")
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (CFDS vs RADS SRAM area and
+// access time as a function of delay, OC-3072).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Figure10()) != 6 {
+			b.Fatal("bad Figure10 output")
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (maximum queue count per
+// granularity under the 3.2 ns budget).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure11()
+		if len(rows) != 6 {
+			b.Fatal("bad Figure11 output")
+		}
+	}
+}
+
+// BenchmarkHeadline regenerates the §8.3/§10 RADS-vs-CFDS headline.
+func BenchmarkHeadline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := experiments.Headline()
+		if h.RADS.AccessCAM <= h.CFDS.AccessCAM {
+			b.Fatal("headline inverted")
+		}
+	}
+}
+
+// ------------------------------------------------------------------
+// Simulation benchmarks: slot-accurate runs of the full buffer under
+// the §3 adversarial pattern. ns/op is the cost of one simulated
+// slot; the reported miss metric must stay zero.
+// ------------------------------------------------------------------
+
+func benchSimulate(b *testing.B, cfg core.Config, queues int) {
+	b.Helper()
+	buf, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, _ := sim.NewRoundRobinArrivals(queues, 1.0)
+	req, _ := sim.NewRoundRobinDrain(queues)
+	warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
+	if _, err := warm.Run(uint64(queues * cfg.Bsmall * 8)); err != nil {
+		b.Fatal(err)
+	}
+	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	b.ResetTimer()
+	res, err := r.Run(uint64(b.N))
+	if err != nil {
+		b.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	b.StopTimer()
+	if res.Stats.Misses != 0 {
+		b.Fatalf("misses: %v", res.Stats)
+	}
+	b.ReportMetric(float64(res.Stats.Deliveries)/float64(b.N), "deliveries/slot")
+}
+
+// BenchmarkSimulateRADS runs the baseline (b=B) under the adversarial
+// round-robin drain.
+func BenchmarkSimulateRADS(b *testing.B) {
+	benchSimulate(b, core.Config{Q: 32, B: 32, Bsmall: 32, Banks: 256}, 32)
+}
+
+// BenchmarkSimulateCFDS sweeps the CFDS granularity — the paper's
+// central ablation (Figure 10/11's x-axis).
+func BenchmarkSimulateCFDS(b *testing.B) {
+	for _, gran := range []int{16, 8, 4, 2, 1} {
+		b.Run(fmt.Sprintf("b=%d", gran), func(b *testing.B) {
+			benchSimulate(b, core.Config{Q: 32, B: 32, Bsmall: gran, Banks: 256}, 32)
+		})
+	}
+}
+
+// BenchmarkSimulateSRAMOrg compares the two shared-SRAM organizations
+// on the same workload (functional ablation of §7.1/§8.2).
+func BenchmarkSimulateSRAMOrg(b *testing.B) {
+	for _, org := range []core.SRAMOrg{core.OrgCAM, core.OrgLinkedList} {
+		b.Run(org.String(), func(b *testing.B) {
+			benchSimulate(b, core.Config{Q: 32, B: 32, Bsmall: 4, Banks: 256, Org: org}, 32)
+		})
+	}
+}
+
+// BenchmarkSimulateMMA compares ECQF against the lookahead-free MDQF
+// baseline ([13]'s trade-off).
+func BenchmarkSimulateMMA(b *testing.B) {
+	for _, m := range []core.MMAKind{core.ECQF, core.MDQF} {
+		b.Run(m.String(), func(b *testing.B) {
+			benchSimulate(b, core.Config{Q: 32, B: 32, Bsmall: 4, Banks: 256, MMA: m}, 32)
+		})
+	}
+}
+
+// BenchmarkSimulateRenaming measures the §6 renaming layer's overhead
+// on the datapath (unbounded DRAM, so renaming is pure bookkeeping).
+func BenchmarkSimulateRenaming(b *testing.B) {
+	for _, renaming := range []bool{false, true} {
+		b.Run(fmt.Sprintf("renaming=%v", renaming), func(b *testing.B) {
+			benchSimulate(b, core.Config{Q: 32, B: 32, Bsmall: 4, Banks: 256, Renaming: renaming}, 32)
+		})
+	}
+}
+
+// BenchmarkSimulateHotspot runs the skewed workload (80% of traffic on
+// one queue) at full drain rate.
+func BenchmarkSimulateHotspot(b *testing.B) {
+	buf, err := core.New(core.Config{Q: 32, B: 32, Bsmall: 4, Banks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, _ := sim.NewHotspotArrivals(32, 1.0, 0.8, 17)
+	req, _ := sim.NewRoundRobinDrain(32)
+	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	b.ResetTimer()
+	res, err := r.Run(uint64(b.N))
+	if err != nil {
+		b.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	b.StopTimer()
+	if res.Stats.Misses != 0 {
+		b.Fatal("misses")
+	}
+}
+
+// BenchmarkSimulateLargeScale runs a paper-scale configuration
+// (Q=512, b=4, M=256 — the Figure 10 design point) to show the
+// simulator handles the full system.
+func BenchmarkSimulateLargeScale(b *testing.B) {
+	buf, err := core.New(core.Config{Q: 512, B: 32, Bsmall: 4, Banks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, _ := sim.NewRoundRobinArrivals(512, 1.0)
+	req, _ := sim.NewRoundRobinDrain(512)
+	warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
+	if _, err := warm.Run(512 * 16); err != nil {
+		b.Fatal(err)
+	}
+	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	b.ResetTimer()
+	res, err := r.Run(uint64(b.N))
+	if err != nil {
+		b.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	b.StopTimer()
+	if res.Stats.Misses != 0 {
+		b.Fatal("misses")
+	}
+}
+
+// BenchmarkSingleQueueBlast is the single-group stress: all traffic on
+// one queue sustains 2 cells/slot on B/b banks (skips exercised).
+func BenchmarkSingleQueueBlast(b *testing.B) {
+	buf, err := core.New(core.Config{Q: 16, B: 32, Bsmall: 4, Banks: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, _ := sim.NewRoundRobinDrain(16)
+	warm := &sim.Runner{Buffer: buf, Arrivals: sim.NewSingleQueueArrivals(0), Requests: sim.NewIdleRequests()}
+	if _, err := warm.Run(512); err != nil {
+		b.Fatal(err)
+	}
+	r := &sim.Runner{Buffer: buf, Arrivals: sim.NewSingleQueueArrivals(0), Requests: req}
+	b.ResetTimer()
+	res, err := r.Run(uint64(b.N))
+	if err != nil {
+		b.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	b.StopTimer()
+	if res.Stats.Misses != 0 {
+		b.Fatal("misses")
+	}
+	b.ReportMetric(float64(res.Stats.DSS.MaxSkips), "max-skips")
+}
+
+// BenchmarkTick measures the raw per-slot cost of the buffer with no
+// traffic (pipeline bookkeeping floor).
+func BenchmarkTick(b *testing.B) {
+	buf, err := core.New(core.Config{Q: 64, B: 32, Bsmall: 4, Banks: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buf.Tick(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command paperrepro regenerates every table and figure of the
+// paper's evaluation (MICRO-36 2003, García et al.) and prints them as
+// text tables. With no flags it prints everything.
+//
+// Usage:
+//
+//	paperrepro [-fig8] [-table2] [-fig10] [-fig11] [-headline] [-sizes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cell"
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig8 := flag.Bool("fig8", false, "print Figure 8 (RADS h-SRAM vs lookahead)")
+	table2 := flag.Bool("table2", false, "print Table 2 (Requests Register sizing)")
+	fig10 := flag.Bool("fig10", false, "print Figure 10 (CFDS vs RADS area/access vs delay)")
+	fig11 := flag.Bool("fig11", false, "print Figure 11 (max queues per granularity)")
+	headline := flag.Bool("headline", false, "print the §8.3/§10 headline comparison")
+	sizes := flag.Bool("sizes", false, "print the §7.2 SRAM size ranges")
+	validate := flag.Bool("validate", false, "run the §5 guarantee-validation simulation matrix")
+	valSlots := flag.Uint64("validate-slots", 20000, "slots per validation run")
+	flag.Parse()
+
+	all := !(*fig8 || *table2 || *fig10 || *fig11 || *headline || *sizes || *validate)
+	out := os.Stdout
+
+	if all || *fig8 {
+		for _, f := range experiments.Figure8() {
+			fmt.Fprintln(out, f.TableString())
+		}
+	}
+	if all || *sizes {
+		fmt.Fprintln(out, "§7.2 RADS h-SRAM size ranges (min lookahead → full lookahead)")
+		for _, s := range experiments.Section7Sizes() {
+			fmt.Fprintf(out, "  %-8v %8.1f kB → %8.1f kB\n", s.Point.Rate,
+				float64(s.MinLookaheadCells*cell.Size)/1e3,
+				float64(s.FullLookaheadCells*cell.Size)/1e3)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || *table2 {
+		for _, p := range experiments.Table2() {
+			fmt.Fprintln(out, p.TableString())
+		}
+	}
+	if all || *fig10 {
+		for _, s := range experiments.Figure10() {
+			fmt.Fprintln(out, s.TableString())
+		}
+	}
+	if all || *fig11 {
+		fmt.Fprintln(out, experiments.Fig11TableString(experiments.Figure11()))
+	}
+	if all || *headline {
+		fmt.Fprintln(out, experiments.HeadlineString(experiments.Headline()))
+	}
+	if *validate { // not in `all`: it simulates for a while
+		rows, err := experiments.ValidateGuarantees(16, *valSlots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperrepro: validation: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out, experiments.ValidationTableString(rows))
+		for _, r := range rows {
+			if !r.Pass {
+				fmt.Fprintln(os.Stderr, "paperrepro: VALIDATION FAILED")
+				os.Exit(1)
+			}
+		}
+	}
+}

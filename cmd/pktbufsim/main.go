@@ -1,0 +1,215 @@
+// Command pktbufsim runs the slot-accurate packet-buffer simulator
+// under a chosen workload and prints the invariant verdict and
+// statistics. It is the general-purpose harness behind the paper's
+// zero-miss and conflict-freedom claims.
+//
+// Example — the §3 adversarial pattern on a CFDS buffer:
+//
+//	pktbufsim -queues 64 -rate oc3072 -b 4 -slots 200000 \
+//	          -arrivals roundrobin -requests rrdrain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func lineRate(s string) (cell.LineRate, error) {
+	switch s {
+	case "oc192":
+		return cell.OC192, nil
+	case "oc768":
+		return cell.OC768, nil
+	case "oc3072":
+		return cell.OC3072, nil
+	default:
+		return 0, fmt.Errorf("unknown rate %q (oc192|oc768|oc3072)", s)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pktbufsim: ")
+
+	var (
+		queues   = flag.Int("queues", 16, "number of VOQs (Q)")
+		rateName = flag.String("rate", "oc3072", "line rate: oc192|oc768|oc3072")
+		gran     = flag.Int("b", 0, "CFDS granularity b in cells (0 = RADS baseline b=B)")
+		banks    = flag.Int("banks", 256, "DRAM banks (M)")
+		bankCap  = flag.Int("bankcap", 0, "blocks per bank (0 = unbounded)")
+		renaming = flag.Bool("renaming", false, "enable §6 queue renaming")
+		orgName  = flag.String("org", "cam", "SRAM organization: cam|list")
+		mmaName  = flag.String("mma", "ecqf", "head MMA: ecqf|mdqf")
+		slots    = flag.Uint64("slots", 100000, "slots to simulate")
+		warmup   = flag.Uint64("warmup", 0, "arrival-only slots before requests start (0 = auto: Q·b·4)")
+		arrName  = flag.String("arrivals", "roundrobin", "arrivals: roundrobin|uniform|hotspot|bursty|single|none")
+		reqName  = flag.String("requests", "rrdrain", "requests: rrdrain|uniform|longest|none")
+		load     = flag.Float64("load", 1.0, "offered arrival load (cells/slot)")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		allow    = flag.Bool("allowdrops", false, "tolerate drops when the DRAM is bounded")
+		record   = flag.String("record", "", "record the workload trace to this file")
+		replay   = flag.String("replay", "", "replay a recorded trace instead of generating (overrides -arrivals/-requests/-warmup)")
+		latency  = flag.Bool("latency", false, "measure per-cell sojourn times")
+	)
+	flag.Parse()
+
+	rate, err := lineRate(*rateName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.Config{
+		Q:                  *queues,
+		B:                  rate.Granularity(cell.DefaultDRAMAccessNS),
+		Bsmall:             *gran,
+		Banks:              *banks,
+		BankCapacityBlocks: *bankCap,
+		Renaming:           *renaming,
+	}
+	switch *orgName {
+	case "cam":
+		cfg.Org = core.OrgCAM
+	case "list":
+		cfg.Org = core.OrgLinkedList
+	default:
+		log.Fatalf("unknown org %q", *orgName)
+	}
+	switch *mmaName {
+	case "ecqf":
+		cfg.MMA = core.ECQF
+	case "mdqf":
+		cfg.MMA = core.MDQF
+	default:
+		log.Fatalf("unknown mma %q", *mmaName)
+	}
+
+	buf, err := core.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := buf.Config()
+	fmt.Printf("config: Q=%d B=%d b=%d M=%d lookahead=%d latency=%d RR=%d headSRAM=%d tailSRAM=%d renaming=%v org=%v mma=%v\n",
+		final.Q, final.B, final.Bsmall, final.Banks, final.Lookahead, final.LatencySlots,
+		final.RRCapacity, final.HeadSRAMCells, final.TailSRAMCells, final.Renaming, final.Org, final.MMA)
+
+	var arr sim.ArrivalProcess
+	switch *arrName {
+	case "roundrobin":
+		arr, err = sim.NewRoundRobinArrivals(*queues, *load)
+	case "uniform":
+		arr, err = sim.NewUniformArrivals(*queues, *load, *seed)
+	case "hotspot":
+		arr, err = sim.NewHotspotArrivals(*queues, *load, 0.8, *seed)
+	case "bursty":
+		arr, err = sim.NewBurstyArrivals(*queues, 32, 32*(1-*load)/maxf(*load, 0.01), *seed)
+	case "single":
+		arr = sim.NewSingleQueueArrivals(0)
+	case "none":
+		arr = noneArrivals{}
+	default:
+		log.Fatalf("unknown arrivals %q", *arrName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var req sim.RequestPolicy
+	switch *reqName {
+	case "rrdrain":
+		req, err = sim.NewRoundRobinDrain(*queues)
+	case "uniform":
+		req, err = sim.NewUniformRequests(*queues, *load, *seed+1)
+	case "longest":
+		req, err = sim.NewLongestFirst(*queues)
+	case "none":
+		req = sim.NewIdleRequests()
+	default:
+		log.Fatalf("unknown requests %q", *reqName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var rec *trace.Recorder
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		arr, req = trace.NewReplayer(tr).Halves()
+		if uint64(len(tr.Events)) < *slots {
+			*slots = uint64(len(tr.Events))
+		}
+	} else {
+		w := *warmup
+		if w == 0 {
+			w = uint64(final.Q * final.Bsmall * 4)
+		}
+		warmRunner := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests(), AllowDrops: *allow}
+		if _, err := warmRunner.Run(w); err != nil {
+			log.Fatalf("warmup: %v", err)
+		}
+		if *record != "" {
+			rec = &trace.Recorder{Arr: arr, Req: req}
+			arr, req = rec.Halves()
+		}
+	}
+	runner := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req, AllowDrops: *allow}
+	var res sim.Result
+	if *latency {
+		var lat sim.LatencyStats
+		res, lat, err = runner.RunWithLatency(*slots)
+		if err == nil {
+			fmt.Printf("%v\n", lat)
+		}
+	} else {
+		res, err = runner.Run(*slots)
+	}
+	if err != nil {
+		log.Printf("INVARIANT VIOLATION: %v", err)
+		fmt.Printf("stats: %v\n", res.Stats)
+		os.Exit(1)
+	}
+	if rec != nil {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rec.Trace().Write(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace: %d slots recorded to %s\n", len(rec.Trace().Events), *record)
+	}
+	fmt.Printf("stats: %v\n", res.Stats)
+	if res.Clean() {
+		fmt.Println("verdict: CLEAN — zero misses, zero conflicts, bounded reordering")
+	} else {
+		fmt.Println("verdict: NOT CLEAN")
+		os.Exit(1)
+	}
+}
+
+type noneArrivals struct{}
+
+func (noneArrivals) Next(cell.Slot) cell.QueueID { return cell.NoQueue }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,12 @@
+// Package repro is a full reproduction of "Design and Implementation
+// of High-Performance Memory Systems for Future Packet Buffers"
+// (García, Corbal, Cerdà, Valero — MICRO-36, 2003).
+//
+// The public API lives in repro/pktbuf; the substrates (DRAM banking,
+// shared SRAM organizations, MMAs, the DRAM Scheduler Subsystem,
+// queue renaming, the CACTI-style technology model and the experiment
+// generators) live under repro/internal. See README.md for the map,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package repro

@@ -1,0 +1,100 @@
+// Adversarial: subjects RADS and CFDS buffers to the paper's §3
+// worst-case pattern — every queue backlogged, the scheduler draining
+// them round-robin one cell at a time so that all head-SRAM queues
+// empty almost simultaneously — and verifies the zero-miss guarantee
+// plus the §5.3 reordering bounds. It then demonstrates the §6
+// fragmentation problem by flooding one queue against a bounded DRAM,
+// with and without renaming.
+//
+// Run with: go run ./examples/adversarial
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+const queues = 32
+
+func adversarialRun(name string, b int) {
+	buf, err := core.New(core.Config{Q: queues, B: 32, Bsmall: b, Banks: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := buf.Config()
+
+	arr, _ := sim.NewRoundRobinArrivals(queues, 1.0)
+	req, _ := sim.NewRoundRobinDrain(queues)
+
+	// Backlog every queue into DRAM first, then run the adversary.
+	warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
+	if _, err := warm.Run(uint64(queues * cfg.Bsmall * 8)); err != nil {
+		log.Fatalf("%s warmup: %v", name, err)
+	}
+	run := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	res, err := run.Run(300000)
+	if err != nil {
+		log.Fatalf("%s: INVARIANT VIOLATION: %v", name, err)
+	}
+
+	d := cfg.Dimension()
+	skipBound := cfg.IssuesPerCycle * d.MaxSkips()
+	st := res.Stats
+	fmt.Printf("%-14s b=%-3d misses=%d deliveries=%-8d headHW=%d/%d tailHW=%d/%d rrOcc=%d/%d skips=%d (bound %d)\n",
+		name, cfg.Bsmall, st.Misses, st.Deliveries,
+		st.HeadHighWater, cfg.HeadSRAMCells,
+		st.TailHighWater, cfg.TailSRAMCells,
+		st.DSS.MaxOccupancy, cfg.RRCapacity,
+		st.DSS.MaxSkips, skipBound)
+	if st.Misses != 0 || st.DSS.MaxSkips > skipBound {
+		log.Fatalf("%s: guarantee violated", name)
+	}
+}
+
+func fragmentationDemo(renaming bool) int {
+	buf, err := core.New(core.Config{
+		Q: queues, B: 32, Bsmall: 4, Banks: 256,
+		BankCapacityBlocks: 4, Renaming: renaming,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 100000; i++ {
+		_, err := buf.Tick(core.TickInput{Arrival: 0, Request: cell.NoQueue})
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, core.ErrBufferFull):
+			return accepted
+		default:
+			log.Fatalf("fragmentation demo: %v", err)
+		}
+	}
+	return accepted
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("=== §3 adversarial round-robin drain (zero-miss check) ===")
+	adversarialRun("RADS", 32)
+	for _, b := range []int{16, 8, 4, 2} {
+		adversarialRun("CFDS", b)
+	}
+
+	fmt.Println("\n=== §6 DRAM fragmentation (single queue vs bounded DRAM) ===")
+	without := fragmentationDemo(false)
+	with := fragmentationDemo(true)
+	fmt.Printf("accepted cells without renaming: %6d (one group's share)\n", without)
+	fmt.Printf("accepted cells with    renaming: %6d (%.1fx)\n", with, float64(with)/float64(without))
+	if with <= without {
+		log.Fatal("FAILED: renaming did not increase usable DRAM")
+	}
+	fmt.Println("\nOK: zero misses under the worst case; renaming defeats fragmentation")
+}

@@ -1,0 +1,139 @@
+// Packet router: drives the full system of the paper's Figure 1 —
+// variable-length packets segmented into 64-byte cells, buffered in
+// per-input VOQ packet buffers (CFDS), switched by an iSLIP fabric
+// scheduler, and reassembled at the output ports. Verifies that every
+// packet crosses the router byte-identical.
+//
+// Run with: go run ./examples/packetrouter
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/router"
+)
+
+const (
+	ports   = 4
+	classes = 2
+	slots   = 60000
+)
+
+func main() {
+	log.SetFlags(0)
+
+	r, err := router.New(router.Config{
+		Ports:               ports,
+		Classes:             classes,
+		Buffer:              core.Config{B: 32, Bsmall: 4, Banks: 256},
+		SchedulerIterations: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(2003))
+	type sentKey struct{ in, out int }
+	sent := map[sentKey][][]byte{}
+	offered, bytesIn := 0, 0
+
+	newPacket := func() (int, packet.Packet, []byte) {
+		in := rng.Intn(ports)
+		out := rng.Intn(ports)
+		class := rng.Intn(classes)
+		// Internet-ish trimodal sizes: 40 B acks, 576 B, 1500 B MTU.
+		var size int
+		switch rng.Intn(3) {
+		case 0:
+			size = 40
+		case 1:
+			size = 576
+		default:
+			size = 1500
+		}
+		payload := make([]byte, size)
+		rng.Read(payload)
+		return in, packet.Packet{Flow: r.VOQ(out, class), Payload: payload}, payload
+	}
+
+	verified := 0
+	for slot := 0; slot < slots; slot++ {
+		// ~60% offered load in packets.
+		if rng.Float64() < 0.05 {
+			in, p, payload := newPacket()
+			out := int(p.Flow) / classes
+			if err := r.Offer(in, p); err == nil {
+				sent[sentKey{in, out}] = append(sent[sentKey{in, out}], payload)
+				offered++
+				bytesIn += len(payload)
+			}
+		}
+		egress, err := r.Step()
+		if err != nil {
+			log.Fatalf("slot %d: %v", slot, err)
+		}
+		for _, e := range egress {
+			k := sentKey{e.Input, e.Output}
+			q := sent[k]
+			found := -1
+			for i := range q {
+				if bytes.Equal(q[i], e.Packet.Payload) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				log.Fatalf("corrupted packet at output %d (from input %d, %d bytes)",
+					e.Output, e.Input, len(e.Packet.Payload))
+			}
+			sent[k] = append(q[:found], q[found+1:]...)
+			verified++
+		}
+	}
+	// Drain what remains.
+	for slot := 0; slot < 10*slots && verified < offered; slot++ {
+		egress, err := r.Step()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range egress {
+			k := sentKey{e.Input, e.Output}
+			q := sent[k]
+			found := -1
+			for i := range q {
+				if bytes.Equal(q[i], e.Packet.Payload) {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				log.Fatalf("corrupted packet during drain at output %d", e.Output)
+			}
+			sent[k] = append(q[:found], q[found+1:]...)
+			verified++
+		}
+	}
+
+	st := r.Stats()
+	fmt.Printf("offered packets:   %d (%d bytes)\n", offered, bytesIn)
+	fmt.Printf("delivered packets: %d (byte-verified %d)\n", st.DeliveredPackets, verified)
+	fmt.Printf("switched cells:    %d over %d slots (%.2f cells/slot)\n",
+		st.SwitchedCells, st.Slots, float64(st.SwitchedCells)/float64(st.Slots))
+	clean := true
+	for p := 0; p < ports; p++ {
+		if bs := r.BufferStats(p); !bs.Clean() {
+			clean = false
+			fmt.Printf("input %d buffer NOT clean: %v\n", p, bs)
+		}
+	}
+	if verified == offered && clean {
+		fmt.Println("OK: every packet delivered byte-identical; all buffers clean")
+	} else {
+		log.Fatalf("FAILED: verified %d of %d", verified, offered)
+	}
+}

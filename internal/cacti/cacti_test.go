@@ -1,0 +1,120 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+)
+
+func TestCalibrationAnchors(t *testing.T) {
+	// CAM(272 kB) ≈ 3.2 ns and CAM(1.0 MB) ≈ 7 ns (§10's "7 ns" RADS
+	// headline), within 10%.
+	if got := AccessNS(OrgCAM, 272_000); math.Abs(got-3.2)/3.2 > 0.10 {
+		t.Errorf("CAM(272kB) = %.2f ns, want ≈3.2", got)
+	}
+	if got := AccessNS(OrgCAM, 1_000_000); math.Abs(got-7.0)/7.0 > 0.10 {
+		t.Errorf("CAM(1MB) = %.2f ns, want ≈7", got)
+	}
+	// Linked list ≈ 0.1 cm² at 300 kB (§7.2).
+	if got := AreaCM2(OrgLinkedList, 300_000); math.Abs(got-0.1)/0.1 > 0.15 {
+		t.Errorf("LL area(300kB) = %.3f cm², want ≈0.1", got)
+	}
+}
+
+func TestOC768AlwaysFeasible(t *testing.T) {
+	// §7.2: both organizations beat the 12.8 ns OC-768 budget across
+	// the whole lookahead sweep (300 kB down to 64 kB).
+	for _, bytes := range []int{64_000, 150_000, 300_000} {
+		for _, org := range []Org{OrgCAM, OrgLinkedList} {
+			if got := AccessNS(org, bytes); got > 12.8 {
+				t.Errorf("%v at %d B = %.2f ns > 12.8", org, bytes, got)
+			}
+		}
+	}
+}
+
+func TestOC3072RADSInfeasible(t *testing.T) {
+	// §7.2: no organization meets 3.2 ns for the RADS OC-3072 sizes
+	// (1.0 MB – 6.2 MB), "not even for the longest lookaheads".
+	for _, bytes := range []int{1_000_000, 3_000_000, 6_200_000} {
+		for _, org := range []Org{OrgCAM, OrgLinkedList} {
+			if got := AccessNS(org, bytes); got <= 3.2 {
+				t.Errorf("%v at %d B = %.2f ns ≤ 3.2 (should be infeasible)", org, bytes, got)
+			}
+		}
+	}
+}
+
+func TestOrgOrdering(t *testing.T) {
+	// For any size: CAM is the fastest full operation, the linked list
+	// the smallest; plain SRAM sits between on area and below CAM on
+	// time.
+	for _, bytes := range []int{10_000, 100_000, 1_000_000, 10_000_000} {
+		cam, ll, sr := AccessNS(OrgCAM, bytes), AccessNS(OrgLinkedList, bytes), AccessNS(OrgSRAM, bytes)
+		if !(sr < cam && cam < ll) {
+			t.Errorf("at %d B: sram=%.2f cam=%.2f ll=%.2f, want sram<cam<ll", bytes, sr, cam, ll)
+		}
+		if !(AreaCM2(OrgLinkedList, bytes) < AreaCM2(OrgCAM, bytes)) {
+			t.Errorf("at %d B: LL area not below CAM area", bytes)
+		}
+		if !(AreaCM2(OrgSRAM, bytes) < AreaCM2(OrgLinkedList, bytes)) {
+			t.Errorf("at %d B: SRAM area not below LL area", bytes)
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	f := func(kb1, kb2 uint16) bool {
+		a, b := int(kb1)+1, int(kb2)+1
+		if a > b {
+			a, b = b, a
+		}
+		for _, org := range []Org{OrgSRAM, OrgCAM, OrgLinkedList} {
+			if AccessNS(org, a*1024) > AccessNS(org, b*1024) {
+				return false
+			}
+			if AreaCM2(org, a*1024) > AreaCM2(org, b*1024) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForCellsAndBudget(t *testing.T) {
+	e := ForCells(OrgCAM, 1000)
+	if e.AccessNS <= 0 || e.AreaCM2 <= 0 {
+		t.Errorf("ForCells = %+v", e)
+	}
+	// 1000 cells = 64 kB: feasible at OC-3072 for the CAM.
+	if !MeetsBudget(OrgCAM, 1000, cell.OC3072) {
+		t.Error("CAM 64kB should meet 3.2 ns")
+	}
+	// 100k cells = 6.4 MB: not feasible.
+	if MeetsBudget(OrgCAM, 100_000, cell.OC3072) {
+		t.Error("CAM 6.4MB should not meet 3.2 ns")
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	if got := AccessNS(OrgCAM, 0); got != 0 {
+		t.Errorf("AccessNS(0) = %v", got)
+	}
+	if got := AreaCM2(OrgCAM, 0); got != 0 {
+		t.Errorf("AreaCM2(0) = %v", got)
+	}
+}
+
+func TestOrgString(t *testing.T) {
+	if OrgSRAM.String() == "" || OrgCAM.String() == "" || OrgLinkedList.String() == "" {
+		t.Error("empty Org strings")
+	}
+	if Org(9).String() != "Org(9)" {
+		t.Error("unknown org string")
+	}
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/dram"
+	"repro/internal/dss"
+	"repro/internal/mma"
+	"repro/internal/rename"
+	"repro/internal/sram"
+)
+
+// Invariant and usage errors surfaced by Tick. The Err* invariant
+// errors correspond to the paper's worst-case guarantees: a correctly
+// dimensioned buffer never produces them, and the test suite asserts
+// exactly that.
+var (
+	// ErrMiss is a head-SRAM miss: the arbiter's request exited the
+	// pipeline but its cell was not resident (§3's zero-miss claim).
+	ErrMiss = errors.New("core: head SRAM miss")
+	// ErrTailOverflow means the tail SRAM exceeded its dimensioned
+	// capacity even though the DRAM still had room.
+	ErrTailOverflow = errors.New("core: tail SRAM overflow")
+	// ErrBufferFull is a usage signal: the buffer (DRAM and tail SRAM)
+	// is genuinely out of space and the arriving cell was rejected.
+	ErrBufferFull = errors.New("core: buffer full, arrival dropped")
+	// ErrBadRequest means the arbiter requested a queue with no
+	// outstanding cells — forbidden by the system model (§2).
+	ErrBadRequest = errors.New("core: request for empty queue")
+	// ErrOutOfOrder means a delivered cell violated per-queue FIFO
+	// order — never acceptable.
+	ErrOutOfOrder = errors.New("core: out-of-order delivery")
+)
+
+// TickInput carries the per-slot stimulus: at most one arriving cell
+// and one scheduler request. Use cell.NoQueue for "none".
+type TickInput struct {
+	// Arrival is the logical queue of the cell arriving this slot.
+	Arrival cell.QueueID
+	// Request is the logical queue the arbiter requests this slot.
+	Request cell.QueueID
+}
+
+// TickOutput reports the slot's outcome.
+type TickOutput struct {
+	// Delivered is the cell granted to the arbiter this slot, if any.
+	Delivered *cell.Cell
+	// Bypassed reports that the delivery came straight from the tail
+	// SRAM (cut-through for queues with no DRAM-bound cells).
+	Bypassed bool
+}
+
+// tailQueue is one logical queue's slice of the tail SRAM: cells in
+// arrival order. The first promised cells are committed to the bypass
+// path; staging removes cells from the front of the unpromised region
+// (DRAM receives cells strictly in arrival order).
+type tailQueue struct {
+	cells    []cell.Cell
+	promised int
+}
+
+// completion is a DRAM→SRAM block transfer scheduled to land at a
+// future slot.
+type completion struct {
+	phys    cell.PhysQueueID
+	ordinal uint64
+	cells   []cell.Cell
+}
+
+// pipeEntry pairs the physical name stored in the lookahead with the
+// logical request it translates (the logical side is needed for the
+// bypass path and FIFO verification).
+type pipeEntry struct {
+	logical cell.QueueID
+}
+
+// Buffer is the complete packet buffer (Figure 5). Create one with
+// New; drive it with Tick once per slot.
+type Buffer struct {
+	cfg Config
+
+	dram  *dram.DRAM
+	head  sram.Store
+	sched *dss.Scheduler
+	hmma  mma.HeadMMA
+	tmma  *mma.TailMMA
+	mapr  mapper
+
+	// look holds the physical-side pipeline (latency register +
+	// lookahead, §5.4); logical is the parallel logical-side ring.
+	look    *mma.Lookahead
+	logical []pipeEntry
+	logHead int
+
+	tail      map[cell.QueueID]*tailQueue
+	tailTotal int // resident cells incl. promised and staged
+
+	completions map[cell.Slot][]completion
+
+	now          cell.Slot
+	arrivedSeq   map[cell.QueueID]uint64
+	deliveredSeq map[cell.QueueID]uint64
+	sysOcc       map[cell.QueueID]int
+	pendingReq   map[cell.QueueID]int
+
+	stats Stats
+}
+
+// New builds a buffer from cfg (ApplyDefaults is invoked internally,
+// so a minimal Config works).
+func New(cfg Config) (*Buffer, error) {
+	cfg, err := cfg.ApplyDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := cfg.Dimension()
+
+	dcfg := dram.Config{
+		Banks:              cfg.Banks,
+		BanksPerGroup:      d.BanksPerGroup(),
+		AccessSlots:        cfg.accessSlots(),
+		BlockCells:         cfg.Bsmall,
+		BankCapacityBlocks: cfg.BankCapacityBlocks,
+	}
+	if err := dcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	var head sram.Store
+	switch cfg.Org {
+	case OrgLinkedList:
+		ls, err := sram.NewList(cfg.HeadSRAMCells, cfg.Bsmall, d.BanksPerGroup())
+		if err != nil {
+			return nil, err
+		}
+		head = ls
+	default:
+		head = sram.NewCAM(cfg.HeadSRAMCells)
+	}
+
+	pipeLen := cfg.Lookahead + cfg.LatencySlots
+	if pipeLen < 1 {
+		pipeLen = 1
+	}
+	look, err := mma.NewLookahead(pipeLen)
+	if err != nil {
+		return nil, err
+	}
+
+	var hm mma.HeadMMA
+	switch cfg.MMA {
+	case MDQF:
+		m, err := mma.NewMDQF(cfg.Bsmall)
+		if err != nil {
+			return nil, err
+		}
+		hm = m
+	default:
+		e, err := mma.NewECQF(look, cfg.Bsmall)
+		if err != nil {
+			return nil, err
+		}
+		hm = e
+	}
+
+	tm, err := mma.NewTailMMA(cfg.Bsmall)
+	if err != nil {
+		return nil, err
+	}
+
+	dr := dram.New(dcfg)
+	var mp mapper
+	if cfg.Renaming {
+		namesPerGroup := (cfg.Q*cfg.Oversub + d.Groups() - 1) / d.Groups()
+		tbl, err := rename.New(d.Groups(), namesPerGroup, cfg.RegisterCap, cfg.Bsmall)
+		if err != nil {
+			return nil, err
+		}
+		mp = &renameMapper{table: tbl, dram: dr}
+	} else {
+		mp = newIdentityMapper(dr)
+	}
+
+	logical := make([]pipeEntry, pipeLen)
+	for i := range logical {
+		logical[i].logical = cell.NoQueue
+	}
+	policy := dss.OldestReadyFirst
+	if cfg.FIFOScheduler {
+		policy = dss.FIFOBlocking
+	}
+	return &Buffer{
+		cfg:          cfg,
+		dram:         dr,
+		head:         head,
+		sched:        dss.NewWithPolicy(cfg.RRCapacity, policy),
+		hmma:         hm,
+		tmma:         tm,
+		mapr:         mp,
+		look:         look,
+		logical:      logical,
+		tail:         make(map[cell.QueueID]*tailQueue),
+		completions:  make(map[cell.Slot][]completion),
+		arrivedSeq:   make(map[cell.QueueID]uint64),
+		deliveredSeq: make(map[cell.QueueID]uint64),
+		sysOcc:       make(map[cell.QueueID]int),
+		pendingReq:   make(map[cell.QueueID]int),
+	}, nil
+}
+
+// Config returns the fully defaulted configuration in use.
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Now returns the current slot (the number of Ticks performed).
+func (b *Buffer) Now() cell.Slot { return b.now }
+
+// Len returns the number of cells of queue q currently in the buffer.
+func (b *Buffer) Len(q cell.QueueID) int { return b.sysOcc[q] }
+
+// Requestable returns how many cells of q the arbiter may still
+// request (cells in the system minus requests already in flight).
+func (b *Buffer) Requestable(q cell.QueueID) int {
+	return b.sysOcc[q] - b.pendingReq[q]
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (b *Buffer) Stats() Stats {
+	s := b.stats
+	s.DSS = b.sched.Stats()
+	s.HeadHighWater = b.head.HighWater()
+	return s
+}
+
+func (b *Buffer) tailQueue(q cell.QueueID) *tailQueue {
+	t, ok := b.tail[q]
+	if !ok {
+		t = &tailQueue{}
+		b.tail[q] = t
+	}
+	return t
+}
+
+// Tick advances the buffer by one slot. Errors wrapping the Err*
+// invariant sentinels indicate a violated worst-case guarantee;
+// ErrBufferFull / ErrBadRequest indicate caller-visible conditions
+// (the slot still completes: deliveries and internal transfers occur).
+func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
+	var out TickOutput
+	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// 1. Land DRAM→SRAM transfers completing this slot, before the
+	// delivery point ("perfectly synchronized hardware", §3).
+	for _, c := range b.completions[b.now] {
+		base := c.ordinal * uint64(b.cfg.Bsmall)
+		for i, cl := range c.cells {
+			if err := b.head.Insert(c.phys, base+uint64(i), cl); err != nil {
+				b.stats.HeadOverflows++
+				record(fmt.Errorf("head SRAM insert: %w", err))
+			}
+		}
+	}
+	delete(b.completions, b.now)
+
+	// 2. Arrival.
+	if in.Arrival != cell.NoQueue {
+		record(b.arrive(in.Arrival))
+	}
+
+	// 3. Request enters the pipeline; the pipeline shifts exactly once
+	// per slot, so idle slots propagate bubbles.
+	phys := cell.NoPhysQueue
+	logical := cell.NoQueue
+	if in.Request != cell.NoQueue {
+		p, lq, err := b.admitRequest(in.Request)
+		record(err)
+		phys, logical = p, lq
+	}
+	outPhys := b.look.Shift(phys)
+	outEntry := b.logical[b.logHead]
+	b.logical[b.logHead] = pipeEntry{logical: logical}
+	b.logHead = (b.logHead + 1) % len(b.logical)
+
+	// 4. Delivery at the pipeline exit.
+	if outEntry.logical != cell.NoQueue {
+		delivered, bypassed, err := b.deliver(outPhys, outEntry.logical)
+		record(err)
+		if delivered != nil {
+			out.Delivered = delivered
+			out.Bypassed = bypassed
+		}
+	}
+
+	// 5. MMA cycle every b slots; DSA issues are staggered across the
+	// cycle so that the write and read access of one window hit the
+	// DRAM a random-access-time apart (the paper's RADS alternates
+	// accesses every T_RC; CFDS overlaps them across banks).
+	bs := b.cfg.Bsmall
+	phase := int(b.now) % bs
+	if phase == bs-1 {
+		record(b.tailCycle())
+		record(b.headCycle())
+	}
+	if bs == 1 {
+		record(b.dsaCycle(b.cfg.IssuesPerCycle))
+	} else if phase == bs-1 || phase == bs/2-1 {
+		record(b.dsaCycle((b.cfg.IssuesPerCycle + 1) / 2))
+	}
+
+	if b.tailTotal > b.stats.TailHighWater {
+		b.stats.TailHighWater = b.tailTotal
+	}
+	b.now++
+	return out, firstErr
+}
+
+// arrive admits one cell into the tail SRAM.
+func (b *Buffer) arrive(q cell.QueueID) error {
+	if b.tailTotal >= b.cfg.TailSRAMCells {
+		// With a bounded DRAM the tail bound is conditional: any queue
+		// blocked from writing (a full group without renaming, or §6's
+		// residual fragmentation with it) legitimately backs cells up
+		// into the tail SRAM, so the overflow is backpressure. With an
+		// unbounded DRAM the t-MMA can always drain and an overflow is
+		// a violated dimensioning bound.
+		b.stats.Drops++
+		if b.cfg.BankCapacityBlocks > 0 {
+			return fmt.Errorf("%w: queue %d at slot %d", ErrBufferFull, q, b.now)
+		}
+		return fmt.Errorf("%w: %d cells at slot %d", ErrTailOverflow, b.tailTotal, b.now)
+	}
+	seq := b.arrivedSeq[q]
+	b.arrivedSeq[q] = seq + 1
+	tq := b.tailQueue(q)
+	tq.cells = append(tq.cells, cell.Cell{Queue: q, Seq: seq})
+	b.tailTotal++
+	b.tmma.OnArrival(q)
+	b.sysOcc[q]++
+	b.stats.Arrivals++
+	return nil
+}
+
+// admitRequest validates and translates a scheduler request. Cells
+// already written toward DRAM route via their physical queue; the
+// remainder are promised to the tail-SRAM bypass.
+func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, error) {
+	if b.Requestable(q) <= 0 {
+		b.stats.BadRequests++
+		return cell.NoPhysQueue, cell.NoQueue,
+			fmt.Errorf("%w: queue %d at slot %d", ErrBadRequest, q, b.now)
+	}
+	b.pendingReq[q]++
+	b.stats.Requests++
+	phys, ok := b.mapr.ConsumeForRequest(q)
+	if !ok {
+		// Bypass: commit the oldest unpromised tail cell to direct
+		// delivery and remove it from the t-MMA's stageable ledger.
+		tq := b.tailQueue(q)
+		tq.promised++
+		b.tmma.OnBypass(q)
+		return cell.NoPhysQueue, q, nil
+	}
+	b.hmma.OnRequestEnter(phys)
+	return phys, q, nil
+}
+
+// deliver pops the cell for a request exiting the pipeline.
+func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID) (*cell.Cell, bool, error) {
+	want := b.deliveredSeq[q]
+	finish := func(c cell.Cell, bypassed bool) (*cell.Cell, bool, error) {
+		if c.Queue != q || c.Seq != want {
+			return &c, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
+				ErrOutOfOrder, q, c, want)
+		}
+		b.deliveredSeq[q] = want + 1
+		b.sysOcc[q]--
+		b.pendingReq[q]--
+		b.stats.Deliveries++
+		if bypassed {
+			b.stats.Bypasses++
+		}
+		return &c, bypassed, nil
+	}
+
+	if phys == cell.NoPhysQueue {
+		// Bypass delivery from the tail SRAM front.
+		tq := b.tailQueue(q)
+		if len(tq.cells) == 0 || tq.promised == 0 {
+			b.stats.Misses++
+			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
+				ErrMiss, q, b.now)
+		}
+		c := tq.cells[0]
+		tq.cells = tq.cells[1:]
+		tq.promised--
+		b.tailTotal--
+		return finish(c, true)
+	}
+
+	b.hmma.OnRequestLeave(phys)
+	c, err := b.head.Pop(phys)
+	if err != nil {
+		b.stats.Misses++
+		return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
+			ErrMiss, q, phys, b.now, err)
+	}
+	return finish(c, false)
+}
+
+// tailCycle runs the t-MMA: stage one block of b cells toward DRAM.
+func (b *Buffer) tailCycle() error {
+	if !b.sched.CanEnqueue() {
+		b.stats.TailStalls++
+		return nil
+	}
+	q, ok := b.tmma.Select(func(q cell.QueueID) bool {
+		_, err := b.mapr.PeekWriteTarget(q)
+		return err == nil
+	})
+	if !ok {
+		return nil
+	}
+	p, err := b.mapr.WriteTarget(q)
+	if err != nil {
+		// Raced capacity; treated as a stall, retried next cycle.
+		b.stats.TailStalls++
+		return nil
+	}
+	ordinal, bank, err := b.dram.ReserveWrite(p)
+	if err != nil {
+		b.stats.TailStalls++
+		return nil
+	}
+	if err := b.mapr.NoteWrite(q, p); err != nil {
+		return err
+	}
+	tq := b.tailQueue(q)
+	blk := make([]cell.Cell, b.cfg.Bsmall)
+	copy(blk, tq.cells[tq.promised:tq.promised+b.cfg.Bsmall])
+	tq.cells = append(tq.cells[:tq.promised], tq.cells[tq.promised+b.cfg.Bsmall:]...)
+	b.tmma.OnTransfer(q)
+	return b.sched.Enqueue(dss.Request{
+		Queue: p, Dir: dss.Write, Ordinal: ordinal, Bank: bank,
+		Cells: blk, Enqueued: b.now,
+	})
+}
+
+// headCycle runs the h-MMA: order one replenishment of b cells.
+func (b *Buffer) headCycle() error {
+	if !b.sched.CanEnqueue() {
+		b.stats.HeadStalls++
+		return nil
+	}
+	p, ok := b.hmma.Select(func(p cell.PhysQueueID) bool {
+		return b.dram.ReadableNow(p)
+	})
+	if !ok {
+		return nil
+	}
+	ordinal, bank, err := b.dram.ReserveRead(p)
+	if err != nil {
+		return fmt.Errorf("core: replenish reserve for phys %d: %w", p, err)
+	}
+	b.hmma.OnReplenish(p)
+	return b.sched.Enqueue(dss.Request{
+		Queue: p, Dir: dss.Read, Ordinal: ordinal, Bank: bank, Enqueued: b.now,
+	})
+}
+
+// dsaCycle issues up to budget requests through the DSA and executes
+// them against the DRAM.
+func (b *Buffer) dsaCycle(budget int) error {
+	access := cell.Slot(b.cfg.accessSlots())
+	for _, r := range b.sched.Cycle(b.now, budget, b.cfg.accessSlots()) {
+		switch r.Dir {
+		case dss.Write:
+			if _, err := b.dram.BeginWriteAt(r.Queue, r.Ordinal, r.Cells, b.now); err != nil {
+				return fmt.Errorf("core: DSA write issue: %w", err)
+			}
+			// The block physically leaves the tail SRAM on the bus.
+			b.tailTotal -= len(r.Cells)
+		case dss.Read:
+			_, cells, err := b.dram.BeginReadAt(r.Queue, r.Ordinal, b.now)
+			if err != nil {
+				return fmt.Errorf("core: DSA read issue: %w", err)
+			}
+			at := b.now + access
+			b.completions[at] = append(b.completions[at], completion{
+				phys: r.Queue, ordinal: r.Ordinal, cells: cells,
+			})
+		}
+	}
+	return nil
+}

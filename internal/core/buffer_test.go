@@ -1,0 +1,475 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// smallCFDS returns a small CFDS configuration exercising real
+// banking: Q=4, B=8, b=2 (4 banks/group, 4 groups).
+func smallCFDS(t *testing.T) *Buffer {
+	t.Helper()
+	b, err := New(Config{Q: 4, B: 8, Bsmall: 2, Banks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// smallRADS returns the degenerate b=B baseline with the same
+// externals.
+func smallRADS(t *testing.T) *Buffer {
+	t.Helper()
+	b, err := New(Config{Q: 4, B: 8, Bsmall: 8, Banks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// drive runs the buffer for slots ticks with the given per-slot
+// stimulus function, failing the test on any invariant error.
+func drive(t *testing.T, b *Buffer, slots int, stim func(slot int) TickInput) {
+	t.Helper()
+	for i := 0; i < slots; i++ {
+		if _, err := b.Tick(stim(i)); err != nil {
+			t.Fatalf("slot %d: %v\nstats: %v", i, err, b.Stats())
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Q: 0, B: 8, Banks: 16},
+		{Q: 4, B: 7, Banks: 16},             // odd B
+		{Q: 4, B: 0, Banks: 16},             // zero B
+		{Q: 4, B: 8, Banks: 0},              // zero banks
+		{Q: 4, B: 8, Bsmall: 16, Banks: 16}, // b > B
+		{Q: 4, B: 8, Bsmall: 3, Banks: 16},  // b does not divide B
+		{Q: 4, B: 8, Bsmall: 2, Banks: 6},   // B/b does not divide M
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New(%+v) succeeded, want error", i, cfg)
+		}
+	}
+}
+
+func TestDefaultsFollowDimensioning(t *testing.T) {
+	b := smallCFDS(t)
+	cfg := b.Config()
+	d := cfg.Dimension()
+	if cfg.Lookahead != 4*(2-1)+1 {
+		t.Errorf("Lookahead = %d, want %d", cfg.Lookahead, 4+1)
+	}
+	if cfg.RRCapacity < d.RRSize() {
+		t.Errorf("RRCapacity = %d < analytic %d", cfg.RRCapacity, d.RRSize())
+	}
+	if cfg.HeadSRAMCells < d.HeadSRAMSize() {
+		t.Errorf("HeadSRAMCells = %d < analytic %d", cfg.HeadSRAMCells, d.HeadSRAMSize())
+	}
+	if cfg.IssuesPerCycle != 2 {
+		t.Errorf("IssuesPerCycle = %d, want 2", cfg.IssuesPerCycle)
+	}
+}
+
+func TestSingleCellThrough(t *testing.T) {
+	b := smallCFDS(t)
+	// One arrival, then one request; the cell must come back (via the
+	// bypass, since it never reached a full block).
+	if _, err := b.Tick(TickInput{Arrival: 0, Request: cell.NoQueue}); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Len(0); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	var delivered *cell.Cell
+	var bypassed bool
+	req := cell.QueueID(0)
+	for i := 0; i < 200 && delivered == nil; i++ {
+		out, err := b.Tick(TickInput{Arrival: cell.NoQueue, Request: req})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req = cell.NoQueue // single request
+		if out.Delivered != nil {
+			delivered, bypassed = out.Delivered, out.Bypassed
+		}
+	}
+	if delivered == nil {
+		t.Fatal("cell never delivered")
+	}
+	if delivered.Queue != 0 || delivered.Seq != 0 {
+		t.Errorf("delivered %v", delivered)
+	}
+	if !bypassed {
+		t.Error("single cell should use the bypass path")
+	}
+	if got := b.Len(0); got != 0 {
+		t.Errorf("Len after delivery = %d", got)
+	}
+}
+
+func TestBadRequestRejected(t *testing.T) {
+	b := smallCFDS(t)
+	_, err := b.Tick(TickInput{Arrival: cell.NoQueue, Request: 2})
+	if !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+	if b.Stats().BadRequests != 1 {
+		t.Error("BadRequests not counted")
+	}
+	// One cell in, one request ok, a second request must fail.
+	if _, err := b.Tick(TickInput{Arrival: 2, Request: cell.NoQueue}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tick(TickInput{Arrival: cell.NoQueue, Request: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Tick(TickInput{Arrival: cell.NoQueue, Request: 2}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("second request err = %v, want ErrBadRequest", err)
+	}
+}
+
+// saturate drives full-rate traffic: one arrival and one request per
+// slot, requests lagging arrivals so queues stay backlogged.
+func saturate(t *testing.T, b *Buffer, q int, slots int, arrivalPick, requestPick func(slot int) cell.QueueID) {
+	t.Helper()
+	delivered := uint64(0)
+	for i := 0; i < slots; i++ {
+		in := TickInput{Arrival: arrivalPick(i), Request: cell.NoQueue}
+		if r := requestPick(i); r != cell.NoQueue && b.Requestable(r) > 0 {
+			in.Request = r
+		}
+		out, err := b.Tick(in)
+		if err != nil {
+			t.Fatalf("slot %d: %v\nstats: %v", i, err, b.Stats())
+		}
+		if out.Delivered != nil {
+			delivered++
+		}
+	}
+	st := b.Stats()
+	if !st.Clean() {
+		t.Fatalf("run not clean: %v", st)
+	}
+	if delivered != st.Deliveries {
+		t.Fatalf("delivered %d != stats %d", delivered, st.Deliveries)
+	}
+	if st.Deliveries == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+// TestAdversarialRoundRobinCFDS is the paper's §3 worst case: the
+// scheduler drains queues round-robin, one cell each, so all SRAM
+// queues empty nearly simultaneously. Zero misses required.
+func TestAdversarialRoundRobinCFDS(t *testing.T) {
+	const Q = 4
+	b := smallCFDS(t)
+	// Warm up: backlog every queue deep into DRAM (round-robin
+	// arrivals, no requests).
+	warm := 40 * Q
+	drive(t, b, warm, func(i int) TickInput {
+		return TickInput{Arrival: cell.QueueID(i % Q), Request: cell.NoQueue}
+	})
+	// Steady state: round-robin arrivals and round-robin requests.
+	saturate(t, b, Q, 30000,
+		func(i int) cell.QueueID { return cell.QueueID(i % Q) },
+		func(i int) cell.QueueID { return cell.QueueID(i % Q) },
+	)
+	st := b.Stats()
+	d := b.Config().Dimension()
+	bound := b.Config().IssuesPerCycle * d.MaxSkips()
+	if st.DSS.MaxSkips > bound {
+		t.Errorf("MaxSkips %d exceeds β·Dmax %d", st.DSS.MaxSkips, bound)
+	}
+	if st.DSS.MaxOccupancy > b.Config().RRCapacity {
+		t.Errorf("RR occupancy %d exceeded capacity %d", st.DSS.MaxOccupancy, b.Config().RRCapacity)
+	}
+}
+
+func TestAdversarialRoundRobinRADS(t *testing.T) {
+	const Q = 4
+	b := smallRADS(t)
+	warm := 100 * Q
+	drive(t, b, warm, func(i int) TickInput {
+		return TickInput{Arrival: cell.QueueID(i % Q), Request: cell.NoQueue}
+	})
+	saturate(t, b, Q, 30000,
+		func(i int) cell.QueueID { return cell.QueueID(i % Q) },
+		func(i int) cell.QueueID { return cell.QueueID(i % Q) },
+	)
+}
+
+// TestSingleQueueBlast pushes all traffic through one queue — the
+// hardest case for a single bank group (sustained 2 cells/slot on
+// B/b banks).
+func TestSingleQueueBlast(t *testing.T) {
+	b := smallCFDS(t)
+	drive(t, b, 200, func(i int) TickInput {
+		return TickInput{Arrival: 0, Request: cell.NoQueue}
+	})
+	saturate(t, b, 1, 20000,
+		func(i int) cell.QueueID { return 0 },
+		func(i int) cell.QueueID { return 0 },
+	)
+}
+
+// TestRandomTrafficCFDS drives random valid arrivals/requests across
+// many seeds.
+func TestRandomTrafficCFDS(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := smallCFDS(t)
+		const Q = 4
+		for i := 0; i < 15000; i++ {
+			in := TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+			if rng.Intn(10) < 8 {
+				in.Arrival = cell.QueueID(rng.Intn(Q))
+			}
+			if rng.Intn(10) < 8 {
+				q := cell.QueueID(rng.Intn(Q))
+				if b.Requestable(q) > 0 {
+					in.Request = q
+				}
+			}
+			if _, err := b.Tick(in); err != nil {
+				t.Fatalf("seed %d slot %d: %v\nstats: %v", seed, i, err, b.Stats())
+			}
+		}
+		if st := b.Stats(); !st.Clean() {
+			t.Fatalf("seed %d: %v", seed, st)
+		}
+	}
+}
+
+// TestDrainToEmpty fills the buffer and then drains it completely; all
+// cells must come back in order (the buffer's own FIFO check) and the
+// occupancy must return to zero.
+func TestDrainToEmpty(t *testing.T) {
+	for _, mk := range []func(*testing.T) *Buffer{smallCFDS, smallRADS} {
+		b := mk(t)
+		const Q = 4
+		const per = 100
+		drive(t, b, Q*per, func(i int) TickInput {
+			return TickInput{Arrival: cell.QueueID(i % Q), Request: cell.NoQueue}
+		})
+		total := uint64(0)
+		for i := 0; i < 20*Q*per && total < Q*per; i++ {
+			in := TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+			q := cell.QueueID(i % Q)
+			if b.Requestable(q) > 0 {
+				in.Request = q
+			}
+			out, err := b.Tick(in)
+			if err != nil {
+				t.Fatalf("slot %d: %v", i, err)
+			}
+			if out.Delivered != nil {
+				total++
+			}
+		}
+		if total != Q*per {
+			t.Fatalf("drained %d of %d cells", total, Q*per)
+		}
+		for q := cell.QueueID(0); q < Q; q++ {
+			if b.Len(q) != 0 {
+				t.Errorf("Len(%d) = %d after drain", q, b.Len(q))
+			}
+		}
+	}
+}
+
+// TestHotColdMix puts 90% of traffic on one queue and sprinkles the
+// rest — exercising both the DRAM path and the bypass path at once.
+func TestHotColdMix(t *testing.T) {
+	b := smallCFDS(t)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+		if rng.Intn(10) < 9 {
+			if rng.Intn(10) < 9 {
+				in.Arrival = 0
+			} else {
+				in.Arrival = cell.QueueID(1 + rng.Intn(3))
+			}
+		}
+		q := cell.QueueID(0)
+		if rng.Intn(10) >= 9 {
+			q = cell.QueueID(1 + rng.Intn(3))
+		}
+		if b.Requestable(q) > 0 {
+			in.Request = q
+		}
+		if _, err := b.Tick(in); err != nil {
+			t.Fatalf("slot %d: %v\nstats %v", i, err, b.Stats())
+		}
+	}
+	st := b.Stats()
+	if !st.Clean() {
+		t.Fatalf("not clean: %v", st)
+	}
+	if st.Bypasses == 0 {
+		t.Error("expected some bypass deliveries for the cold queues")
+	}
+}
+
+// TestBoundedDRAMBackpressure bounds the DRAM and floods one queue:
+// arrivals must eventually be rejected with ErrBufferFull (not an
+// invariant error), and no cell may be lost silently.
+func TestBoundedDRAMBackpressure(t *testing.T) {
+	cfg := Config{Q: 4, B: 8, Bsmall: 2, Banks: 16, BankCapacityBlocks: 2}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 0
+	accepted := 0
+	for i := 0; i < 5000; i++ {
+		_, err := b.Tick(TickInput{Arrival: 0, Request: cell.NoQueue})
+		switch {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrBufferFull):
+			full++
+		default:
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("bounded DRAM never backpressured")
+	}
+	if accepted != b.Len(0) {
+		t.Errorf("accepted %d != Len %d", accepted, b.Len(0))
+	}
+	// Everything accepted must still drain cleanly.
+	drained := 0
+	for i := 0; i < 50*accepted && drained < accepted; i++ {
+		in := TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+		if b.Requestable(0) > 0 {
+			in.Request = 0
+		}
+		out, err := b.Tick(in)
+		if err != nil {
+			t.Fatalf("drain slot %d: %v", i, err)
+		}
+		if out.Delivered != nil {
+			drained++
+		}
+	}
+	if drained != accepted {
+		t.Errorf("drained %d of %d accepted cells", drained, accepted)
+	}
+}
+
+// TestRenamingSpreadsSingleQueue floods one queue with renaming on and
+// a bounded DRAM: it must occupy more than one group's share.
+func TestRenamingSpreadsSingleQueue(t *testing.T) {
+	cfg := Config{
+		Q: 4, B: 8, Bsmall: 2, Banks: 16,
+		BankCapacityBlocks: 4, Renaming: true,
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 6000; i++ {
+		_, err := b.Tick(TickInput{Arrival: 0, Request: cell.NoQueue})
+		if err == nil {
+			accepted++
+		} else if !errors.Is(err, ErrBufferFull) {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	// One group holds 4 banks/group? No: B/b = 4 banks per group, 4
+	// blocks per bank -> 16 blocks = 32 cells per group. Without
+	// renaming queue 0 would cap near one group's share plus SRAM;
+	// with renaming it must exceed it clearly.
+	oneGroupCells := 4 * 4 * cfg.Bsmall
+	if accepted <= oneGroupCells {
+		t.Errorf("accepted %d cells, want > one group's %d", accepted, oneGroupCells)
+	}
+	// And drain cleanly.
+	drained := 0
+	for i := 0; i < 100*accepted && drained < accepted; i++ {
+		in := TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+		if b.Requestable(0) > 0 {
+			in.Request = 0
+		}
+		out, err := b.Tick(in)
+		if err != nil {
+			t.Fatalf("drain slot %d: %v\nstats %v", i, err, b.Stats())
+		}
+		if out.Delivered != nil {
+			drained++
+		}
+	}
+	if drained != accepted {
+		t.Errorf("drained %d of %d", drained, accepted)
+	}
+}
+
+// TestLinkedListOrgEquivalent runs the adversarial pattern on the
+// linked-list SRAM organization.
+func TestLinkedListOrgEquivalent(t *testing.T) {
+	b, err := New(Config{Q: 4, B: 8, Bsmall: 2, Banks: 16, Org: OrgLinkedList})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, b, 160, func(i int) TickInput {
+		return TickInput{Arrival: cell.QueueID(i % 4), Request: cell.NoQueue}
+	})
+	saturate(t, b, 4, 20000,
+		func(i int) cell.QueueID { return cell.QueueID(i % 4) },
+		func(i int) cell.QueueID { return cell.QueueID(i % 4) },
+	)
+}
+
+// TestMDQFStillZeroMiss runs the MDQF baseline; with the default
+// (generous) SRAM it must also avoid misses on moderate load.
+func TestMDQFStillZeroMiss(t *testing.T) {
+	b, err := New(Config{Q: 4, B: 8, Bsmall: 2, Banks: 16, MMA: MDQF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, b, 160, func(i int) TickInput {
+		return TickInput{Arrival: cell.QueueID(i % 4), Request: cell.NoQueue}
+	})
+	saturate(t, b, 4, 15000,
+		func(i int) cell.QueueID { return cell.QueueID(i % 4) },
+		func(i int) cell.QueueID { return cell.QueueID(i % 4) },
+	)
+}
+
+// TestPermutedRequestPattern uses a rotating permutation instead of
+// strict round-robin, another §3-style adversarial shape.
+func TestPermutedRequestPattern(t *testing.T) {
+	b := smallCFDS(t)
+	perm := []cell.QueueID{2, 0, 3, 1}
+	drive(t, b, 160, func(i int) TickInput {
+		return TickInput{Arrival: cell.QueueID(i % 4), Request: cell.NoQueue}
+	})
+	saturate(t, b, 4, 20000,
+		func(i int) cell.QueueID { return cell.QueueID((i * 3) % 4) },
+		func(i int) cell.QueueID { return perm[i%4] },
+	)
+}
+
+func TestStatsString(t *testing.T) {
+	b := smallCFDS(t)
+	if _, err := b.Tick(TickInput{Arrival: 1, Request: cell.NoQueue}); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.Arrivals != 1 || !s.Clean() {
+		t.Errorf("stats = %v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

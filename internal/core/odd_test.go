@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestOddGranularity exercises a non-power-of-two geometry (B=6, b=3):
+// the DSA's half-cycle staggering must still avoid conflicts and keep
+// zero misses.
+func TestOddGranularity(t *testing.T) {
+	b, err := New(Config{Q: 4, B: 6, Bsmall: 3, Banks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backlog, then adversarial drain.
+	for i := 0; i < 240; i++ {
+		if _, err := b.Tick(TickInput{Arrival: cell.QueueID(i % 4), Request: cell.NoQueue}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30000; i++ {
+		in := TickInput{Arrival: cell.QueueID(i % 4), Request: cell.NoQueue}
+		q := cell.QueueID(i % 4)
+		if b.Requestable(q) > 0 {
+			in.Request = q
+		}
+		if _, err := b.Tick(in); err != nil {
+			t.Fatalf("slot %d: %v\nstats %v", i, err, b.Stats())
+		}
+	}
+	if !b.Stats().Clean() {
+		t.Fatalf("stats: %v", b.Stats())
+	}
+}
+
+// TestQuadIssueBudget runs with IssuesPerCycle=4 (an over-provisioned
+// DSA): still clean, and the skip bound scales with the budget.
+func TestQuadIssueBudget(t *testing.T) {
+	b, err := New(Config{Q: 8, B: 8, Bsmall: 2, Banks: 16, IssuesPerCycle: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 320; i++ {
+		if _, err := b.Tick(TickInput{Arrival: cell.QueueID(i % 8), Request: cell.NoQueue}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		in := TickInput{Arrival: cell.QueueID(i % 8), Request: cell.NoQueue}
+		q := cell.QueueID(i % 8)
+		if b.Requestable(q) > 0 {
+			in.Request = q
+		}
+		if _, err := b.Tick(in); err != nil {
+			t.Fatalf("slot %d: %v", i, err)
+		}
+	}
+	st := b.Stats()
+	if !st.Clean() {
+		t.Fatalf("stats: %v", st)
+	}
+	d := b.Config().Dimension()
+	if st.DSS.MaxSkips > 4*d.MaxSkips() {
+		t.Errorf("skips %d exceed 4·Dmax %d", st.DSS.MaxSkips, 4*d.MaxSkips())
+	}
+}

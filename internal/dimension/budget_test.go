@@ -1,0 +1,76 @@
+package dimension
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+)
+
+func TestLatencySlotsBudget(t *testing.T) {
+	c := oc3072(8, 0)
+	// β=1 must equal the paper's equation (3).
+	if got, want := c.LatencySlotsBudget(1), c.LatencySlots(); got != want {
+		t.Errorf("budget-1 latency = %d, want %d", got, want)
+	}
+	// β=2 adds one extra Dmax·b of skip delay.
+	want := c.LatencySlots() + c.MaxSkips()*c.Bsmall
+	if got := c.LatencySlotsBudget(2); got != want {
+		t.Errorf("budget-2 latency = %d, want %d", got, want)
+	}
+	// Degenerate budget clamps to 1.
+	if got := c.LatencySlotsBudget(0); got != c.LatencySlots() {
+		t.Errorf("budget-0 latency = %d", got)
+	}
+	// RADS case stays zero for any budget.
+	if got := oc3072(32, 0).LatencySlotsBudget(3); got != 0 {
+		t.Errorf("RADS budget latency = %d", got)
+	}
+}
+
+func TestLatencyBudgetMonotoneProperty(t *testing.T) {
+	f := func(qRaw uint16, bExp, beta uint8) bool {
+		q := int(qRaw)%1024 + 1
+		b := 1 << (int(bExp) % 6)
+		c := Config{Q: q, B: 32, Bsmall: b, M: 256}
+		if c.Validate() != nil {
+			return true
+		}
+		b1 := int(beta)%4 + 1
+		// Monotone in budget; always ≥ the analytic equation (3).
+		if c.LatencySlotsBudget(b1+1) < c.LatencySlotsBudget(b1) {
+			return false
+		}
+		return c.LatencySlotsBudget(b1) >= c.LatencySlots() || c.RRSize() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulingTimeOtherRates(t *testing.T) {
+	// Sanity: the OC-192 slot is 51.2 ns, so b=1 scheduling gets the
+	// full 51.2 ns (trivial), matching the paper's remark that slower
+	// rates don't need any of this machinery.
+	c := Config{Q: 16, B: 2, Bsmall: 1, M: 2, Lookahead: 0}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SchedulingTimeNS(cell.OC192); got != 51.2 {
+		t.Errorf("sched time = %v", got)
+	}
+}
+
+func TestTotalSRAMBytes(t *testing.T) {
+	c := oc3072(4, FullLookahead(512, 4))
+	want := (c.HeadSRAMSize() + c.TailSRAMSize()) * cell.Size
+	if got := c.TotalSRAMBytes(); got != want {
+		t.Errorf("TotalSRAMBytes = %d, want %d", got, want)
+	}
+}
+
+func TestErrInfeasibleExists(t *testing.T) {
+	if ErrInfeasible == nil {
+		t.Fatal("ErrInfeasible must be defined for search helpers")
+	}
+}

@@ -1,0 +1,95 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cell"
+)
+
+// Address is the decoded form of the Figure 6 mapping function. The
+// memory address of block ordinal k of physical queue p has the
+// low-order log2(b·64) bits zero (block alignment), a queue field and
+// an ordinal field; the group index comes from the low-order bits of
+// the queue field and the bank index within the group from the
+// low-order bits of the ordinal field.
+type Address struct {
+	// Queue is the physical queue field.
+	Queue cell.PhysQueueID
+	// Ordinal is the block's position within the queue (k).
+	Ordinal uint64
+	// Group is the bank group index: low log2(G) bits of Queue.
+	Group int
+	// BankInGroup is the bank index within the group: low log2(B/b)
+	// bits of Ordinal.
+	BankInGroup int
+	// Bank is the flat bank identifier.
+	Bank BankID
+}
+
+// Mapper computes Figure 6 addresses for a given geometry. Geometry
+// dimensions must be powers of two, matching the bit-field
+// decomposition in the figure.
+type Mapper struct {
+	groups        int
+	banksPerGroup int
+	blockCells    int
+	queueBits     uint
+	ordinalBits   uint
+}
+
+// NewMapper builds a Mapper for G groups of B/b banks with b-cell
+// blocks, supporting queueSpace physical queues and ordinalSpace block
+// ordinals per queue. All arguments must be powers of two.
+func NewMapper(groups, banksPerGroup, blockCells, queueSpace, ordinalSpace int) (*Mapper, error) {
+	for name, v := range map[string]int{
+		"groups": groups, "banksPerGroup": banksPerGroup, "blockCells": blockCells,
+		"queueSpace": queueSpace, "ordinalSpace": ordinalSpace,
+	} {
+		if v <= 0 || v&(v-1) != 0 {
+			return nil, fmt.Errorf("dram: %s must be a positive power of two, got %d", name, v)
+		}
+	}
+	if groups > queueSpace {
+		return nil, fmt.Errorf("dram: groups=%d exceeds queue space %d", groups, queueSpace)
+	}
+	if banksPerGroup > ordinalSpace {
+		return nil, fmt.Errorf("dram: banksPerGroup=%d exceeds ordinal space %d", banksPerGroup, ordinalSpace)
+	}
+	return &Mapper{
+		groups:        groups,
+		banksPerGroup: banksPerGroup,
+		blockCells:    blockCells,
+		queueBits:     uint(bits.TrailingZeros(uint(queueSpace))),
+		ordinalBits:   uint(bits.TrailingZeros(uint(ordinalSpace))),
+	}, nil
+}
+
+// Map decodes the address of block ordinal k of queue p.
+func (m *Mapper) Map(p cell.PhysQueueID, ordinal uint64) Address {
+	g := int(uint(p) & uint(m.groups-1))
+	bi := int(ordinal & uint64(m.banksPerGroup-1))
+	return Address{
+		Queue:       p,
+		Ordinal:     ordinal,
+		Group:       g,
+		BankInGroup: bi,
+		Bank:        BankID(g*m.banksPerGroup + bi),
+	}
+}
+
+// Encode packs the address into the Figure 6 bit layout:
+// [queue | ordinal | log2(b·64) zero bits].
+func (m *Mapper) Encode(p cell.PhysQueueID, ordinal uint64) uint64 {
+	blockShift := uint(bits.TrailingZeros(uint(m.blockCells * cell.Size)))
+	return (uint64(p)<<m.ordinalBits | ordinal) << blockShift
+}
+
+// Decode reverses Encode.
+func (m *Mapper) Decode(addr uint64) Address {
+	blockShift := uint(bits.TrailingZeros(uint(m.blockCells * cell.Size)))
+	v := addr >> blockShift
+	ordinal := v & (1<<m.ordinalBits - 1)
+	p := cell.PhysQueueID(v >> m.ordinalBits)
+	return m.Map(p, ordinal)
+}

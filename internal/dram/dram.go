@@ -1,0 +1,394 @@
+// Package dram models the banked DRAM system of §4-§5.1: M banks
+// organized into G = M/(B/b) groups of B/b banks, block-cyclic
+// interleaving of each queue's cells across the banks of its group,
+// per-bank busy timing (the random access time), capacity accounting
+// per group, and strict conflict detection.
+//
+// Because the DRAM Scheduler Subsystem (§5.3) may reorder requests —
+// including two requests of the *same* queue — accesses are split into
+// a reservation step (performed in MMA order, which fixes the block
+// ordinal and hence the bank under the block-cyclic interleave) and an
+// issue step (performed in DSA order, addressed by ordinal). The
+// convenience wrappers BeginWrite/BeginRead combine both for in-order
+// callers such as the RADS baseline.
+//
+// The model is storage-accurate (it holds the actual cells, so tests
+// can verify end-to-end FIFO delivery) and timing-accurate at slot
+// granularity (a bank touched at slot t is busy until t+B). It does
+// not model rows, columns or refresh: the paper's guarantees are
+// expressed purely in terms of the random access time, which already
+// upper-bounds activate+precharge overheads.
+package dram
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// BankID identifies one DRAM bank, numbered group-major:
+// bank = group·(B/b) + indexWithinGroup.
+type BankID int32
+
+// NoBank is the sentinel for "no bank".
+const NoBank BankID = -1
+
+// Errors reported by the DRAM model. ErrBankConflict signals a
+// violated worst-case guarantee (the DSS must make it impossible);
+// the others signal resource exhaustion or misuse the caller handles.
+var (
+	ErrBankConflict = errors.New("dram: bank accessed within its random access time")
+	ErrGroupFull    = errors.New("dram: bank group out of capacity")
+	ErrQueueEmpty   = errors.New("dram: queue has no readable blocks in DRAM")
+	ErrBadBlockSize = errors.New("dram: block must contain exactly b cells")
+	ErrBadOrdinal   = errors.New("dram: ordinal not reserved or already used")
+)
+
+// Config parameterizes the DRAM system.
+type Config struct {
+	// Banks is M, the total number of banks.
+	Banks int
+	// BanksPerGroup is B/b, the number of banks per group (§5.1).
+	BanksPerGroup int
+	// AccessSlots is the bank random access time in slots (B): a bank
+	// touched at slot t cannot be touched again before slot t+B.
+	AccessSlots int
+	// BlockCells is b, the number of cells per block (the CFDS
+	// transfer granularity).
+	BlockCells int
+	// BankCapacityBlocks is the number of blocks each bank can store.
+	// Zero means unbounded (useful for pure-timing tests).
+	BankCapacityBlocks int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("dram: Banks must be positive, got %d", c.Banks)
+	case c.BanksPerGroup <= 0:
+		return fmt.Errorf("dram: BanksPerGroup must be positive, got %d", c.BanksPerGroup)
+	case c.Banks%c.BanksPerGroup != 0:
+		return fmt.Errorf("dram: BanksPerGroup=%d must divide Banks=%d", c.BanksPerGroup, c.Banks)
+	case c.AccessSlots <= 0:
+		return fmt.Errorf("dram: AccessSlots must be positive, got %d", c.AccessSlots)
+	case c.BlockCells <= 0:
+		return fmt.Errorf("dram: BlockCells must be positive, got %d", c.BlockCells)
+	case c.BankCapacityBlocks < 0:
+		return fmt.Errorf("dram: BankCapacityBlocks must be non-negative, got %d", c.BankCapacityBlocks)
+	}
+	return nil
+}
+
+// Groups returns G, the number of bank groups.
+func (c Config) Groups() int { return c.Banks / c.BanksPerGroup }
+
+// queueState tracks one physical queue's stored blocks plus the
+// reservation cursors. blocks holds *issued* writes, keyed by block
+// ordinal; reads remove entries. Ordinals below readReserved are
+// consumed; ordinals in [readReserved, writeReserved) are live or in
+// flight.
+type queueState struct {
+	blocks map[uint64][]cell.Cell
+	// writeReserved is the next block ordinal to assign to a write.
+	writeReserved uint64
+	// readReserved is the next block ordinal to assign to a read.
+	readReserved uint64
+	// readsDone counts issued reads, for stats.
+	readsDone uint64
+}
+
+// DRAM is the banked memory system. It is not safe for concurrent use;
+// the simulator is single-goroutine by design (see DESIGN.md §6).
+type DRAM struct {
+	cfg       Config
+	busyUntil []cell.Slot // per bank: busy while now < busyUntil
+	groupBlk  []int       // per group: blocks reserved-or-stored
+	queues    map[cell.PhysQueueID]*queueState
+
+	// accesses counts issued bank accesses, for stats.
+	accesses uint64
+	// busySlots accumulates bank-busy time (accesses × AccessSlots),
+	// for utilization reporting.
+	busySlots uint64
+}
+
+// New constructs a DRAM from cfg. It panics on invalid configuration;
+// callers are expected to Validate first (construction happens at
+// setup time, not on the datapath).
+func New(cfg Config) *DRAM {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &DRAM{
+		cfg:       cfg,
+		busyUntil: make([]cell.Slot, cfg.Banks),
+		groupBlk:  make([]int, cfg.Groups()),
+		queues:    make(map[cell.PhysQueueID]*queueState),
+	}
+}
+
+// Config returns the configuration the DRAM was built with.
+func (d *DRAM) Config() Config { return d.cfg }
+
+// Group returns the bank group a physical queue is statically assigned
+// to: the low-order bits of the queue field (Figure 6), i.e. p mod G.
+func (d *DRAM) Group(p cell.PhysQueueID) int {
+	return int(p) % d.cfg.Groups()
+}
+
+// BankFor returns the bank that block ordinal k of queue p maps to
+// under the block-cyclic interleave of Figure 6.
+func (d *DRAM) BankFor(p cell.PhysQueueID, ordinal uint64) BankID {
+	g := d.Group(p)
+	idx := int(ordinal % uint64(d.cfg.BanksPerGroup))
+	return BankID(g*d.cfg.BanksPerGroup + idx)
+}
+
+// WriteBank returns the bank the *next reserved* write block of queue
+// p will target. The DSS uses this to test requests against the ORR.
+func (d *DRAM) WriteBank(p cell.PhysQueueID) BankID {
+	return d.BankFor(p, d.queue(p).writeReserved)
+}
+
+// ReadBank returns the bank holding the next unreserved-for-read block
+// of queue p, or NoBank if no readable block remains.
+func (d *DRAM) ReadBank(p cell.PhysQueueID) BankID {
+	q := d.queue(p)
+	if q.readReserved >= q.writeReserved {
+		return NoBank
+	}
+	return d.BankFor(p, q.readReserved)
+}
+
+// BankBusy reports whether bank b is within its random access time at
+// slot now.
+func (d *DRAM) BankBusy(b BankID, now cell.Slot) bool {
+	return now < d.busyUntil[b]
+}
+
+// CanWrite reports whether queue p's group has room to reserve one
+// more block.
+func (d *DRAM) CanWrite(p cell.PhysQueueID) bool {
+	if d.cfg.BankCapacityBlocks == 0 {
+		return true
+	}
+	return d.groupBlk[d.Group(p)] < d.GroupCapacityBlocks()
+}
+
+// GroupCapacityBlocks returns the block capacity of one group.
+func (d *DRAM) GroupCapacityBlocks() int {
+	return d.cfg.BankCapacityBlocks * d.cfg.BanksPerGroup
+}
+
+// TotalCapacityBlocks returns the block capacity of the whole DRAM
+// (zero if unbounded).
+func (d *DRAM) TotalCapacityBlocks() int {
+	return d.cfg.BankCapacityBlocks * d.cfg.Banks
+}
+
+// GroupOccupancy returns the number of blocks reserved or stored in
+// group g.
+func (d *DRAM) GroupOccupancy(g int) int { return d.groupBlk[g] }
+
+// TotalOccupancyBlocks returns the number of blocks reserved or stored
+// overall.
+func (d *DRAM) TotalOccupancyBlocks() int {
+	total := 0
+	for _, n := range d.groupBlk {
+		total += n
+	}
+	return total
+}
+
+// LeastOccupiedGroup returns the group with the fewest stored blocks
+// (ties broken toward the lowest index). The renaming allocator uses
+// this to balance DRAM occupancy (§6).
+func (d *DRAM) LeastOccupiedGroup() int {
+	best, bestOcc := 0, d.groupBlk[0]
+	for g := 1; g < len(d.groupBlk); g++ {
+		if d.groupBlk[g] < bestOcc {
+			best, bestOcc = g, d.groupBlk[g]
+		}
+	}
+	return best
+}
+
+// QueueBlocks returns the number of readable blocks queue p holds
+// (reserved writes included, consumed reads excluded).
+func (d *DRAM) QueueBlocks(p cell.PhysQueueID) int {
+	q := d.queue(p)
+	return int(q.writeReserved - q.readReserved)
+}
+
+// QueueCells returns the number of readable cells queue p holds.
+func (d *DRAM) QueueCells(p cell.PhysQueueID) int {
+	return d.QueueBlocks(p) * d.cfg.BlockCells
+}
+
+// ReadableNow reports whether the next read reservation for p targets
+// a block whose write has already been issued (its cells are in the
+// array). The MMA's eligibility test uses this to avoid ordering reads
+// that would race their own data.
+func (d *DRAM) ReadableNow(p cell.PhysQueueID) bool {
+	q := d.queue(p)
+	if q.readReserved >= q.writeReserved {
+		return false
+	}
+	_, ok := q.blocks[q.readReserved]
+	return ok
+}
+
+// Accesses returns the number of bank accesses issued.
+func (d *DRAM) Accesses() uint64 { return d.accesses }
+
+// Utilization returns the fraction of aggregate bank-time spent busy
+// over the first `now` slots (1.0 = every bank always busy). It
+// quantifies how much of the raw DRAM bandwidth the scheduler
+// actually exploits — the §4 "potential of bank interleaving".
+func (d *DRAM) Utilization(now cell.Slot) float64 {
+	if now == 0 {
+		return 0
+	}
+	return float64(d.busySlots) / (float64(now) * float64(d.cfg.Banks))
+}
+
+func (d *DRAM) queue(p cell.PhysQueueID) *queueState {
+	q, ok := d.queues[p]
+	if !ok {
+		q = &queueState{blocks: make(map[uint64][]cell.Cell)}
+		d.queues[p] = q
+	}
+	return q
+}
+
+// ReserveWrite assigns the next block ordinal (and hence bank) of
+// queue p to a pending write and charges the group's capacity. The
+// reservation happens in MMA order; the issue may happen later and out
+// of order via BeginWriteAt.
+func (d *DRAM) ReserveWrite(p cell.PhysQueueID) (ordinal uint64, bank BankID, err error) {
+	if !d.CanWrite(p) {
+		return 0, NoBank, fmt.Errorf("%w: group %d", ErrGroupFull, d.Group(p))
+	}
+	q := d.queue(p)
+	ordinal = q.writeReserved
+	q.writeReserved++
+	d.groupBlk[d.Group(p)]++
+	return ordinal, d.BankFor(p, ordinal), nil
+}
+
+// BeginWriteAt issues the write of a reserved block: exactly b cells
+// stored at the given ordinal, occupying its bank for AccessSlots
+// slots starting at now.
+func (d *DRAM) BeginWriteAt(p cell.PhysQueueID, ordinal uint64, cells []cell.Cell, now cell.Slot) (BankID, error) {
+	if len(cells) != d.cfg.BlockCells {
+		return NoBank, fmt.Errorf("%w: got %d, want %d", ErrBadBlockSize, len(cells), d.cfg.BlockCells)
+	}
+	q := d.queue(p)
+	if ordinal >= q.writeReserved {
+		return NoBank, fmt.Errorf("%w: write ordinal %d not reserved (next %d)", ErrBadOrdinal, ordinal, q.writeReserved)
+	}
+	if _, dup := q.blocks[ordinal]; dup {
+		return NoBank, fmt.Errorf("%w: write ordinal %d already issued", ErrBadOrdinal, ordinal)
+	}
+	if ordinal < q.readReserved {
+		return NoBank, fmt.Errorf("%w: write ordinal %d already consumed", ErrBadOrdinal, ordinal)
+	}
+	b := d.BankFor(p, ordinal)
+	if d.BankBusy(b, now) {
+		return NoBank, fmt.Errorf("%w: bank %d busy until slot %d, write at slot %d",
+			ErrBankConflict, b, d.busyUntil[b], now)
+	}
+	stored := make([]cell.Cell, len(cells))
+	copy(stored, cells)
+	q.blocks[ordinal] = stored
+	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)
+	d.accesses++
+	d.busySlots += uint64(d.cfg.AccessSlots)
+	return b, nil
+}
+
+// BeginWrite reserves and immediately issues an in-order write (the
+// RADS path, where reservation and issue coincide).
+func (d *DRAM) BeginWrite(p cell.PhysQueueID, cells []cell.Cell, now cell.Slot) (BankID, error) {
+	if len(cells) != d.cfg.BlockCells {
+		return NoBank, fmt.Errorf("%w: got %d, want %d", ErrBadBlockSize, len(cells), d.cfg.BlockCells)
+	}
+	ordinal, _, err := d.ReserveWrite(p)
+	if err != nil {
+		return NoBank, err
+	}
+	bank, err := d.BeginWriteAt(p, ordinal, cells, now)
+	if err != nil {
+		// Roll the reservation back so the caller can retry later.
+		q := d.queue(p)
+		q.writeReserved--
+		d.groupBlk[d.Group(p)]--
+		return NoBank, err
+	}
+	return bank, nil
+}
+
+// ReserveRead assigns the next readable block ordinal of queue p to a
+// pending read. It fails if no block is readable (either the queue is
+// drained or the next block's write has not been issued yet).
+func (d *DRAM) ReserveRead(p cell.PhysQueueID) (ordinal uint64, bank BankID, err error) {
+	q := d.queue(p)
+	if q.readReserved >= q.writeReserved {
+		return 0, NoBank, fmt.Errorf("%w: physical queue %d", ErrQueueEmpty, p)
+	}
+	if _, ok := q.blocks[q.readReserved]; !ok {
+		return 0, NoBank, fmt.Errorf("%w: physical queue %d block %d write not yet issued",
+			ErrQueueEmpty, p, q.readReserved)
+	}
+	ordinal = q.readReserved
+	q.readReserved++
+	return ordinal, d.BankFor(p, ordinal), nil
+}
+
+// BeginReadAt issues a reserved read: the block at ordinal is removed
+// and its cells returned; its bank is occupied for AccessSlots slots
+// starting at now. The caller models transfer latency by delivering
+// the cells to SRAM AccessSlots later.
+func (d *DRAM) BeginReadAt(p cell.PhysQueueID, ordinal uint64, now cell.Slot) (BankID, []cell.Cell, error) {
+	q := d.queue(p)
+	if ordinal >= q.readReserved {
+		return NoBank, nil, fmt.Errorf("%w: read ordinal %d not reserved (next %d)", ErrBadOrdinal, ordinal, q.readReserved)
+	}
+	blk, ok := q.blocks[ordinal]
+	if !ok {
+		return NoBank, nil, fmt.Errorf("%w: read ordinal %d absent or already read", ErrBadOrdinal, ordinal)
+	}
+	b := d.BankFor(p, ordinal)
+	if d.BankBusy(b, now) {
+		return NoBank, nil, fmt.Errorf("%w: bank %d busy until slot %d, read at slot %d",
+			ErrBankConflict, b, d.busyUntil[b], now)
+	}
+	delete(q.blocks, ordinal)
+	q.readsDone++
+	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)
+	d.groupBlk[d.Group(p)]--
+	d.accesses++
+	d.busySlots += uint64(d.cfg.AccessSlots)
+	return b, blk, nil
+}
+
+// BeginRead reserves and immediately issues an in-order read (the RADS
+// path).
+func (d *DRAM) BeginRead(p cell.PhysQueueID, now cell.Slot) (BankID, []cell.Cell, error) {
+	q := d.queue(p)
+	if q.readReserved >= q.writeReserved {
+		return NoBank, nil, fmt.Errorf("%w: physical queue %d", ErrQueueEmpty, p)
+	}
+	ordinal, _, err := d.ReserveRead(p)
+	if err != nil {
+		return NoBank, nil, err
+	}
+	bank, cells, err := d.BeginReadAt(p, ordinal, now)
+	if err != nil {
+		q.readReserved--
+		return NoBank, nil, err
+	}
+	return bank, cells, err
+}

@@ -1,0 +1,190 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// TestOutOfOrderSameQueueAccesses exercises the DSA-driven path:
+// reservations in MMA order, issues in a different order.
+func TestOutOfOrderSameQueueAccesses(t *testing.T) {
+	d := New(testConfig()) // B/b banks per group = 4, access 8 slots
+	p := cell.PhysQueueID(1)
+
+	// Reserve three writes; banks follow the interleave 4,5,6.
+	var ords []uint64
+	var banks []BankID
+	for i := 0; i < 3; i++ {
+		o, b, err := d.ReserveWrite(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ords = append(ords, o)
+		banks = append(banks, b)
+	}
+	if banks[0] != 4 || banks[1] != 5 || banks[2] != 6 {
+		t.Fatalf("reserved banks = %v", banks)
+	}
+
+	// Issue them out of order: 2, 0, 1 — different banks, same slot
+	// window is fine.
+	for _, i := range []int{2, 0, 1} {
+		if _, err := d.BeginWriteAt(p, ords[i], mkBlock(1, uint64(2*i), 2), 0); err != nil {
+			t.Fatalf("write ordinal %d: %v", ords[i], err)
+		}
+	}
+
+	// Reads reserve in order 0,1,2 and may also issue out of order.
+	var rords []uint64
+	for i := 0; i < 3; i++ {
+		o, b, err := d.ReserveRead(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b != banks[i] {
+			t.Errorf("read %d bank = %d, want %d", i, b, banks[i])
+		}
+		rords = append(rords, o)
+	}
+	got := map[uint64][]cell.Cell{}
+	for _, i := range []int{1, 2, 0} {
+		_, cells, err := d.BeginReadAt(p, rords[i], 20)
+		if err != nil {
+			t.Fatalf("read ordinal %d: %v", rords[i], err)
+		}
+		got[rords[i]] = cells
+	}
+	// Block k carries seqs 2k, 2k+1.
+	for k := uint64(0); k < 3; k++ {
+		cells := got[k]
+		if len(cells) != 2 || cells[0].Seq != 2*k || cells[1].Seq != 2*k+1 {
+			t.Errorf("block %d cells = %v", k, cells)
+		}
+	}
+}
+
+func TestReserveReadGatesOnIssuedWrite(t *testing.T) {
+	d := New(testConfig())
+	p := cell.PhysQueueID(0)
+	o0, _, err := d.ReserveWrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, _, err := d.ReserveWrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Issue only the *second* write. The first block is still absent,
+	// so no read can be reserved (FIFO order would be violated).
+	if _, err := d.BeginWriteAt(p, o1, mkBlock(0, 2, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadableNow(p) {
+		t.Error("ReadableNow true while block 0 write unissued")
+	}
+	if _, _, err := d.ReserveRead(p); !errors.Is(err, ErrQueueEmpty) {
+		t.Errorf("ReserveRead err = %v, want ErrQueueEmpty", err)
+	}
+	if _, err := d.BeginWriteAt(p, o0, mkBlock(0, 0, 2), 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.ReadableNow(p) {
+		t.Error("ReadableNow false after both writes issued")
+	}
+	if _, _, err := d.ReserveRead(p); err != nil {
+		t.Errorf("ReserveRead after issue: %v", err)
+	}
+}
+
+func TestBeginWriteAtValidation(t *testing.T) {
+	d := New(testConfig())
+	p := cell.PhysQueueID(0)
+	// Unreserved ordinal.
+	if _, err := d.BeginWriteAt(p, 0, mkBlock(0, 0, 2), 0); !errors.Is(err, ErrBadOrdinal) {
+		t.Errorf("unreserved write err = %v", err)
+	}
+	o, _, err := d.ReserveWrite(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BeginWriteAt(p, o, mkBlock(0, 0, 3), 0); !errors.Is(err, ErrBadBlockSize) {
+		t.Errorf("bad size err = %v", err)
+	}
+	if _, err := d.BeginWriteAt(p, o, mkBlock(0, 0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate issue.
+	if _, err := d.BeginWriteAt(p, o, mkBlock(0, 0, 2), 100); !errors.Is(err, ErrBadOrdinal) {
+		t.Errorf("duplicate write err = %v", err)
+	}
+}
+
+func TestBeginReadAtValidation(t *testing.T) {
+	d := New(testConfig())
+	p := cell.PhysQueueID(0)
+	if _, err := d.BeginWrite(p, mkBlock(0, 0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Unreserved read ordinal.
+	if _, _, err := d.BeginReadAt(p, 0, 50); !errors.Is(err, ErrBadOrdinal) {
+		t.Errorf("unreserved read err = %v", err)
+	}
+	o, _, err := d.ReserveRead(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.BeginReadAt(p, o, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Double read of the same ordinal.
+	if _, _, err := d.BeginReadAt(p, o, 100); !errors.Is(err, ErrBadOrdinal) {
+		t.Errorf("double read err = %v", err)
+	}
+}
+
+func TestReserveWriteCapacity(t *testing.T) {
+	d := New(testConfig()) // 16 blocks per group
+	p := cell.PhysQueueID(0)
+	for i := 0; i < 16; i++ {
+		if _, _, err := d.ReserveWrite(p); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	if _, _, err := d.ReserveWrite(p); !errors.Is(err, ErrGroupFull) {
+		t.Errorf("over-reserve err = %v, want ErrGroupFull", err)
+	}
+	// Capacity is charged at reservation: occupancy reflects it.
+	if got := d.GroupOccupancy(0); got != 16 {
+		t.Errorf("GroupOccupancy = %d, want 16", got)
+	}
+}
+
+func TestBeginWriteRollbackOnConflict(t *testing.T) {
+	d := New(testConfig())
+	p := cell.PhysQueueID(0)
+	if _, err := d.BeginWrite(p, mkBlock(0, 0, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Force a same-bank conflict: 4 more writes cycle back to bank 0
+	// at ordinal 4. Write ordinals 1..3 at distinct banks, then the
+	// 5th write while bank 0 is still busy must fail AND roll back its
+	// reservation.
+	for i := 1; i <= 3; i++ {
+		if _, err := d.BeginWrite(p, mkBlock(0, uint64(2*i), 2), cell.Slot(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := d.GroupOccupancy(0)
+	if _, err := d.BeginWrite(p, mkBlock(0, 8, 2), 4); !errors.Is(err, ErrBankConflict) {
+		t.Fatalf("err = %v, want ErrBankConflict", err)
+	}
+	if got := d.GroupOccupancy(0); got != before {
+		t.Errorf("occupancy leaked on rollback: %d -> %d", before, got)
+	}
+	// Retry after the bank frees succeeds with the same ordinal/bank.
+	if _, err := d.BeginWrite(p, mkBlock(0, 8, 2), 8); err != nil {
+		t.Errorf("retry: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package dss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/dram"
+)
+
+// TestPropertyNoConflictingIssues: whatever the request stream, the
+// DSA never issues two requests to one bank within the access time,
+// and same-bank requests issue in age order.
+func TestPropertyNoConflictingIssues(t *testing.T) {
+	f := func(seed int64, capRaw, accessRaw uint8) bool {
+		capacity := int(capRaw)%30 + 2
+		access := int(accessRaw)%12 + 2
+		s := New(capacity)
+		rng := rand.New(rand.NewSource(seed))
+
+		type issueRec struct {
+			slot cell.Slot
+			age  cell.Slot
+		}
+		lastIssue := map[dram.BankID]issueRec{}
+		slot := cell.Slot(0)
+		for c := 0; c < 400; c++ {
+			for s.CanEnqueue() && rng.Intn(3) > 0 {
+				_ = s.Enqueue(Request{
+					Bank:     dram.BankID(rng.Intn(6)),
+					Enqueued: slot,
+				})
+			}
+			for _, r := range s.Cycle(slot, 2, access) {
+				if prev, ok := lastIssue[r.Bank]; ok {
+					if slot-prev.slot < cell.Slot(access) {
+						return false // bank conflict
+					}
+					if r.Enqueued < prev.age {
+						return false // same-bank age inversion
+					}
+				}
+				lastIssue[r.Bank] = issueRec{slot: slot, age: r.Enqueued}
+			}
+			slot += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyStatsConsistency: issued ≤ enqueued, occupancy equals
+// enqueued − issued at all times.
+func TestPropertyStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(8)
+		rng := rand.New(rand.NewSource(seed))
+		slot := cell.Slot(0)
+		for c := 0; c < 200; c++ {
+			if s.CanEnqueue() && rng.Intn(2) == 0 {
+				_ = s.Enqueue(Request{Bank: dram.BankID(rng.Intn(3)), Enqueued: slot})
+			}
+			s.Cycle(slot, 1, 4)
+			st := s.Stats()
+			if st.Issued > st.Enqueued {
+				return false
+			}
+			if int(st.Enqueued-st.Issued) != s.Len() {
+				return false
+			}
+			slot += 2
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateGuaranteesAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validation matrix skipped in -short mode")
+	}
+	rows, err := ValidateGuarantees(8, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 granularities × 2 renaming × 3 workloads.
+	if len(rows) != 18 {
+		t.Fatalf("got %d rows, want 18", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("%s b=%d renaming=%v FAILED: %v (skips %d/%d, rr %d/%d, head %d/%d, tail %d/%d)",
+				r.Name, r.Bsmall, r.Renaming, r.Stats,
+				r.Stats.DSS.MaxSkips, r.SkipBound,
+				r.Stats.DSS.MaxOccupancy, r.RRCap,
+				r.Stats.HeadHighWater, r.HeadCap,
+				r.Stats.TailHighWater, r.TailCap)
+		}
+		if r.Stats.Deliveries == 0 {
+			t.Errorf("%s b=%d: nothing delivered", r.Name, r.Bsmall)
+		}
+	}
+	s := ValidationTableString(rows)
+	if !strings.Contains(s, "rr-adversary") || !strings.Contains(s, "true") {
+		t.Error("table rendering incomplete")
+	}
+}

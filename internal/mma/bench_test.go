@@ -1,0 +1,56 @@
+package mma
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// BenchmarkLookaheadShift measures the shift-register datapath cost.
+func BenchmarkLookaheadShift(b *testing.B) {
+	l, _ := NewLookahead(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Shift(cell.PhysQueueID(i & 511))
+	}
+}
+
+// BenchmarkECQFSelect measures one ECQF scan at the paper's OC-3072
+// scale: Q=512 queues, a full pipeline of Q(b−1)+1+Λ ≈ 4.6k entries
+// (b=4). This is the operation the hardware performs every b slots.
+func BenchmarkECQFSelect(b *testing.B) {
+	const pipe = 4573
+	look, _ := NewLookahead(pipe)
+	e, _ := NewECQF(look, 4)
+	for i := 0; i < pipe; i++ {
+		look.Shift(cell.PhysQueueID(i % 512))
+	}
+	// Half-covered queues: a realistic mix of critical and covered.
+	for q := cell.PhysQueueID(0); q < 512; q += 2 {
+		e.OnReplenish(q)
+		e.OnReplenish(q)
+		e.OnReplenish(q)
+	}
+	eligible := func(cell.PhysQueueID) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := e.Select(eligible); !ok {
+			b.Fatal("nothing critical")
+		}
+	}
+}
+
+// BenchmarkMDQFSelect measures the lookahead-free baseline's scan.
+func BenchmarkMDQFSelect(b *testing.B) {
+	m, _ := NewMDQF(4)
+	for q := cell.PhysQueueID(0); q < 512; q++ {
+		m.OnRequestEnter(q)
+	}
+	eligible := func(cell.PhysQueueID) bool { return true }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Select(eligible); !ok {
+			b.Fatal("nothing in deficit")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package mma
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// HeadMMA is the interface of the head (egress-side) Memory Management
+// Algorithm: every b slots it may order one replenishment of b cells
+// from DRAM to the head SRAM.
+//
+// Implementations keep the §5.2 occupancy counters: incremented by b
+// when a replenish request is *issued* (not when it completes) and
+// decremented when a request leaves the lookahead. The counters are
+// therefore a forward-looking ledger, deliberately distinct from the
+// physical SRAM occupancy.
+type HeadMMA interface {
+	// OnRequestEnter records a scheduler request entering the pipeline.
+	OnRequestEnter(q cell.PhysQueueID)
+	// OnRequestLeave records a request leaving the lookahead (the cell
+	// is granted to the arbiter this slot).
+	OnRequestLeave(q cell.PhysQueueID)
+	// Select picks the queue to replenish, or ok=false to stay idle.
+	// eligible reports whether a queue can currently be replenished
+	// from DRAM (it has a resident block and the write path allows it).
+	Select(eligible func(cell.PhysQueueID) bool) (q cell.PhysQueueID, ok bool)
+	// OnReplenish credits the ledger with one block of b cells; the
+	// caller invokes it when the replenish request is handed to the
+	// DRAM side.
+	OnReplenish(q cell.PhysQueueID)
+	// Occupancy returns the ledger value for q (may be negative while
+	// requests outpace replenishment).
+	Occupancy(q cell.PhysQueueID) int
+}
+
+// ECQF is the Earliest Critical Queue First head MMA of §3: scan the
+// lookahead from head to tail, decrementing a scratch copy of each
+// queue's occupancy counter per request; the first queue whose scratch
+// counter goes negative is "critical" and is selected. With lookahead
+// L* = Q(b−1)+1 this minimizes SRAM to Q(b−1) cells.
+type ECQF struct {
+	b    int
+	look *Lookahead
+	occ  map[cell.PhysQueueID]int
+	// scratch is reused across Select calls to avoid per-call
+	// allocation on the hot path.
+	scratch map[cell.PhysQueueID]int
+}
+
+var _ HeadMMA = (*ECQF)(nil)
+
+// NewECQF builds an ECQF over the given lookahead with granularity b.
+func NewECQF(look *Lookahead, b int) (*ECQF, error) {
+	if look == nil {
+		return nil, fmt.Errorf("mma: ECQF needs a lookahead register")
+	}
+	if b <= 0 {
+		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
+	}
+	return &ECQF{
+		b:       b,
+		look:    look,
+		occ:     make(map[cell.PhysQueueID]int),
+		scratch: make(map[cell.PhysQueueID]int),
+	}, nil
+}
+
+// OnRequestEnter implements HeadMMA. ECQF's ledger moves on replenish
+// and leave events only; entry is a no-op but part of the interface so
+// deficit-based MMAs can observe it.
+func (e *ECQF) OnRequestEnter(cell.PhysQueueID) {}
+
+// OnRequestLeave implements HeadMMA.
+func (e *ECQF) OnRequestLeave(q cell.PhysQueueID) { e.occ[q]-- }
+
+// OnReplenish credits the ledger with one block of b cells; the caller
+// invokes it when the replenish request is handed to the DRAM side.
+func (e *ECQF) OnReplenish(q cell.PhysQueueID) { e.occ[q] += e.b }
+
+// Occupancy implements HeadMMA.
+func (e *ECQF) Occupancy(q cell.PhysQueueID) int { return e.occ[q] }
+
+// Select implements HeadMMA: the earliest critical queue, in lookahead
+// order. The scratch map holds the number of pending lookahead
+// requests seen so far per queue; queue q is critical at the request
+// that makes occ[q] − seen[q] < 0. When no queue is critical the MMA
+// idles — replenishing uncritical queues would only inflate the SRAM
+// occupancy beyond the dimensioned bound.
+func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
+	clear(e.scratch)
+	var (
+		chosen cell.PhysQueueID
+		found  bool
+	)
+	e.look.Scan(func(_ int, q cell.PhysQueueID) bool {
+		if q == cell.NoPhysQueue {
+			return true
+		}
+		e.scratch[q]++
+		if e.occ[q]-e.scratch[q] < 0 {
+			if eligible(q) {
+				chosen, found = q, true
+				return false
+			}
+			// Critical but not replenishable this cycle (e.g. its next
+			// block's write is still in flight toward DRAM): keep
+			// scanning for a later critical queue, and reset this
+			// queue's scratch so criticality re-triggers only after b
+			// more of its requests.
+			e.scratch[q] -= e.b
+		}
+		return true
+	})
+	return chosen, found
+}
+
+// MDQF is the Most Deficit Queue First baseline: it ignores the
+// lookahead contents and selects the eligible queue with the lowest
+// ledger occupancy (deepest deficit). The paper notes ([13]) that
+// MMAs without lookahead pay with a larger SRAM — the ablation bench
+// quantifies that.
+type MDQF struct {
+	b   int
+	occ map[cell.PhysQueueID]int
+	// known tracks every queue ever seen, so Select can consider
+	// queues whose requests all left the pipeline already.
+	known map[cell.PhysQueueID]struct{}
+}
+
+var _ HeadMMA = (*MDQF)(nil)
+
+// NewMDQF builds an MDQF with granularity b.
+func NewMDQF(b int) (*MDQF, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
+	}
+	return &MDQF{
+		b:     b,
+		occ:   make(map[cell.PhysQueueID]int),
+		known: make(map[cell.PhysQueueID]struct{}),
+	}, nil
+}
+
+// OnRequestEnter implements HeadMMA: MDQF reacts at entry time (it has
+// no lookahead window, so the request is "seen" immediately).
+func (m *MDQF) OnRequestEnter(q cell.PhysQueueID) {
+	m.occ[q]--
+	m.known[q] = struct{}{}
+}
+
+// OnRequestLeave implements HeadMMA (a no-op: the debit was taken at
+// entry).
+func (m *MDQF) OnRequestLeave(cell.PhysQueueID) {}
+
+// OnReplenish credits one block.
+func (m *MDQF) OnReplenish(q cell.PhysQueueID) {
+	m.occ[q] += m.b
+	m.known[q] = struct{}{}
+}
+
+// Occupancy implements HeadMMA.
+func (m *MDQF) Occupancy(q cell.PhysQueueID) int { return m.occ[q] }
+
+// Select implements HeadMMA: deepest deficit first, ties to the lowest
+// queue id for determinism. Only queues in actual deficit (occupancy
+// below zero, i.e. requests outstanding beyond replenished cells) are
+// considered; otherwise the MMA idles like ECQF does.
+func (m *MDQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
+	best, bestOcc, found := cell.NoPhysQueue, 0, false
+	for q := range m.known {
+		if m.occ[q] >= 0 || !eligible(q) {
+			continue
+		}
+		if !found || m.occ[q] < bestOcc || (m.occ[q] == bestOcc && q < best) {
+			best, bestOcc, found = q, m.occ[q], true
+		}
+	}
+	return best, found
+}

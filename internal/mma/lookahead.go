@@ -1,0 +1,80 @@
+// Package mma implements the Memory Management Algorithm subsystem of
+// §3 and §5.2: the lookahead shift register, per-queue occupancy
+// counters, the Earliest Critical Queue First (ECQF) head MMA, a
+// no-lookahead Most Deficit Queue First (MDQF) baseline, and the tail
+// MMA.
+//
+// The MMA operates on *physical* queue identifiers: the renaming layer
+// of §6 translates logical names before requests enter the lookahead,
+// and "all previous results remain the same" (§6) with physical queues
+// substituted.
+package mma
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Lookahead is the request shift register of Figure 3/Figure 5. One
+// entry enters at the tail and one leaves at the head every slot —
+// idle slots carry cell.NoPhysQueue. Its length fixes how far into the
+// future the MMA can see.
+type Lookahead struct {
+	ring  []cell.PhysQueueID
+	head  int
+	count int // number of non-idle entries, for stats
+}
+
+// NewLookahead returns a lookahead register with size slots, all idle.
+// Size must be positive (a zero-lookahead MMA simply never consults
+// it; modeling it as size 1 keeps the shift pipeline uniform).
+func NewLookahead(size int) (*Lookahead, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mma: lookahead size must be positive, got %d", size)
+	}
+	ring := make([]cell.PhysQueueID, size)
+	for i := range ring {
+		ring[i] = cell.NoPhysQueue
+	}
+	return &Lookahead{ring: ring}, nil
+}
+
+// Size returns the register length in slots.
+func (l *Lookahead) Size() int { return len(l.ring) }
+
+// Pending returns the number of non-idle requests currently held.
+func (l *Lookahead) Pending() int { return l.count }
+
+// Shift advances the register by one slot: in enters at the tail and
+// the head entry is returned. This is the only mutation — the register
+// models hardware, so it moves exactly once per slot.
+func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
+	out = l.ring[l.head]
+	l.ring[l.head] = in
+	l.head = (l.head + 1) % len(l.ring)
+	if out != cell.NoPhysQueue {
+		l.count--
+	}
+	if in != cell.NoPhysQueue {
+		l.count++
+	}
+	return out
+}
+
+// At returns the entry i positions from the head (i=0 is the next
+// request to be served).
+func (l *Lookahead) At(i int) cell.PhysQueueID {
+	return l.ring[(l.head+i)%len(l.ring)]
+}
+
+// Scan calls fn for each entry from head to tail, stopping early if fn
+// returns false. Idle entries are included (fn sees cell.NoPhysQueue)
+// so callers observe true slot distances.
+func (l *Lookahead) Scan(fn func(i int, q cell.PhysQueueID) bool) {
+	for i := 0; i < len(l.ring); i++ {
+		if !fn(i, l.At(i)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mma
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// TailMMA is the ingress-side MMA of §3: every b slots it may order a
+// transfer of b cells from the tail SRAM to DRAM, choosing "any queue
+// with an occupancy counter higher than or equal to b". With that rule
+// the tail SRAM never needs more than Q(b−1)+1 cells.
+//
+// This implementation picks the queue with the highest occupancy
+// (largest backlog first), which satisfies the rule and minimizes the
+// occupancy high-water mark; ties break toward the lowest queue id for
+// determinism.
+type TailMMA struct {
+	b   int
+	occ map[cell.QueueID]int
+}
+
+// NewTailMMA builds a tail MMA with granularity b.
+func NewTailMMA(b int) (*TailMMA, error) {
+	if b <= 0 {
+		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
+	}
+	return &TailMMA{b: b, occ: make(map[cell.QueueID]int)}, nil
+}
+
+// OnArrival records one cell arriving into the tail SRAM for queue q.
+func (t *TailMMA) OnArrival(q cell.QueueID) { t.occ[q]++ }
+
+// OnTransfer debits one block handed to the DRAM side.
+func (t *TailMMA) OnTransfer(q cell.QueueID) {
+	t.occ[q] -= t.b
+	if t.occ[q] == 0 {
+		delete(t.occ, q)
+	}
+}
+
+// OnBypass records one cell leaving the tail SRAM directly to the
+// egress (the cut-through path for queues with no DRAM backlog).
+func (t *TailMMA) OnBypass(q cell.QueueID) {
+	t.occ[q]--
+	if t.occ[q] == 0 {
+		delete(t.occ, q)
+	}
+}
+
+// Occupancy returns the tail-SRAM ledger for q.
+func (t *TailMMA) Occupancy(q cell.QueueID) int { return t.occ[q] }
+
+// Select returns the queue to write back, or ok=false if no queue has
+// accumulated a full block. eligible lets the caller veto queues whose
+// DRAM group cannot accept a write right now (the renaming layer then
+// redirects them).
+func (t *TailMMA) Select(eligible func(cell.QueueID) bool) (cell.QueueID, bool) {
+	best, bestOcc, found := cell.NoQueue, 0, false
+	for q, n := range t.occ {
+		if n < t.b || !eligible(q) {
+			continue
+		}
+		if !found || n > bestOcc || (n == bestOcc && q < best) {
+			best, bestOcc, found = q, n, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,145 @@
+// Package packet implements the cell segmentation and reassembly
+// layer of §2: "packets in the router are internally fragmented into
+// fixed-length 64 byte units that we call cells. Cells are handled as
+// independent units, although they are reassembled at the output port
+// before packet transmission."
+//
+// A Segmenter slices variable-length IP packets into cells tagged with
+// the packet's flow; a Reassembler collects in-order cells per flow
+// and emits completed packets. Because the packet buffer guarantees
+// per-VOQ FIFO delivery, reassembly needs no sequence numbers beyond a
+// per-packet cell count carried in the first cell's header — exactly
+// the discipline real line cards use.
+package packet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// CellPayload is the number of packet bytes one cell carries after
+// the internal header (flow id, cell count, length). The paper's cell
+// is 64 bytes; we model an 8-byte internal header.
+const CellPayload = cell.Size - 8
+
+// Packet is a variable-length unit entering or leaving the router.
+type Packet struct {
+	// Flow identifies the (output port, class) stream — the VOQ.
+	Flow cell.QueueID
+	// Payload is the packet body.
+	Payload []byte
+}
+
+// Errors returned by the reassembler.
+var (
+	ErrInterleaved = errors.New("packet: cells of two packets interleaved within one flow")
+	ErrOrphanCell  = errors.New("packet: continuation cell without a packet head")
+)
+
+// SegCell is one segmented unit: the cell-level identity used by the
+// buffer plus the reassembly header fields.
+type SegCell struct {
+	// Flow is the VOQ the cell travels in.
+	Flow cell.QueueID
+	// Head marks the first cell of a packet; Cells is the packet's
+	// total cell count (valid on the head cell).
+	Head  bool
+	Cells int
+	// Payload is this cell's slice of the packet body.
+	Payload []byte
+}
+
+// Segmenter slices packets into cells.
+type Segmenter struct {
+	// segmented counts cells produced, for stats.
+	segmented uint64
+}
+
+// Segment fragments p into ceil(len/CellPayload) cells (at least one:
+// zero-length packets still occupy a head cell, as on real hardware).
+func (s *Segmenter) Segment(p Packet) []SegCell {
+	n := (len(p.Payload) + CellPayload - 1) / CellPayload
+	if n == 0 {
+		n = 1
+	}
+	cells := make([]SegCell, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * CellPayload
+		hi := lo + CellPayload
+		if hi > len(p.Payload) {
+			hi = len(p.Payload)
+		}
+		cells = append(cells, SegCell{
+			Flow:    p.Flow,
+			Head:    i == 0,
+			Cells:   n,
+			Payload: p.Payload[lo:hi],
+		})
+	}
+	s.segmented += uint64(n)
+	return cells
+}
+
+// Segmented returns the number of cells produced so far.
+func (s *Segmenter) Segmented() uint64 { return s.segmented }
+
+// CellCount returns how many cells Segment would produce for a packet
+// of the given byte length.
+func CellCount(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + CellPayload - 1) / CellPayload
+}
+
+// flowState is a partially reassembled packet.
+type flowState struct {
+	want    int
+	have    int
+	payload []byte
+}
+
+// Reassembler rebuilds packets from per-flow in-order cell streams
+// (one Reassembler per output port).
+type Reassembler struct {
+	flows map[cell.QueueID]*flowState
+	done  uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{flows: make(map[cell.QueueID]*flowState)}
+}
+
+// Push accepts the next cell of a flow. It returns the completed
+// packet when the cell finishes one, or nil.
+func (r *Reassembler) Push(c SegCell) (*Packet, error) {
+	st := r.flows[c.Flow]
+	if c.Head {
+		if st != nil {
+			return nil, fmt.Errorf("%w: flow %d (packet of %d cells had %d/%d)",
+				ErrInterleaved, c.Flow, c.Cells, st.have, st.want)
+		}
+		st = &flowState{want: c.Cells}
+		r.flows[c.Flow] = st
+	} else if st == nil {
+		return nil, fmt.Errorf("%w: flow %d", ErrOrphanCell, c.Flow)
+	}
+	st.payload = append(st.payload, c.Payload...)
+	st.have++
+	if st.have < st.want {
+		return nil, nil
+	}
+	delete(r.flows, c.Flow)
+	r.done++
+	return &Packet{Flow: c.Flow, Payload: st.payload}, nil
+}
+
+// Pending returns the number of flows with a partially reassembled
+// packet.
+func (r *Reassembler) Pending() int { return len(r.flows) }
+
+// Completed returns the number of packets emitted.
+func (r *Reassembler) Completed() uint64 { return r.done }

@@ -1,0 +1,204 @@
+package packet
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+)
+
+func TestCellCount(t *testing.T) {
+	tests := []struct{ bytes, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {CellPayload, 1}, {CellPayload + 1, 2},
+		{3 * CellPayload, 3}, {1500, (1500 + CellPayload - 1) / CellPayload},
+	}
+	for _, tt := range tests {
+		if got := CellCount(tt.bytes); got != tt.want {
+			t.Errorf("CellCount(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	var s Segmenter
+	payload := make([]byte, 2*CellPayload+10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	cells := s.Segment(Packet{Flow: 7, Payload: payload})
+	if len(cells) != 3 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	if !cells[0].Head || cells[1].Head || cells[2].Head {
+		t.Error("head flags wrong")
+	}
+	if cells[0].Cells != 3 {
+		t.Errorf("Cells = %d", cells[0].Cells)
+	}
+	var joined []byte
+	for _, c := range cells {
+		if c.Flow != 7 {
+			t.Error("flow lost")
+		}
+		joined = append(joined, c.Payload...)
+	}
+	if !bytes.Equal(joined, payload) {
+		t.Error("payload mangled")
+	}
+	if s.Segmented() != 3 {
+		t.Errorf("Segmented = %d", s.Segmented())
+	}
+}
+
+func TestSegmentEmptyPacket(t *testing.T) {
+	var s Segmenter
+	cells := s.Segment(Packet{Flow: 1})
+	if len(cells) != 1 || !cells[0].Head || len(cells[0].Payload) != 0 {
+		t.Errorf("empty packet cells = %+v", cells)
+	}
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	var s Segmenter
+	r := NewReassembler()
+	payload := []byte("hello, line card — this packet spans multiple 56-byte cell payloads for sure......")
+	cells := s.Segment(Packet{Flow: 3, Payload: payload})
+	for i, c := range cells {
+		p, err := r.Push(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < len(cells)-1 && p != nil {
+			t.Fatal("completed early")
+		}
+		if i == len(cells)-1 {
+			if p == nil {
+				t.Fatal("never completed")
+			}
+			if p.Flow != 3 || !bytes.Equal(p.Payload, payload) {
+				t.Errorf("reassembled %+v", p)
+			}
+		}
+	}
+	if r.Pending() != 0 || r.Completed() != 1 {
+		t.Errorf("Pending=%d Completed=%d", r.Pending(), r.Completed())
+	}
+}
+
+func TestReassembleInterleavedFlows(t *testing.T) {
+	// Cells of different flows may interleave arbitrarily; within a
+	// flow they are in order (the buffer guarantees that).
+	var s Segmenter
+	r := NewReassembler()
+	pA := Packet{Flow: 1, Payload: bytes.Repeat([]byte{0xA}, 3*CellPayload)}
+	pB := Packet{Flow: 2, Payload: bytes.Repeat([]byte{0xB}, 2*CellPayload)}
+	ca, cb := s.Segment(pA), s.Segment(pB)
+	order := []SegCell{ca[0], cb[0], ca[1], cb[1], ca[2]}
+	var done []Packet
+	for _, c := range order {
+		p, err := r.Push(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			done = append(done, *p)
+		}
+	}
+	if len(done) != 2 || done[0].Flow != 2 || done[1].Flow != 1 {
+		t.Fatalf("completion order = %+v", done)
+	}
+	if !bytes.Equal(done[1].Payload, pA.Payload) || !bytes.Equal(done[0].Payload, pB.Payload) {
+		t.Error("payloads mangled")
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	r := NewReassembler()
+	// Continuation with no head.
+	if _, err := r.Push(SegCell{Flow: 5}); !errors.Is(err, ErrOrphanCell) {
+		t.Errorf("err = %v, want ErrOrphanCell", err)
+	}
+	// Two heads interleaved within one flow.
+	if _, err := r.Push(SegCell{Flow: 5, Head: true, Cells: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Push(SegCell{Flow: 5, Head: true, Cells: 2}); !errors.Is(err, ErrInterleaved) {
+		t.Errorf("err = %v, want ErrInterleaved", err)
+	}
+}
+
+// TestPropertySegmentReassembleIdentity: segmenting then reassembling
+// any packet mix (interleaved across flows, in-order within flows) is
+// the identity.
+func TestPropertySegmentReassembleIdentity(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var s Segmenter
+		r := NewReassembler()
+
+		// One packet per flow id (flows don't interleave packets).
+		type stream struct {
+			cells []SegCell
+			next  int
+			want  Packet
+		}
+		var streams []*stream
+		for i, size := range sizes {
+			payload := make([]byte, int(size)%2000)
+			rng.Read(payload)
+			p := Packet{Flow: cell.QueueID(i), Payload: payload}
+			streams = append(streams, &stream{cells: s.Segment(p), want: p})
+		}
+		var got []Packet
+		for remaining := true; remaining; {
+			remaining = false
+			// Random interleave: advance a random stream one cell.
+			perm := rng.Perm(len(streams))
+			advanced := false
+			for _, i := range perm {
+				st := streams[i]
+				if st.next >= len(st.cells) {
+					continue
+				}
+				remaining = true
+				if !advanced {
+					p, err := r.Push(st.cells[st.next])
+					if err != nil {
+						return false
+					}
+					st.next++
+					advanced = true
+					if p != nil {
+						got = append(got, *p)
+					}
+				}
+			}
+		}
+		if len(got) != len(streams) {
+			return false
+		}
+		byFlow := map[cell.QueueID]Packet{}
+		for _, p := range got {
+			byFlow[p.Flow] = p
+		}
+		for _, st := range streams {
+			p, ok := byFlow[st.want.Flow]
+			if !ok || !bytes.Equal(p.Payload, st.want.Payload) {
+				return false
+			}
+		}
+		return r.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package rename implements the DRAM-fragmentation remedy of §6:
+// circular renaming registers that map each logical queue Qˡ onto a
+// FIFO chain of physical queues Qᵖ, so one logical queue can spread
+// across bank groups and occupy the entire DRAM.
+//
+// Each register entry holds a physical queue name and a counter of
+// cells stored under that name (Figure 7). Writes always extend the
+// tail entry; when the tail's group runs out of DRAM, a fresh physical
+// name is allocated from the group that can "offer free DRAM space"
+// (we pick the least-occupied one). Reads always drain the head entry;
+// when its counter reaches zero the head advances and the physical
+// name returns to the free pool.
+//
+// The scheme is invisible to the MMA and DSS layers: they operate on
+// physical names only ("all previous results remain the same, although
+// QP is used instead of Q", §6).
+package rename
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Errors returned by the table.
+var (
+	ErrRegisterFull = errors.New("rename: renaming register at capacity")
+	ErrNoFreeNames  = errors.New("rename: no free physical queue names in any writable group")
+	ErrNoEntry      = errors.New("rename: logical queue has no physical mapping")
+	ErrUnderflow    = errors.New("rename: counter underflow")
+	ErrNotTail      = errors.New("rename: writes must target the tail entry")
+)
+
+// entry is one slot of a circular renaming register: the RNq field
+// (physical name) and RNc field (cell count) of Figure 7.
+type entry struct {
+	phys  cell.PhysQueueID
+	count int
+}
+
+// register is the per-logical-queue circular register. The paper's
+// hardware is a fixed-capacity ring; we model it as a bounded deque.
+type register struct {
+	entries []entry
+}
+
+// Table is the set of renaming registers plus the free pool of
+// physical queue names, partitioned by bank group (name p belongs to
+// group p mod G, matching the DRAM's static assignment).
+type Table struct {
+	groups     int
+	blockCells int
+	capacity   int // max entries per register
+	regs       map[cell.QueueID]*register
+	free       [][]cell.PhysQueueID // per group, LIFO of free names
+	inUse      map[cell.PhysQueueID]cell.QueueID
+	totalNames int
+}
+
+// New builds a Table for G groups with namesPerGroup physical names
+// each (the paper's oversubscription: P = A·Q names for Q logical
+// queues), registers bounded at registerCap entries, and blocks of
+// blockCells cells.
+func New(groups, namesPerGroup, registerCap, blockCells int) (*Table, error) {
+	switch {
+	case groups <= 0:
+		return nil, fmt.Errorf("rename: groups must be positive, got %d", groups)
+	case namesPerGroup <= 0:
+		return nil, fmt.Errorf("rename: namesPerGroup must be positive, got %d", namesPerGroup)
+	case registerCap <= 0:
+		return nil, fmt.Errorf("rename: registerCap must be positive, got %d", registerCap)
+	case blockCells <= 0:
+		return nil, fmt.Errorf("rename: blockCells must be positive, got %d", blockCells)
+	}
+	t := &Table{
+		groups:     groups,
+		blockCells: blockCells,
+		capacity:   registerCap,
+		regs:       make(map[cell.QueueID]*register),
+		free:       make([][]cell.PhysQueueID, groups),
+		inUse:      make(map[cell.PhysQueueID]cell.QueueID),
+		totalNames: groups * namesPerGroup,
+	}
+	// Name p lives in group p mod G; stack them so low names pop first.
+	for g := 0; g < groups; g++ {
+		names := make([]cell.PhysQueueID, 0, namesPerGroup)
+		for i := namesPerGroup - 1; i >= 0; i-- {
+			names = append(names, cell.PhysQueueID(i*groups+g))
+		}
+		t.free[g] = names
+	}
+	return t, nil
+}
+
+// Groups returns G.
+func (t *Table) Groups() int { return t.groups }
+
+// FreeNames returns the number of unused physical names in group g.
+func (t *Table) FreeNames(g int) int { return len(t.free[g]) }
+
+// TotalNames returns the physical name space size P.
+func (t *Table) TotalNames() int { return t.totalNames }
+
+// RegisterCap returns the per-register entry capacity.
+func (t *Table) RegisterCap() int { return t.capacity }
+
+// ReadTargetTail returns the physical name of q's tail entry (where
+// writes currently land), if any.
+func (t *Table) ReadTargetTail(q cell.QueueID) (cell.PhysQueueID, bool) {
+	r := t.regs[q]
+	if r == nil || len(r.entries) == 0 {
+		return cell.NoPhysQueue, false
+	}
+	return r.entries[len(r.entries)-1].phys, true
+}
+
+// Entries returns the number of live register entries for q.
+func (t *Table) Entries(q cell.QueueID) int {
+	if r, ok := t.regs[q]; ok {
+		return len(r.entries)
+	}
+	return 0
+}
+
+// CellsInDRAM returns the total cell count across q's entries.
+func (t *Table) CellsInDRAM(q cell.QueueID) int {
+	r, ok := t.regs[q]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, e := range r.entries {
+		total += e.count
+	}
+	return total
+}
+
+// Owner returns the logical queue using physical name p, if any.
+func (t *Table) Owner(p cell.PhysQueueID) (cell.QueueID, bool) {
+	q, ok := t.inUse[p]
+	return q, ok
+}
+
+// WriteTarget returns the physical queue the next block of q must be
+// written to, allocating a fresh name when needed. groupOK reports
+// whether a group can accept one more block (the DRAM's CanWrite);
+// groupOcc returns a group's occupancy, used to pick the least-loaded
+// group for new allocations (§6: "the assignment algorithm could
+// select a Qᵖ from the group with the least cells").
+//
+// The call is transactional: a name is allocated only when one is
+// returned, and NoteWrite must follow each successful DRAM
+// reservation.
+func (t *Table) WriteTarget(q cell.QueueID, groupOK func(g int) bool, groupOcc func(g int) int) (cell.PhysQueueID, error) {
+	r := t.regs[q]
+	if r != nil && len(r.entries) > 0 {
+		tail := r.entries[len(r.entries)-1]
+		if groupOK(int(tail.phys) % t.groups) {
+			return tail.phys, nil
+		}
+		if len(r.entries) >= t.capacity {
+			return cell.NoPhysQueue, fmt.Errorf("%w: queue %d has %d entries", ErrRegisterFull, q, len(r.entries))
+		}
+	}
+	// Allocate from the least-occupied group that has both free names
+	// and room for the block.
+	bestG := -1
+	bestOcc := 0
+	for g := 0; g < t.groups; g++ {
+		if len(t.free[g]) == 0 || !groupOK(g) {
+			continue
+		}
+		if occ := groupOcc(g); bestG < 0 || occ < bestOcc {
+			bestG, bestOcc = g, occ
+		}
+	}
+	if bestG < 0 {
+		return cell.NoPhysQueue, ErrNoFreeNames
+	}
+	names := t.free[bestG]
+	p := names[len(names)-1]
+	t.free[bestG] = names[:len(names)-1]
+	if r == nil {
+		r = &register{}
+		t.regs[q] = r
+	}
+	r.entries = append(r.entries, entry{phys: p})
+	t.inUse[p] = q
+	return p, nil
+}
+
+// NoteWrite credits one block of cells to the tail entry of q, which
+// must be the entry WriteTarget returned.
+func (t *Table) NoteWrite(q cell.QueueID, p cell.PhysQueueID) error {
+	r := t.regs[q]
+	if r == nil || len(r.entries) == 0 {
+		return fmt.Errorf("%w: queue %d", ErrNoEntry, q)
+	}
+	tail := &r.entries[len(r.entries)-1]
+	if tail.phys != p {
+		return fmt.Errorf("%w: queue %d tail is %d, got %d", ErrNotTail, q, tail.phys, p)
+	}
+	tail.count += t.blockCells
+	return nil
+}
+
+// ReadTarget returns the physical queue holding the oldest cells of q
+// (the head entry), or false if q has nothing in DRAM.
+func (t *Table) ReadTarget(q cell.QueueID) (cell.PhysQueueID, bool) {
+	r := t.regs[q]
+	if r == nil || len(r.entries) == 0 || r.entries[0].count == 0 {
+		return cell.NoPhysQueue, false
+	}
+	return r.entries[0].phys, true
+}
+
+// ConsumeCell debits one cell from the head entry of q — the §6
+// per-request translation: "each time a request for a Qˡ is issued by
+// the scheduler ... the RNc counter would be decreased". It returns
+// the physical name the request must use. When the counter reaches
+// zero the head advances and the physical name is recycled.
+func (t *Table) ConsumeCell(q cell.QueueID) (cell.PhysQueueID, error) {
+	r := t.regs[q]
+	if r == nil || len(r.entries) == 0 {
+		return cell.NoPhysQueue, fmt.Errorf("%w: queue %d", ErrNoEntry, q)
+	}
+	head := &r.entries[0]
+	if head.count < 1 {
+		return cell.NoPhysQueue, fmt.Errorf("%w: queue %d head count %d", ErrUnderflow, q, head.count)
+	}
+	p := head.phys
+	head.count--
+	if head.count == 0 {
+		t.releaseHead(q, r)
+	}
+	return p, nil
+}
+
+// releaseHead frees exhausted head entries. The tail entry is released
+// too when empty — the queue then has no DRAM presence and its next
+// write reallocates, possibly in a different group.
+func (t *Table) releaseHead(q cell.QueueID, r *register) {
+	for len(r.entries) > 0 && r.entries[0].count == 0 {
+		p := r.entries[0].phys
+		g := int(p) % t.groups
+		t.free[g] = append(t.free[g], p)
+		delete(t.inUse, p)
+		r.entries = r.entries[1:]
+	}
+	if len(r.entries) == 0 {
+		delete(t.regs, q)
+	}
+}

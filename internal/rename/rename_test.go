@@ -1,0 +1,287 @@
+package rename
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+func allOK(int) bool  { return true }
+func zeroOcc(int) int { return 0 }
+
+func TestNewValidation(t *testing.T) {
+	cases := [][4]int{{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}}
+	for _, c := range cases {
+		if _, err := New(c[0], c[1], c[2], c[3]); err == nil {
+			t.Errorf("New(%v) succeeded, want error", c)
+		}
+	}
+	tb, err := New(4, 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Groups() != 4 || tb.TotalNames() != 32 {
+		t.Errorf("Groups=%d TotalNames=%d", tb.Groups(), tb.TotalNames())
+	}
+	for g := 0; g < 4; g++ {
+		if tb.FreeNames(g) != 8 {
+			t.Errorf("FreeNames(%d) = %d", g, tb.FreeNames(g))
+		}
+	}
+}
+
+func TestNameGroupAlignment(t *testing.T) {
+	// Allocated names must belong (mod G) to the group they were
+	// allocated from, matching the DRAM's static assignment.
+	tb, _ := New(4, 4, 4, 2)
+	occ := map[int]int{}
+	for i := 0; i < 8; i++ {
+		q := cell.QueueID(i)
+		p, err := tb.WriteTarget(q, allOK, func(g int) int { return occ[g] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := int(p) % 4
+		occ[g] += 10 // make this group look loaded so spreading occurs
+		if owner, ok := tb.Owner(p); !ok || owner != q {
+			t.Errorf("Owner(%d) = %v, %v", p, owner, ok)
+		}
+	}
+	// With least-occupied allocation, the 8 queues spread 2 per group.
+	for g := 0; g < 4; g++ {
+		if tb.FreeNames(g) != 2 {
+			t.Errorf("FreeNames(%d) = %d, want 2", g, tb.FreeNames(g))
+		}
+	}
+}
+
+func TestWriteReadLifecycle(t *testing.T) {
+	tb, _ := New(2, 2, 4, 2)
+	q := cell.QueueID(7)
+
+	// No mapping yet.
+	if _, ok := tb.ReadTarget(q); ok {
+		t.Error("ReadTarget on empty queue")
+	}
+	if _, err := tb.ConsumeCell(q); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("ConsumeCell err = %v", err)
+	}
+
+	p, err := tb.WriteTarget(q, allOK, zeroOcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NoteWrite(q, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NoteWrite(q, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.CellsInDRAM(q); got != 4 {
+		t.Errorf("CellsInDRAM = %d, want 4", got)
+	}
+	rp, ok := tb.ReadTarget(q)
+	if !ok || rp != p {
+		t.Errorf("ReadTarget = %d, %v; want %d", rp, ok, p)
+	}
+	for i := 0; i < 4; i++ {
+		p2, err := tb.ConsumeCell(q)
+		if err != nil || p2 != p {
+			t.Fatalf("consume %d = %v, %v", i, p2, err)
+		}
+	}
+	// Fully drained: register entry freed, name recycled.
+	if got := tb.Entries(q); got != 0 {
+		t.Errorf("Entries = %d, want 0", got)
+	}
+	if _, ok := tb.Owner(p); ok {
+		t.Error("drained name still owned")
+	}
+	g := int(p) % 2
+	if tb.FreeNames(g) != 2 {
+		t.Errorf("FreeNames(%d) = %d, want 2", g, tb.FreeNames(g))
+	}
+}
+
+func TestSpillToSecondGroup(t *testing.T) {
+	// Group of the tail fills; the next write must allocate a second
+	// entry in another group, and reads must drain FIFO across both.
+	tb, _ := New(2, 2, 4, 2)
+	q := cell.QueueID(0)
+	occ := []int{0, 0}
+	groupOK := func(g int) bool { return occ[g] < 2 } // 2 blocks per group
+
+	p1, err := tb.WriteTarget(q, groupOK, func(g int) int { return occ[g] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := int(p1) % 2
+	for i := 0; i < 2; i++ {
+		if err := tb.NoteWrite(q, p1); err != nil {
+			t.Fatal(err)
+		}
+		occ[g1]++
+	}
+	// Group g1 now full: next target must be a new name elsewhere.
+	p2, err := tb.WriteTarget(q, groupOK, func(g int) int { return occ[g] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatal("WriteTarget reused a full group's name")
+	}
+	if int(p2)%2 == g1 {
+		t.Errorf("second name in same full group %d", g1)
+	}
+	if err := tb.NoteWrite(q, p2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Entries(q); got != 2 {
+		t.Errorf("Entries = %d, want 2", got)
+	}
+	// Reads drain p1 first (FIFO), then p2.
+	for i := 0; i < 4; i++ {
+		rp, ok := tb.ReadTarget(q)
+		if !ok || rp != p1 {
+			t.Fatalf("read %d target = %d, want %d", i, rp, p1)
+		}
+		if got, err := tb.ConsumeCell(q); err != nil || got != p1 {
+			t.Fatal(err)
+		}
+	}
+	rp, ok := tb.ReadTarget(q)
+	if !ok || rp != p2 {
+		t.Errorf("after draining p1, target = %d, want %d", rp, p2)
+	}
+	// p1's name is recycled.
+	if _, owned := tb.Owner(p1); owned {
+		t.Error("p1 still owned after drain")
+	}
+}
+
+func TestNoteWriteMustTargetTail(t *testing.T) {
+	tb, _ := New(2, 2, 4, 2)
+	q := cell.QueueID(0)
+	p, _ := tb.WriteTarget(q, allOK, zeroOcc)
+	if err := tb.NoteWrite(q, p+100); !errors.Is(err, ErrNotTail) {
+		t.Errorf("err = %v, want ErrNotTail", err)
+	}
+}
+
+func TestRegisterCapacity(t *testing.T) {
+	// registerCap 2: a queue can chain at most 2 physical names.
+	tb, _ := New(4, 4, 2, 1)
+	q := cell.QueueID(0)
+	full := map[int]bool{}
+	groupOK := func(g int) bool { return !full[g] }
+
+	p1, err := tb.WriteTarget(q, groupOK, zeroOcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NoteWrite(q, p1); err != nil {
+		t.Fatal(err)
+	}
+	full[int(p1)%4] = true
+	p2, err := tb.WriteTarget(q, groupOK, zeroOcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NoteWrite(q, p2); err != nil {
+		t.Fatal(err)
+	}
+	full[int(p2)%4] = true
+	if _, err := tb.WriteTarget(q, groupOK, zeroOcc); !errors.Is(err, ErrRegisterFull) {
+		t.Errorf("err = %v, want ErrRegisterFull", err)
+	}
+}
+
+func TestNoFreeNames(t *testing.T) {
+	tb, _ := New(1, 1, 4, 1)
+	p, err := tb.WriteTarget(0, allOK, zeroOcc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.NoteWrite(0, p); err != nil {
+		t.Fatal(err)
+	}
+	// A different logical queue wants a name; none left and queue 0's
+	// group is "full" for it.
+	if _, err := tb.WriteTarget(1, allOK, zeroOcc); !errors.Is(err, ErrNoFreeNames) {
+		t.Errorf("err = %v, want ErrNoFreeNames", err)
+	}
+	// Vetoed groups also yield ErrNoFreeNames.
+	tb2, _ := New(2, 2, 4, 1)
+	if _, err := tb2.WriteTarget(0, func(int) bool { return false }, zeroOcc); !errors.Is(err, ErrNoFreeNames) {
+		t.Errorf("err = %v, want ErrNoFreeNames", err)
+	}
+}
+
+func TestConsumeCellPastEmpty(t *testing.T) {
+	tb, _ := New(2, 2, 4, 4)
+	q := cell.QueueID(0)
+	p, _ := tb.WriteTarget(q, allOK, zeroOcc)
+	if err := tb.NoteWrite(q, p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := tb.ConsumeCell(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry drained and removed: the next consume has no entry.
+	if _, err := tb.ConsumeCell(q); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("err = %v, want ErrNoEntry", err)
+	}
+}
+
+// TestSingleQueueCanUseWholeDRAM is the §6 headline: with renaming, a
+// single logical queue spreads across all groups; without (registerCap
+// 1) it is confined to one group's capacity.
+func TestSingleQueueCanUseWholeDRAM(t *testing.T) {
+	const groups, perGroupBlocks = 4, 8
+	occ := make([]int, groups)
+	groupOK := func(g int) bool { return occ[g] < perGroupBlocks }
+	groupOcc := func(g int) int { return occ[g] }
+
+	// With renaming (ample register): all 32 blocks land.
+	tb, _ := New(groups, 4, 16, 1)
+	written := 0
+	for i := 0; i < groups*perGroupBlocks; i++ {
+		p, err := tb.WriteTarget(0, groupOK, groupOcc)
+		if err != nil {
+			break
+		}
+		if err := tb.NoteWrite(0, p); err != nil {
+			t.Fatal(err)
+		}
+		occ[int(p)%groups]++
+		written++
+	}
+	if written != groups*perGroupBlocks {
+		t.Errorf("with renaming: wrote %d blocks, want %d", written, groups*perGroupBlocks)
+	}
+
+	// Without renaming (register capacity 1 = a single static name):
+	// the queue stalls at one group's share.
+	occ2 := make([]int, groups)
+	tb2, _ := New(groups, 4, 1, 1)
+	written2 := 0
+	for i := 0; i < groups*perGroupBlocks; i++ {
+		p, err := tb2.WriteTarget(0,
+			func(g int) bool { return occ2[g] < perGroupBlocks },
+			func(g int) int { return occ2[g] })
+		if err != nil {
+			break
+		}
+		if err := tb2.NoteWrite(0, p); err != nil {
+			t.Fatal(err)
+		}
+		occ2[int(p)%groups]++
+		written2++
+	}
+	if written2 != perGroupBlocks {
+		t.Errorf("without renaming: wrote %d blocks, want %d (1/G of DRAM)", written2, perGroupBlocks)
+	}
+}

@@ -1,0 +1,333 @@
+// Package router assembles the paper's system context (Figure 1): an
+// input-queued router whose every input line card carries a VOQ packet
+// buffer (internal/core), fed by the cell segmentation layer
+// (internal/packet) and drained by an iSLIP-style request-grant-accept
+// fabric scheduler. Output ports reassemble cells into packets.
+//
+// The router is the "example application" the paper motivates — it is
+// also the harshest client of the buffer's guarantees: the fabric
+// scheduler's per-slot requests form exactly the adversarial patterns
+// (§3) the buffer must absorb, and any miss, conflict or reorder
+// surfaces as a corrupted packet at an output port.
+package router
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Config describes the router.
+type Config struct {
+	// Ports is the number of input (= output) ports.
+	Ports int
+	// Classes is the number of service classes; each input buffer
+	// holds Ports×Classes VOQs (§2: "Each logical queue corresponds to
+	// an output line interface and a class of service").
+	Classes int
+	// Buffer is the per-input packet buffer template; its Q field is
+	// overwritten with Ports×Classes.
+	Buffer core.Config
+	// SchedulerIterations is the number of iSLIP iterations per slot
+	// (≥1; more iterations converge closer to a maximal matching).
+	SchedulerIterations int
+	// IngressCap bounds each input's pre-segmentation cell backlog
+	// (0 = a generous default of 4096 cells).
+	IngressCap int
+}
+
+// Errors returned by the router.
+var (
+	ErrIngressFull = errors.New("router: ingress backlog full")
+	ErrBadPort     = errors.New("router: port out of range")
+	ErrBadFlow     = errors.New("router: packet flow out of range")
+)
+
+// Egress is one packet leaving the router.
+type Egress struct {
+	// Output is the egress port.
+	Output int
+	// Input is the port the packet entered on.
+	Input int
+	// Packet is the reassembled packet (Flow = output×classes+class,
+	// as offered).
+	Packet packet.Packet
+}
+
+// metaKey identifies one cell inside one input buffer.
+type metaKey struct {
+	voq cell.QueueID
+	seq uint64
+}
+
+// input is one ingress line card.
+type input struct {
+	buf *core.Buffer
+	seg packet.Segmenter
+	// pending serializes segmented cells onto the line (1 per slot).
+	pending []packet.SegCell
+	// arrivals counts per-VOQ cells admitted, assigning the sequence
+	// numbers the buffer will deliver back.
+	arrivals map[cell.QueueID]uint64
+	// meta recovers a delivered cell's payload and header.
+	meta map[metaKey]packet.SegCell
+}
+
+// Stats aggregates router-level counters.
+type Stats struct {
+	// OfferedPackets / DeliveredPackets count whole packets.
+	OfferedPackets, DeliveredPackets uint64
+	// SwitchedCells counts cells moved through the fabric.
+	SwitchedCells uint64
+	// Matches counts input-output matches made by the scheduler.
+	Matches uint64
+	// Slots counts Step calls.
+	Slots uint64
+}
+
+// Router is the composed system.
+type Router struct {
+	cfg     Config
+	inputs  []*input
+	reasm   []*packet.Reassembler // per output port
+	grant   []int                 // iSLIP grant pointers, per output
+	accept  []int                 // iSLIP accept pointers, per input
+	stats   Stats
+	voqs    int
+	flowMul cell.QueueID // reassembly namespace multiplier
+}
+
+// New builds a router.
+func New(cfg Config) (*Router, error) {
+	if cfg.Ports <= 0 {
+		return nil, fmt.Errorf("router: Ports must be positive, got %d", cfg.Ports)
+	}
+	if cfg.Classes <= 0 {
+		cfg.Classes = 1
+	}
+	if cfg.SchedulerIterations <= 0 {
+		cfg.SchedulerIterations = 1
+	}
+	if cfg.IngressCap <= 0 {
+		cfg.IngressCap = 4096
+	}
+	voqs := cfg.Ports * cfg.Classes
+	cfg.Buffer.Q = voqs
+
+	r := &Router{
+		cfg:     cfg,
+		grant:   make([]int, cfg.Ports),
+		accept:  make([]int, cfg.Ports),
+		voqs:    voqs,
+		flowMul: cell.QueueID(voqs),
+	}
+	for i := 0; i < cfg.Ports; i++ {
+		buf, err := core.New(cfg.Buffer)
+		if err != nil {
+			return nil, fmt.Errorf("router: input %d buffer: %w", i, err)
+		}
+		r.inputs = append(r.inputs, &input{
+			buf:      buf,
+			arrivals: make(map[cell.QueueID]uint64),
+			meta:     make(map[metaKey]packet.SegCell),
+		})
+		r.reasm = append(r.reasm, packet.NewReassembler())
+	}
+	return r, nil
+}
+
+// VOQ maps (output, class) to the logical queue id used inside each
+// input buffer.
+func (r *Router) VOQ(output, class int) cell.QueueID {
+	return cell.QueueID(output*r.cfg.Classes + class)
+}
+
+// Offer enqueues a packet at an input port. The packet's Flow must be
+// a valid VOQ id (use VOQ to build it).
+func (r *Router) Offer(port int, p packet.Packet) error {
+	if port < 0 || port >= r.cfg.Ports {
+		return fmt.Errorf("%w: %d", ErrBadPort, port)
+	}
+	if p.Flow < 0 || int(p.Flow) >= r.voqs {
+		return fmt.Errorf("%w: %d", ErrBadFlow, p.Flow)
+	}
+	in := r.inputs[port]
+	cells := in.seg.Segment(p)
+	if len(in.pending)+len(cells) > r.cfg.IngressCap {
+		return fmt.Errorf("%w: port %d", ErrIngressFull, port)
+	}
+	in.pending = append(in.pending, cells...)
+	r.stats.OfferedPackets++
+	return nil
+}
+
+// IngressBacklog returns the number of cells waiting to enter port's
+// buffer.
+func (r *Router) IngressBacklog(port int) int { return len(r.inputs[port].pending) }
+
+// BufferStats exposes an input buffer's statistics.
+func (r *Router) BufferStats(port int) core.Stats { return r.inputs[port].buf.Stats() }
+
+// Stats returns the router-level counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// schedule computes this slot's input→output matching with iterative
+// round-robin request-grant-accept (iSLIP). matched[i] = output or -1.
+func (r *Router) schedule() []int {
+	P := r.cfg.Ports
+	matchedIn := make([]int, P)  // input -> output
+	matchedOut := make([]int, P) // output -> input
+	for i := range matchedIn {
+		matchedIn[i], matchedOut[i] = -1, -1
+	}
+	for iter := 0; iter < r.cfg.SchedulerIterations; iter++ {
+		// Request: unmatched inputs request every output they can
+		// serve a cell to.
+		requests := make([][]bool, P) // [output][input]
+		any := false
+		for i, in := range r.inputs {
+			if matchedIn[i] >= 0 {
+				continue
+			}
+			for o := 0; o < P; o++ {
+				if matchedOut[o] >= 0 {
+					continue
+				}
+				if r.requestableVOQ(in, o) != cell.NoQueue {
+					if requests[o] == nil {
+						requests[o] = make([]bool, P)
+					}
+					requests[o][i] = true
+					any = true
+				}
+			}
+		}
+		if !any {
+			break
+		}
+		// Grant: each output picks the requesting input nearest its
+		// grant pointer.
+		grants := make([]int, P) // input -> granting output (last wins replaced by accept step)
+		for i := range grants {
+			grants[i] = -1
+		}
+		grantOf := make([][]int, P) // input -> outputs granting it
+		for o := 0; o < P; o++ {
+			if requests[o] == nil {
+				continue
+			}
+			for k := 0; k < P; k++ {
+				i := (r.grant[o] + k) % P
+				if requests[o][i] {
+					grantOf[i] = append(grantOf[i], o)
+					break
+				}
+			}
+		}
+		// Accept: each input picks the granting output nearest its
+		// accept pointer; pointers advance only on first-iteration
+		// accepts (the iSLIP desynchronization rule).
+		for i := 0; i < P; i++ {
+			if len(grantOf[i]) == 0 {
+				continue
+			}
+			best, bestDist := -1, P+1
+			for _, o := range grantOf[i] {
+				d := (o - r.accept[i] + P) % P
+				if d < bestDist {
+					best, bestDist = o, d
+				}
+			}
+			matchedIn[i], matchedOut[best] = best, i
+			if iter == 0 {
+				r.accept[i] = (best + 1) % P
+				r.grant[best] = (i + 1) % P
+			}
+		}
+	}
+	return matchedIn
+}
+
+// requestableVOQ returns the highest-priority class VOQ of input in
+// with a requestable cell for output o.
+func (r *Router) requestableVOQ(in *input, o int) cell.QueueID {
+	for class := 0; class < r.cfg.Classes; class++ {
+		q := cell.QueueID(o*r.cfg.Classes + class)
+		if in.buf.Requestable(q) > 0 {
+			return q
+		}
+	}
+	return cell.NoQueue
+}
+
+// Step advances the router one slot: one ingress cell per port, one
+// fabric matching, one buffer tick per port, and output reassembly.
+// It returns the packets completed this slot.
+func (r *Router) Step() ([]Egress, error) {
+	matched := r.schedule()
+	var out []Egress
+	for i, in := range r.inputs {
+		tick := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+
+		// Ingress: admit one pending cell.
+		var admitted *packet.SegCell
+		if len(in.pending) > 0 {
+			c := in.pending[0]
+			tick.Arrival = c.Flow
+			admitted = &c
+		}
+		// Fabric request for the matched output.
+		if o := matched[i]; o >= 0 {
+			if q := r.requestableVOQ(in, o); q != cell.NoQueue {
+				tick.Request = q
+				r.stats.Matches++
+			}
+		}
+
+		res, err := in.buf.Tick(tick)
+		if err != nil {
+			if errors.Is(err, core.ErrBufferFull) {
+				// Keep the cell pending; retry next slot.
+				admitted = nil
+			} else {
+				return out, fmt.Errorf("router: input %d: %w", i, err)
+			}
+		}
+		if admitted != nil {
+			seq := in.arrivals[admitted.Flow]
+			in.arrivals[admitted.Flow] = seq + 1
+			in.meta[metaKey{voq: admitted.Flow, seq: seq}] = *admitted
+			in.pending = in.pending[1:]
+		}
+
+		// Egress: a delivered cell crosses the fabric to its output.
+		if res.Delivered != nil {
+			d := *res.Delivered
+			k := metaKey{voq: d.Queue, seq: d.Seq}
+			sc, ok := in.meta[k]
+			if !ok {
+				return out, fmt.Errorf("router: input %d delivered unknown cell %v", i, d)
+			}
+			delete(in.meta, k)
+			r.stats.SwitchedCells++
+			output := int(d.Queue) / r.cfg.Classes
+			// Reassemble per (input, voq) stream so same-flow cells of
+			// different inputs never interleave.
+			sc.Flow = cell.QueueID(i)*r.flowMul + d.Queue
+			p, err := r.reasm[output].Push(sc)
+			if err != nil {
+				return out, fmt.Errorf("router: output %d: %w", output, err)
+			}
+			if p != nil {
+				p.Flow %= r.flowMul // restore the offered flow id
+				out = append(out, Egress{Output: output, Input: i, Packet: *p})
+				r.stats.DeliveredPackets++
+			}
+		}
+	}
+	r.stats.Slots++
+	return out, nil
+}

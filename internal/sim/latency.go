@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+)
+
+// LatencyStats summarizes cell sojourn times (arrival slot → delivery
+// slot). The paper's delay discussion (§7.2: "it would be desirable to
+// match the link-rate targets with the minimum look-ahead to minimize
+// the average cell delay") is about exactly this quantity.
+type LatencyStats struct {
+	// Count is the number of delivered cells measured.
+	Count uint64
+	// Min/Max/Mean are sojourn times in slots.
+	Min, Max uint64
+	Mean     float64
+	// P50, P95, P99 are percentiles in slots.
+	P50, P95, P99 uint64
+}
+
+// String implements fmt.Stringer.
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("latency(slots): n=%d min=%d p50=%d mean=%.1f p95=%d p99=%d max=%d",
+		l.Count, l.Min, l.P50, l.Mean, l.P95, l.P99, l.Max)
+}
+
+// LatencyTracker measures arrival→delivery sojourn per cell. Attach
+// it to a Runner via Observe; it keys cells by (queue, seq), which the
+// buffer guarantees unique and FIFO per queue.
+type LatencyTracker struct {
+	arrivals map[cell.QueueID]uint64 // next seq per queue
+	inFlight map[trackKey]cell.Slot
+	samples  []uint64
+}
+
+type trackKey struct {
+	q   cell.QueueID
+	seq uint64
+}
+
+// NewLatencyTracker returns an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{
+		arrivals: make(map[cell.QueueID]uint64),
+		inFlight: make(map[trackKey]cell.Slot),
+	}
+}
+
+// OnArrival records a cell entering the buffer at slot now.
+func (t *LatencyTracker) OnArrival(q cell.QueueID, now cell.Slot) {
+	seq := t.arrivals[q]
+	t.arrivals[q] = seq + 1
+	t.inFlight[trackKey{q, seq}] = now
+}
+
+// OnDeliver records a delivery and accumulates its sojourn.
+func (t *LatencyTracker) OnDeliver(c cell.Cell, now cell.Slot) {
+	k := trackKey{c.Queue, c.Seq}
+	if at, ok := t.inFlight[k]; ok {
+		t.samples = append(t.samples, uint64(now-at))
+		delete(t.inFlight, k)
+	}
+}
+
+// InFlight returns the number of cells arrived but not yet delivered.
+func (t *LatencyTracker) InFlight() int { return len(t.inFlight) }
+
+// Stats summarizes the collected samples.
+func (t *LatencyTracker) Stats() LatencyStats {
+	if len(t.samples) == 0 {
+		return LatencyStats{}
+	}
+	s := make([]uint64, len(t.samples))
+	copy(s, t.samples)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	pct := func(p float64) uint64 {
+		i := int(p * float64(len(s)-1))
+		return s[i]
+	}
+	return LatencyStats{
+		Count: uint64(len(s)),
+		Min:   s[0],
+		Max:   s[len(s)-1],
+		Mean:  sum / float64(len(s)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+	}
+}
+
+// RunWithLatency runs the Runner for the given slots while measuring
+// per-cell sojourn times. It is a convenience wrapper that installs
+// the tracker around the runner's stimulus and delivery paths.
+func (r *Runner) RunWithLatency(slots uint64) (Result, LatencyStats, error) {
+	if r.AllowDrops {
+		// A dropped arrival consumes a tracker sequence number but not
+		// a buffer one, desynchronizing the keying.
+		return Result{}, LatencyStats{}, fmt.Errorf("sim: latency measurement requires AllowDrops=false")
+	}
+	tracker := NewLatencyTracker()
+	prevDeliver := r.OnDeliver
+	buf := r.Buffer
+	arr := r.Arrivals
+	r.Arrivals = arrivalTap{inner: arr, tap: func(q cell.QueueID, now cell.Slot) {
+		if q != cell.NoQueue {
+			tracker.OnArrival(q, now)
+		}
+	}}
+	r.OnDeliver = func(c cell.Cell, bypassed bool) {
+		tracker.OnDeliver(c, buf.Now())
+		if prevDeliver != nil {
+			prevDeliver(c, bypassed)
+		}
+	}
+	defer func() {
+		r.Arrivals = arr
+		r.OnDeliver = prevDeliver
+	}()
+	res, err := r.Run(slots)
+	return res, tracker.Stats(), err
+}
+
+// arrivalTap wraps an ArrivalProcess, observing each emission.
+type arrivalTap struct {
+	inner ArrivalProcess
+	tap   func(q cell.QueueID, now cell.Slot)
+}
+
+func (a arrivalTap) Next(slot cell.Slot) cell.QueueID {
+	q := a.inner.Next(slot)
+	a.tap(q, slot)
+	return q
+}

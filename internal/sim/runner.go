@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Slots is the number of slots simulated.
+	Slots uint64
+	// Stats is the buffer's final statistics snapshot.
+	Stats core.Stats
+	// DropsAllowed reports whether ErrBufferFull was tolerated.
+	DropsAllowed bool
+}
+
+// Clean reports whether the run upheld every worst-case guarantee
+// (drops excluded when they were explicitly allowed).
+func (r Result) Clean() bool {
+	s := r.Stats
+	if r.DropsAllowed {
+		s.Drops = 0
+	}
+	return s.Clean()
+}
+
+// Runner drives a core.Buffer with an arrival process and a request
+// policy, one slot at a time.
+type Runner struct {
+	// Buffer is the system under test.
+	Buffer *core.Buffer
+	// Arrivals feeds the ingress; Requests models the fabric scheduler.
+	Arrivals ArrivalProcess
+	Requests RequestPolicy
+	// AllowDrops tolerates ErrBufferFull (bounded-DRAM experiments);
+	// any other error aborts the run.
+	AllowDrops bool
+	// OnDeliver, when set, observes every delivered cell.
+	OnDeliver func(c cell.Cell, bypassed bool)
+}
+
+// Run simulates the given number of slots.
+func (r *Runner) Run(slots uint64) (Result, error) {
+	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
+		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
+	}
+	res := Result{DropsAllowed: r.AllowDrops}
+	for s := uint64(0); s < slots; s++ {
+		in := core.TickInput{
+			Arrival: r.Arrivals.Next(r.Buffer.Now()),
+			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+		}
+		out, err := r.Buffer.Tick(in)
+		if err != nil {
+			if r.AllowDrops && errors.Is(err, core.ErrBufferFull) {
+				err = nil
+			} else {
+				res.Slots = s + 1
+				res.Stats = r.Buffer.Stats()
+				return res, fmt.Errorf("sim: slot %d: %w", s, err)
+			}
+		}
+		if out.Delivered != nil && r.OnDeliver != nil {
+			r.OnDeliver(*out.Delivered, out.Bypassed)
+		}
+	}
+	res.Slots = slots
+	res.Stats = r.Buffer.Stats()
+	return res, nil
+}
+
+// Drain keeps requesting until the buffer empties or maxSlots pass,
+// with no further arrivals. It returns the number of cells delivered.
+func (r *Runner) Drain(maxSlots uint64) (uint64, error) {
+	delivered := uint64(0)
+	for s := uint64(0); s < maxSlots; s++ {
+		in := core.TickInput{
+			Arrival: cell.NoQueue,
+			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+		}
+		out, err := r.Buffer.Tick(in)
+		if err != nil {
+			return delivered, fmt.Errorf("sim: drain slot %d: %w", s, err)
+		}
+		if out.Delivered != nil {
+			delivered++
+			if r.OnDeliver != nil {
+				r.OnDeliver(*out.Delivered, out.Bypassed)
+			}
+		}
+		if in.Request == cell.NoQueue && out.Delivered == nil {
+			// Nothing requestable and the pipeline has emptied?
+			if r.Buffer.Stats().Deliveries == r.Buffer.Stats().Requests {
+				break
+			}
+		}
+	}
+	return delivered, nil
+}

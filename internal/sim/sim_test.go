@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+)
+
+func testBuffer(t *testing.T, q int) *core.Buffer {
+	t.Helper()
+	b, err := core.New(core.Config{Q: q, B: 8, Bsmall: 2, Banks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// fixedView implements View for generator-only tests.
+type fixedView map[cell.QueueID]int
+
+func (v fixedView) Requestable(q cell.QueueID) int { return v[q] }
+func (v fixedView) Len(q cell.QueueID) int         { return v[q] }
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewUniformArrivals(0, 0.5, 1); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewUniformArrivals(4, 1.5, 1); err == nil {
+		t.Error("load>1 accepted")
+	}
+	if _, err := NewRoundRobinArrivals(0, 0.5); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewRoundRobinArrivals(4, -0.1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := NewHotspotArrivals(4, 0.5, 2, 1); err == nil {
+		t.Error("hotFrac>1 accepted")
+	}
+	if _, err := NewBurstyArrivals(4, 0.5, 3, 1); err == nil {
+		t.Error("meanOn<1 accepted")
+	}
+	if _, err := NewRoundRobinDrain(0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewUniformRequests(4, 2, 1); err == nil {
+		t.Error("rate>1 accepted")
+	}
+	if _, err := NewLongestFirst(0); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := NewPermutationDrain(nil); err == nil {
+		t.Error("empty permutation accepted")
+	}
+}
+
+func TestUniformArrivalsLoad(t *testing.T) {
+	a, err := NewUniformArrivals(8, 0.6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	const slots = 100000
+	for i := 0; i < slots; i++ {
+		if a.Next(cell.Slot(i)) != cell.NoQueue {
+			n++
+		}
+	}
+	if got := float64(n) / slots; math.Abs(got-0.6) > 0.02 {
+		t.Errorf("measured load %.3f, want 0.6", got)
+	}
+}
+
+func TestRoundRobinArrivalsDeterministic(t *testing.T) {
+	a, _ := NewRoundRobinArrivals(3, 1.0)
+	want := []cell.QueueID{0, 1, 2, 0, 1, 2}
+	for i, w := range want {
+		if got := a.Next(cell.Slot(i)); got != w {
+			t.Errorf("slot %d: %d, want %d", i, got, w)
+		}
+	}
+	// Half load: every other slot idles.
+	h, _ := NewRoundRobinArrivals(3, 0.5)
+	idle, busy := 0, 0
+	for i := 0; i < 1000; i++ {
+		if h.Next(cell.Slot(i)) == cell.NoQueue {
+			idle++
+		} else {
+			busy++
+		}
+	}
+	if busy != 500 {
+		t.Errorf("busy = %d, want 500", busy)
+	}
+	_ = idle
+}
+
+func TestHotspotSkew(t *testing.T) {
+	a, _ := NewHotspotArrivals(8, 1.0, 0.9, 7)
+	hot := 0
+	const slots = 50000
+	for i := 0; i < slots; i++ {
+		if a.Next(cell.Slot(i)) == 0 {
+			hot++
+		}
+	}
+	if got := float64(hot) / slots; math.Abs(got-0.9) > 0.02 {
+		t.Errorf("hot fraction %.3f, want 0.9", got)
+	}
+}
+
+func TestBurstyArrivalsStructure(t *testing.T) {
+	a, _ := NewBurstyArrivals(4, 10, 10, 3)
+	busy := 0
+	const slots = 100000
+	prev := cell.NoQueue
+	switches := 0
+	for i := 0; i < slots; i++ {
+		q := a.Next(cell.Slot(i))
+		if q != cell.NoQueue {
+			busy++
+			if prev != cell.NoQueue && q != prev {
+				switches++
+			}
+			prev = q
+		}
+	}
+	if got := float64(busy) / slots; math.Abs(got-0.5) > 0.05 {
+		t.Errorf("bursty load %.3f, want ≈0.5", got)
+	}
+	if switches == 0 {
+		t.Error("bursts never switched queues")
+	}
+}
+
+func TestRoundRobinDrainSkipsEmpty(t *testing.T) {
+	p, _ := NewRoundRobinDrain(4)
+	v := fixedView{1: 2, 3: 1}
+	got := []cell.QueueID{
+		p.Next(0, v), p.Next(1, v), p.Next(2, v),
+	}
+	if got[0] != 1 || got[1] != 3 || got[2] != 1 {
+		t.Errorf("drain order = %v, want [1 3 1]", got)
+	}
+	empty := fixedView{}
+	if q := p.Next(3, empty); q != cell.NoQueue {
+		t.Errorf("empty view returned %d", q)
+	}
+}
+
+func TestLongestFirst(t *testing.T) {
+	p, _ := NewLongestFirst(4)
+	if q := p.Next(0, fixedView{0: 1, 2: 5, 3: 2}); q != 2 {
+		t.Errorf("got %d, want 2", q)
+	}
+	if q := p.Next(0, fixedView{}); q != cell.NoQueue {
+		t.Errorf("got %d, want NoQueue", q)
+	}
+}
+
+func TestPermutationDrain(t *testing.T) {
+	p, _ := NewPermutationDrain([]cell.QueueID{2, 0, 1})
+	v := fixedView{0: 5, 1: 5, 2: 5}
+	got := []cell.QueueID{p.Next(0, v), p.Next(1, v), p.Next(2, v), p.Next(3, v)}
+	want := []cell.QueueID{2, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("perm order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	r := &Runner{}
+	if _, err := r.Run(10); err == nil {
+		t.Error("empty runner ran")
+	}
+}
+
+func TestRunnerAdversarialClean(t *testing.T) {
+	b := testBuffer(t, 4)
+	arr, _ := NewRoundRobinArrivals(4, 1.0)
+	req, _ := NewRoundRobinDrain(4)
+	delivered := 0
+	r := &Runner{Buffer: b, Arrivals: arr, Requests: req,
+		OnDeliver: func(c cell.Cell, _ bool) { delivered++ }}
+	res, err := r.Run(20000)
+	if err != nil {
+		t.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	if !res.Clean() {
+		t.Fatalf("not clean: %v", res.Stats)
+	}
+	if delivered == 0 || uint64(delivered) != res.Stats.Deliveries {
+		t.Errorf("delivered %d, stats %d", delivered, res.Stats.Deliveries)
+	}
+	// Full-load arrivals with a lagging drain: deliveries should be
+	// a substantial fraction of arrivals.
+	if res.Stats.Deliveries < res.Stats.Arrivals/2 {
+		t.Errorf("only %d of %d delivered", res.Stats.Deliveries, res.Stats.Arrivals)
+	}
+}
+
+func TestRunnerAllWorkloadMatrixClean(t *testing.T) {
+	// Cross product of arrival processes and request policies on the
+	// small CFDS configuration: every combination must be invariant
+	// clean.
+	const Q = 4
+	arrivals := map[string]func() ArrivalProcess{
+		"uniform": func() ArrivalProcess { a, _ := NewUniformArrivals(Q, 0.9, 11); return a },
+		"rr":      func() ArrivalProcess { a, _ := NewRoundRobinArrivals(Q, 1.0); return a },
+		"hotspot": func() ArrivalProcess { a, _ := NewHotspotArrivals(Q, 0.95, 0.8, 5); return a },
+		"bursty":  func() ArrivalProcess { a, _ := NewBurstyArrivals(Q, 20, 4, 9); return a },
+		"single":  func() ArrivalProcess { return NewSingleQueueArrivals(1) },
+	}
+	requests := map[string]func() RequestPolicy{
+		"rrdrain": func() RequestPolicy { p, _ := NewRoundRobinDrain(Q); return p },
+		"uniform": func() RequestPolicy { p, _ := NewUniformRequests(Q, 0.95, 13); return p },
+		"longest": func() RequestPolicy { p, _ := NewLongestFirst(Q); return p },
+		"perm":    func() RequestPolicy { p, _ := NewPermutationDrain([]cell.QueueID{3, 1, 0, 2}); return p },
+	}
+	for an, af := range arrivals {
+		for rn, rf := range requests {
+			t.Run(an+"/"+rn, func(t *testing.T) {
+				r := &Runner{Buffer: testBuffer(t, Q), Arrivals: af(), Requests: rf()}
+				res, err := r.Run(8000)
+				if err != nil {
+					t.Fatalf("%v (stats %v)", err, res.Stats)
+				}
+				if !res.Clean() {
+					t.Fatalf("not clean: %v", res.Stats)
+				}
+			})
+		}
+	}
+}
+
+func TestRunnerDrain(t *testing.T) {
+	b := testBuffer(t, 4)
+	arr, _ := NewRoundRobinArrivals(4, 1.0)
+	req, _ := NewRoundRobinDrain(4)
+	r := &Runner{Buffer: b, Arrivals: arr, Requests: NewIdleRequests()}
+	if _, err := r.Run(400); err != nil {
+		t.Fatal(err)
+	}
+	r.Requests = req
+	n, err := r.Drain(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 400 {
+		t.Errorf("drained %d, want 400", n)
+	}
+	for q := cell.QueueID(0); q < 4; q++ {
+		if b.Len(q) != 0 {
+			t.Errorf("Len(%d) = %d", q, b.Len(q))
+		}
+	}
+}
+
+func TestRunnerBoundedDRAMWithDropsAllowed(t *testing.T) {
+	b, err := core.New(core.Config{Q: 4, B: 8, Bsmall: 2, Banks: 16, BankCapacityBlocks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{
+		Buffer:     b,
+		Arrivals:   NewSingleQueueArrivals(0),
+		Requests:   NewIdleRequests(),
+		AllowDrops: true,
+	}
+	res, err := r.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Drops == 0 {
+		t.Error("expected drops under bounded DRAM flood")
+	}
+	if !res.Clean() {
+		t.Errorf("drops-allowed run not clean: %v", res.Stats)
+	}
+}

@@ -1,0 +1,326 @@
+// Package sim provides workload generators and a slot-loop runner for
+// the packet buffer. The generators model the traffic classes the
+// paper's worst-case analysis must survive — most importantly the §3
+// adversarial round-robin drain ("the scheduler requests goes through
+// the queues in a round-robin manner removing one packet per queue"),
+// plus uniform, bursty on/off, hotspot and single-queue patterns for
+// the average case.
+//
+// Arrival processes and request policies are deterministic given their
+// seed, so every experiment is reproducible.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cell"
+)
+
+// View is the read-only buffer state a request policy may consult.
+// Requesting a queue with zero Requestable cells is forbidden by the
+// system model (§2), so every policy filters through this view.
+type View interface {
+	// Requestable returns how many cells of q may still be requested.
+	Requestable(q cell.QueueID) int
+	// Len returns the number of cells of q in the buffer.
+	Len(q cell.QueueID) int
+}
+
+// ArrivalProcess produces at most one arriving cell per slot.
+type ArrivalProcess interface {
+	// Next returns the queue of the cell arriving at slot, or
+	// cell.NoQueue for an idle slot.
+	Next(slot cell.Slot) cell.QueueID
+}
+
+// RequestPolicy produces at most one scheduler request per slot.
+type RequestPolicy interface {
+	// Next returns the queue to request at slot, or cell.NoQueue. The
+	// returned queue must have Requestable > 0.
+	Next(slot cell.Slot, v View) cell.QueueID
+}
+
+// ---------------------------------------------------------------- arrivals
+
+// uniformArrivals sends Bernoulli(load) arrivals to uniformly random
+// queues.
+type uniformArrivals struct {
+	q    int
+	load float64
+	rng  *rand.Rand
+}
+
+// NewUniformArrivals returns an arrival process with the given offered
+// load (cells per slot, 0..1) spread uniformly over q queues.
+func NewUniformArrivals(q int, load float64, seed int64) (ArrivalProcess, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("sim: load must be in [0,1], got %v", load)
+	}
+	return &uniformArrivals{q: q, load: load, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (u *uniformArrivals) Next(cell.Slot) cell.QueueID {
+	if u.rng.Float64() >= u.load {
+		return cell.NoQueue
+	}
+	return cell.QueueID(u.rng.Intn(u.q))
+}
+
+// roundRobinArrivals cycles deterministically over the queues at the
+// given load (every k-th slot idles to shape the rate).
+type roundRobinArrivals struct {
+	q    int
+	load float64
+	next int
+	acc  float64
+}
+
+// NewRoundRobinArrivals returns a deterministic round-robin arrival
+// process at the given load.
+func NewRoundRobinArrivals(q int, load float64) (ArrivalProcess, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("sim: load must be in [0,1], got %v", load)
+	}
+	return &roundRobinArrivals{q: q, load: load}, nil
+}
+
+func (r *roundRobinArrivals) Next(cell.Slot) cell.QueueID {
+	r.acc += r.load
+	if r.acc < 1 {
+		return cell.NoQueue
+	}
+	r.acc -= 1
+	q := cell.QueueID(r.next)
+	r.next = (r.next + 1) % r.q
+	return q
+}
+
+// hotspotArrivals sends hotFrac of the traffic to queue 0 and spreads
+// the rest uniformly.
+type hotspotArrivals struct {
+	q       int
+	load    float64
+	hotFrac float64
+	rng     *rand.Rand
+}
+
+// NewHotspotArrivals returns a skewed arrival process: fraction
+// hotFrac of cells target queue 0.
+func NewHotspotArrivals(q int, load, hotFrac float64, seed int64) (ArrivalProcess, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if load < 0 || load > 1 || hotFrac < 0 || hotFrac > 1 {
+		return nil, fmt.Errorf("sim: load/hotFrac must be in [0,1]")
+	}
+	return &hotspotArrivals{q: q, load: load, hotFrac: hotFrac, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (h *hotspotArrivals) Next(cell.Slot) cell.QueueID {
+	if h.rng.Float64() >= h.load {
+		return cell.NoQueue
+	}
+	if h.rng.Float64() < h.hotFrac || h.q == 1 {
+		return 0
+	}
+	return cell.QueueID(1 + h.rng.Intn(h.q-1))
+}
+
+// burstyArrivals is a two-state (on/off) Markov-modulated process: in
+// the on state cells arrive back-to-back to one queue; bursts switch
+// queues.
+type burstyArrivals struct {
+	q         int
+	meanOn    float64
+	meanOff   float64
+	rng       *rand.Rand
+	on        bool
+	current   cell.QueueID
+	remaining int
+}
+
+// NewBurstyArrivals returns an on/off burst process with geometric
+// burst and gap lengths (means meanOn and meanOff slots). The offered
+// load is meanOn/(meanOn+meanOff).
+func NewBurstyArrivals(q int, meanOn, meanOff float64, seed int64) (ArrivalProcess, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if meanOn < 1 || meanOff < 0 {
+		return nil, fmt.Errorf("sim: meanOn must be ≥1 and meanOff ≥0")
+	}
+	return &burstyArrivals{q: q, meanOn: meanOn, meanOff: meanOff, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (b *burstyArrivals) geometric(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	n := 1
+	for b.rng.Float64() < (mean-1)/mean {
+		n++
+	}
+	return n
+}
+
+func (b *burstyArrivals) Next(cell.Slot) cell.QueueID {
+	for b.remaining == 0 {
+		b.on = !b.on
+		if b.on {
+			b.current = cell.QueueID(b.rng.Intn(b.q))
+			b.remaining = b.geometric(b.meanOn)
+		} else {
+			b.remaining = b.geometric(b.meanOff)
+		}
+	}
+	b.remaining--
+	if !b.on {
+		return cell.NoQueue
+	}
+	return b.current
+}
+
+// singleQueueArrivals floods one queue at full rate.
+type singleQueueArrivals struct{ q cell.QueueID }
+
+// NewSingleQueueArrivals floods queue q with one cell per slot.
+func NewSingleQueueArrivals(q cell.QueueID) ArrivalProcess {
+	return singleQueueArrivals{q: q}
+}
+
+func (s singleQueueArrivals) Next(cell.Slot) cell.QueueID { return s.q }
+
+// ---------------------------------------------------------------- requests
+
+// roundRobinDrain is the paper's adversarial pattern: one cell per
+// queue, cycling, skipping queues with nothing requestable.
+type roundRobinDrain struct {
+	q    int
+	next int
+}
+
+// NewRoundRobinDrain returns the §3 adversarial request policy.
+func NewRoundRobinDrain(q int) (RequestPolicy, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	return &roundRobinDrain{q: q}, nil
+}
+
+func (r *roundRobinDrain) Next(_ cell.Slot, v View) cell.QueueID {
+	for i := 0; i < r.q; i++ {
+		q := cell.QueueID((r.next + i) % r.q)
+		if v.Requestable(q) > 0 {
+			r.next = (int(q) + 1) % r.q
+			return q
+		}
+	}
+	return cell.NoQueue
+}
+
+// uniformRequests requests uniformly random non-empty queues at the
+// given rate.
+type uniformRequests struct {
+	q    int
+	rate float64
+	rng  *rand.Rand
+}
+
+// NewUniformRequests returns a random request policy issuing requests
+// at the given rate.
+func NewUniformRequests(q int, rate float64, seed int64) (RequestPolicy, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("sim: rate must be in [0,1], got %v", rate)
+	}
+	return &uniformRequests{q: q, rate: rate, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (u *uniformRequests) Next(_ cell.Slot, v View) cell.QueueID {
+	if u.rng.Float64() >= u.rate {
+		return cell.NoQueue
+	}
+	// Try a few random probes, then fall back to a scan.
+	for i := 0; i < 4; i++ {
+		q := cell.QueueID(u.rng.Intn(u.q))
+		if v.Requestable(q) > 0 {
+			return q
+		}
+	}
+	start := u.rng.Intn(u.q)
+	for i := 0; i < u.q; i++ {
+		q := cell.QueueID((start + i) % u.q)
+		if v.Requestable(q) > 0 {
+			return q
+		}
+	}
+	return cell.NoQueue
+}
+
+// longestFirst always drains the longest queue — the opposite extreme
+// of round-robin.
+type longestFirst struct{ q int }
+
+// NewLongestFirst returns a policy that requests the queue with the
+// most requestable cells.
+func NewLongestFirst(q int) (RequestPolicy, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	return &longestFirst{q: q}, nil
+}
+
+func (l *longestFirst) Next(_ cell.Slot, v View) cell.QueueID {
+	best, bestN := cell.NoQueue, 0
+	for q := 0; q < l.q; q++ {
+		if n := v.Requestable(cell.QueueID(q)); n > bestN {
+			best, bestN = cell.QueueID(q), n
+		}
+	}
+	return best
+}
+
+// permutationDrain walks a fixed permutation, one cell per visit — a
+// rotated variant of the adversarial pattern.
+type permutationDrain struct {
+	perm []cell.QueueID
+	pos  int
+}
+
+// NewPermutationDrain cycles over the given queue permutation.
+func NewPermutationDrain(perm []cell.QueueID) (RequestPolicy, error) {
+	if len(perm) == 0 {
+		return nil, fmt.Errorf("sim: permutation must be non-empty")
+	}
+	p := make([]cell.QueueID, len(perm))
+	copy(p, perm)
+	return &permutationDrain{perm: p}, nil
+}
+
+func (p *permutationDrain) Next(_ cell.Slot, v View) cell.QueueID {
+	for i := 0; i < len(p.perm); i++ {
+		q := p.perm[(p.pos+i)%len(p.perm)]
+		if v.Requestable(q) > 0 {
+			p.pos = (p.pos + i + 1) % len(p.perm)
+			return q
+		}
+	}
+	return cell.NoQueue
+}
+
+// idleRequests never requests (fill-only phases).
+type idleRequests struct{}
+
+// NewIdleRequests returns a policy that never issues requests.
+func NewIdleRequests() RequestPolicy { return idleRequests{} }
+
+func (idleRequests) Next(cell.Slot, View) cell.QueueID { return cell.NoQueue }

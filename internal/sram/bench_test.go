@@ -1,0 +1,49 @@
+package sram
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// benchStore measures steady-state insert+pop cost per cell.
+func benchStore(b *testing.B, s Store) {
+	b.Helper()
+	const queues = 64
+	pos := make([]uint64, queues)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := cell.PhysQueueID(i % queues)
+		p := pos[q]
+		pos[q]++
+		if err := s.Insert(q, p, cell.Cell{Queue: cell.QueueID(q), Seq: p}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Pop(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStoreCAM measures the global CAM organization.
+func BenchmarkStoreCAM(b *testing.B) {
+	benchStore(b, NewCAM(1<<16))
+}
+
+// BenchmarkStoreLinkedList measures the unified linked list.
+func BenchmarkStoreLinkedList(b *testing.B) {
+	ls, err := NewList(1<<16, 4, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchStore(b, ls)
+}
+
+// BenchmarkStorePartitioned measures the distributed organization.
+func BenchmarkStorePartitioned(b *testing.B) {
+	ps, err := NewPartitioned(64, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchStore(b, ps)
+}

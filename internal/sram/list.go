@@ -1,0 +1,195 @@
+package sram
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// nilIdx marks an empty slab pointer.
+const nilIdx int32 = -1
+
+// entry is one slot of the unified linked-list slab: a cell plus the
+// pointer field to the next entry of the same sublist.
+type entry struct {
+	c    cell.Cell
+	pos  uint64
+	next int32
+}
+
+// listQueue is the per-queue bookkeeping of the linked-list
+// organization: head/tail pointers for each of the B/b bank sublists
+// plus the global pop cursor.
+type listQueue struct {
+	head, tail []int32
+	count      int
+	nextPop    uint64
+	// lastPos[i] tracks the highest position inserted into sublist i,
+	// to enforce the §8.2 in-order-per-bank discipline.
+	lastPos []uint64
+	// seeded[i] records whether sublist i has received any cell yet.
+	seeded []bool
+}
+
+// ListStore is the unified linked-list organization (§7.1): a
+// direct-mapped slab where each entry holds one cell and a pointer to
+// the next, plus a head/tail pointer table per list. For CFDS the
+// store keeps Q·(B/b) sublists — one per (queue, bank-of-group) — so
+// that out-of-order block delivery across banks never requires
+// mid-list insertion (§8.2 item ii): within one bank, operations are
+// strictly ordered, so each sublist grows FIFO.
+type ListStore struct {
+	slab      []entry
+	freeHead  int32
+	queues    map[cell.PhysQueueID]*listQueue
+	sublists  int
+	blockCell int
+	total     int
+	highWater int
+}
+
+var _ Store = (*ListStore)(nil)
+
+// NewList returns a ListStore with the given capacity in cells,
+// blockCells = b (cells per block) and sublists = B/b (banks per
+// group). capacity must be positive: a linked list is a physical slab.
+func NewList(capacity, blockCells, sublists int) (*ListStore, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sram: list capacity must be positive, got %d", capacity)
+	}
+	if blockCells <= 0 {
+		return nil, fmt.Errorf("sram: blockCells must be positive, got %d", blockCells)
+	}
+	if sublists <= 0 {
+		return nil, fmt.Errorf("sram: sublists must be positive, got %d", sublists)
+	}
+	s := &ListStore{
+		slab:      make([]entry, capacity),
+		queues:    make(map[cell.PhysQueueID]*listQueue),
+		sublists:  sublists,
+		blockCell: blockCells,
+	}
+	// Thread the free list through the slab.
+	for i := range s.slab {
+		s.slab[i].next = int32(i + 1)
+	}
+	s.slab[capacity-1].next = nilIdx
+	s.freeHead = 0
+	return s, nil
+}
+
+func (s *ListStore) queue(q cell.PhysQueueID) *listQueue {
+	st, ok := s.queues[q]
+	if !ok {
+		st = &listQueue{
+			head:    make([]int32, s.sublists),
+			tail:    make([]int32, s.sublists),
+			lastPos: make([]uint64, s.sublists),
+			seeded:  make([]bool, s.sublists),
+		}
+		for i := range st.head {
+			st.head[i], st.tail[i] = nilIdx, nilIdx
+		}
+		s.queues[q] = st
+	}
+	return st
+}
+
+// sublistFor returns the sublist index for stream position pos: block
+// ordinal mod (B/b), mirroring the block-cyclic bank interleave.
+func (s *ListStore) sublistFor(pos uint64) int {
+	return int((pos / uint64(s.blockCell)) % uint64(s.sublists))
+}
+
+// Insert implements Store. Within one sublist, positions must arrive
+// in increasing order (the bank FIFO discipline); violating that
+// returns ErrOrder.
+func (s *ListStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
+	if s.freeHead == nilIdx {
+		return fmt.Errorf("%w: capacity %d", ErrFull, len(s.slab))
+	}
+	st := s.queue(q)
+	if pos < st.nextPop {
+		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
+	}
+	li := s.sublistFor(pos)
+	if st.seeded[li] && pos <= st.lastPos[li] {
+		if pos == st.lastPos[li] {
+			return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
+		}
+		return fmt.Errorf("%w: queue %d pos %d after %d in sublist %d",
+			ErrOrder, q, pos, st.lastPos[li], li)
+	}
+
+	// Take a slab entry from the free list.
+	idx := s.freeHead
+	s.freeHead = s.slab[idx].next
+	s.slab[idx] = entry{c: c, pos: pos, next: nilIdx}
+
+	if st.tail[li] == nilIdx {
+		st.head[li] = idx
+	} else {
+		s.slab[st.tail[li]].next = idx
+	}
+	st.tail[li] = idx
+	st.lastPos[li] = pos
+	st.seeded[li] = true
+	st.count++
+	s.total++
+	if s.total > s.highWater {
+		s.highWater = s.total
+	}
+	return nil
+}
+
+// Pop implements Store.
+func (s *ListStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
+	st := s.queue(q)
+	li := s.sublistFor(st.nextPop)
+	idx := st.head[li]
+	if idx == nilIdx || s.slab[idx].pos != st.nextPop {
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
+	}
+	c := s.slab[idx].c
+	st.head[li] = s.slab[idx].next
+	if st.head[li] == nilIdx {
+		st.tail[li] = nilIdx
+	}
+	// Return the entry to the free list.
+	s.slab[idx] = entry{next: s.freeHead}
+	s.freeHead = idx
+
+	st.nextPop++
+	st.count--
+	s.total--
+	return c, nil
+}
+
+// Peek implements Store.
+func (s *ListStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
+	st := s.queue(q)
+	li := s.sublistFor(st.nextPop)
+	idx := st.head[li]
+	if idx == nilIdx || s.slab[idx].pos != st.nextPop {
+		return cell.Cell{}, false
+	}
+	return s.slab[idx].c, true
+}
+
+// HasNext implements Store.
+func (s *ListStore) HasNext(q cell.PhysQueueID) bool {
+	_, ok := s.Peek(q)
+	return ok
+}
+
+// Len implements Store.
+func (s *ListStore) Len(q cell.PhysQueueID) int { return s.queue(q).count }
+
+// Total implements Store.
+func (s *ListStore) Total() int { return s.total }
+
+// Cap implements Store.
+func (s *ListStore) Cap() int { return len(s.slab) }
+
+// HighWater implements Store.
+func (s *ListStore) HighWater() int { return s.highWater }

@@ -1,0 +1,136 @@
+package sram
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// PartitionedStore is the distributed (isolated) SRAM organization of
+// §7.1: each queue owns a fixed circular-buffer partition of the
+// array. It is trivial to build in hardware ("simple direct-mapped
+// SRAM structures") but must provision every queue for its worst case,
+// so the total is Q × per-queue-worst-case — the motivation for the
+// shared organizations, quantified by the equivalence tests and the
+// sizing benchmark.
+//
+// Like the shared stores it supports out-of-order insertion within a
+// queue's window (the circular buffer is indexed by position, so a
+// late block simply lands at its slot).
+type PartitionedStore struct {
+	perQueue  int
+	queues    map[cell.PhysQueueID]*partition
+	total     int
+	highWater int
+	capacity  int
+}
+
+// partition is one queue's circular buffer.
+type partition struct {
+	cells   []cell.Cell
+	present []bool
+	nextPop uint64
+	count   int
+}
+
+var _ Store = (*PartitionedStore)(nil)
+
+// NewPartitioned returns a PartitionedStore with queues partitions of
+// perQueue cells each.
+func NewPartitioned(queues, perQueue int) (*PartitionedStore, error) {
+	if queues <= 0 {
+		return nil, fmt.Errorf("sram: queues must be positive, got %d", queues)
+	}
+	if perQueue <= 0 {
+		return nil, fmt.Errorf("sram: perQueue must be positive, got %d", perQueue)
+	}
+	return &PartitionedStore{
+		perQueue: perQueue,
+		queues:   make(map[cell.PhysQueueID]*partition),
+		capacity: queues * perQueue,
+	}, nil
+}
+
+func (s *PartitionedStore) queue(q cell.PhysQueueID) *partition {
+	p, ok := s.queues[q]
+	if !ok {
+		p = &partition{
+			cells:   make([]cell.Cell, s.perQueue),
+			present: make([]bool, s.perQueue),
+		}
+		s.queues[q] = p
+	}
+	return p
+}
+
+// Insert implements Store. Unlike the shared organizations, the
+// partition overflows as soon as *one queue* exceeds its share, even
+// if the rest of the array is empty — the isolation cost.
+func (s *PartitionedStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
+	p := s.queue(q)
+	if pos < p.nextPop {
+		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
+	}
+	if pos >= p.nextPop+uint64(s.perQueue) {
+		return fmt.Errorf("%w: queue %d partition of %d cells (pos %d, window starts %d)",
+			ErrFull, q, s.perQueue, pos, p.nextPop)
+	}
+	slot := int(pos % uint64(s.perQueue))
+	if p.present[slot] {
+		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
+	}
+	p.cells[slot] = c
+	p.present[slot] = true
+	p.count++
+	s.total++
+	if s.total > s.highWater {
+		s.highWater = s.total
+	}
+	return nil
+}
+
+// Pop implements Store.
+func (s *PartitionedStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
+	p := s.queue(q)
+	slot := int(p.nextPop % uint64(s.perQueue))
+	if !p.present[slot] {
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, p.nextPop)
+	}
+	c := p.cells[slot]
+	p.present[slot] = false
+	p.nextPop++
+	p.count--
+	s.total--
+	return c, nil
+}
+
+// Peek implements Store.
+func (s *PartitionedStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
+	p := s.queue(q)
+	slot := int(p.nextPop % uint64(s.perQueue))
+	if !p.present[slot] {
+		return cell.Cell{}, false
+	}
+	return p.cells[slot], true
+}
+
+// HasNext implements Store.
+func (s *PartitionedStore) HasNext(q cell.PhysQueueID) bool {
+	_, ok := s.Peek(q)
+	return ok
+}
+
+// Len implements Store.
+func (s *PartitionedStore) Len(q cell.PhysQueueID) int { return s.queue(q).count }
+
+// Total implements Store.
+func (s *PartitionedStore) Total() int { return s.total }
+
+// Cap implements Store.
+func (s *PartitionedStore) Cap() int { return s.capacity }
+
+// PerQueue returns the partition size.
+func (s *PartitionedStore) PerQueue() int { return s.perQueue }
+
+// HighWater implements Store.
+func (s *PartitionedStore) HighWater() int { return s.highWater }

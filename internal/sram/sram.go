@@ -1,0 +1,153 @@
+// Package sram implements the shared head/tail SRAM buffer
+// organizations of §7.1 and §8.2: the global CAM (targeted at
+// shortest access time) and the unified linked list (targeted at
+// minimum area, time-multiplexed).
+//
+// Both organizations store cells of many physical queues in one shared
+// memory and must support, for CFDS, *out-of-order insertion*: the
+// DRAM scheduler may deliver blocks of one queue out of their natural
+// order (§8.2). A cell's position in its queue's stream is therefore
+// an explicit insertion key (`pos`); Pop always returns the next
+// in-order cell.
+//
+// The two implementations are functionally equivalent (see the
+// equivalence property test); they differ only in the hardware cost
+// model (internal/cacti) and in the ordering discipline they require:
+// the linked list relies on per-bank FIFO delivery (§8.2 implements
+// Q·(B/b) sublists because "two operations over the same bank are
+// always performed in strict order").
+package sram
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Errors returned by the stores.
+var (
+	ErrFull      = errors.New("sram: store is full")
+	ErrDuplicate = errors.New("sram: cell position already present")
+	ErrMissing   = errors.New("sram: next in-order cell not present")
+	ErrOrder     = errors.New("sram: out-of-order insertion within a bank sublist")
+)
+
+// Store is a shared SRAM buffer holding cells of many physical queues.
+//
+// Insert adds a cell at stream position pos of queue q (pos is the
+// cell's 0-based ordinal in the queue's lifetime stream: block
+// ordinal × b + offset). Positions may arrive out of order subject to
+// the implementation's discipline. Pop removes and returns the cell at
+// the queue's next unread position; HasNext reports whether Pop would
+// succeed. Popped positions advance strictly one at a time.
+type Store interface {
+	Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error
+	Pop(q cell.PhysQueueID) (cell.Cell, error)
+	// Peek returns the next in-order cell without removing it.
+	Peek(q cell.PhysQueueID) (cell.Cell, bool)
+	// HasNext reports whether the next in-order cell of q is resident.
+	HasNext(q cell.PhysQueueID) bool
+	// Len returns the number of resident cells of q.
+	Len(q cell.PhysQueueID) int
+	// Total returns the number of resident cells across all queues.
+	Total() int
+	// Cap returns the store capacity in cells (0 = unbounded).
+	Cap() int
+	// HighWater returns the maximum Total ever observed, for
+	// validating the dimensioning formulas.
+	HighWater() int
+}
+
+// camQueue is the per-queue state of the CAM organization.
+type camQueue struct {
+	cells   map[uint64]cell.Cell
+	nextPop uint64
+}
+
+// CAMStore is the global content-addressable organization (§7.1):
+// every cell carries a tag (queue identifier and relative order); a
+// lookup searches all entries. Functionally this is an associative map
+// keyed by (queue, position). Out-of-order insertion is trivial
+// because the order is part of the tag (§8.2 item i).
+type CAMStore struct {
+	queues    map[cell.PhysQueueID]*camQueue
+	capacity  int
+	total     int
+	highWater int
+}
+
+var _ Store = (*CAMStore)(nil)
+
+// NewCAM returns a CAMStore with the given capacity in cells
+// (0 = unbounded).
+func NewCAM(capacity int) *CAMStore {
+	return &CAMStore{queues: make(map[cell.PhysQueueID]*camQueue), capacity: capacity}
+}
+
+func (s *CAMStore) queue(q cell.PhysQueueID) *camQueue {
+	st, ok := s.queues[q]
+	if !ok {
+		st = &camQueue{cells: make(map[uint64]cell.Cell)}
+		s.queues[q] = st
+	}
+	return st
+}
+
+// Insert implements Store.
+func (s *CAMStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
+	if s.capacity > 0 && s.total >= s.capacity {
+		return fmt.Errorf("%w: capacity %d", ErrFull, s.capacity)
+	}
+	st := s.queue(q)
+	if _, dup := st.cells[pos]; dup {
+		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
+	}
+	if pos < st.nextPop {
+		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
+	}
+	st.cells[pos] = c
+	s.total++
+	if s.total > s.highWater {
+		s.highWater = s.total
+	}
+	return nil
+}
+
+// Pop implements Store.
+func (s *CAMStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
+	st := s.queue(q)
+	c, ok := st.cells[st.nextPop]
+	if !ok {
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
+	}
+	delete(st.cells, st.nextPop)
+	st.nextPop++
+	s.total--
+	return c, nil
+}
+
+// Peek implements Store.
+func (s *CAMStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
+	st := s.queue(q)
+	c, ok := st.cells[st.nextPop]
+	return c, ok
+}
+
+// HasNext implements Store.
+func (s *CAMStore) HasNext(q cell.PhysQueueID) bool {
+	_, ok := s.Peek(q)
+	return ok
+}
+
+// Len implements Store.
+func (s *CAMStore) Len(q cell.PhysQueueID) int { return len(s.queue(q).cells) }
+
+// Total implements Store.
+func (s *CAMStore) Total() int { return s.total }
+
+// Cap implements Store.
+func (s *CAMStore) Cap() int { return s.capacity }
+
+// HighWater implements Store.
+func (s *CAMStore) HighWater() int { return s.highWater }

@@ -1,0 +1,334 @@
+package sram
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// newStores returns one of each organization with identical logical
+// parameters, for running the same scenario against both.
+func newStores(t *testing.T, capacity, blockCells, sublists int) []Store {
+	t.Helper()
+	ls, err := NewList(capacity, blockCells, sublists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Store{NewCAM(capacity), ls}
+}
+
+func TestInsertPopInOrder(t *testing.T) {
+	for _, s := range newStores(t, 64, 2, 4) {
+		name := storeName(s)
+		q := cell.PhysQueueID(3)
+		for pos := uint64(0); pos < 8; pos++ {
+			if err := s.Insert(q, pos, cell.Cell{Queue: 3, Seq: pos}); err != nil {
+				t.Fatalf("%s insert %d: %v", name, pos, err)
+			}
+		}
+		if got := s.Len(q); got != 8 {
+			t.Errorf("%s Len = %d, want 8", name, got)
+		}
+		for pos := uint64(0); pos < 8; pos++ {
+			if !s.HasNext(q) {
+				t.Fatalf("%s HasNext false at %d", name, pos)
+			}
+			c, err := s.Pop(q)
+			if err != nil {
+				t.Fatalf("%s pop %d: %v", name, pos, err)
+			}
+			if c.Seq != pos {
+				t.Errorf("%s pop %d got seq %d", name, pos, c.Seq)
+			}
+		}
+		if s.Total() != 0 {
+			t.Errorf("%s Total = %d after draining", name, s.Total())
+		}
+		if s.HighWater() != 8 {
+			t.Errorf("%s HighWater = %d, want 8", name, s.HighWater())
+		}
+	}
+}
+
+func storeName(s Store) string {
+	switch s.(type) {
+	case *CAMStore:
+		return "CAM"
+	case *ListStore:
+		return "List"
+	default:
+		return "?"
+	}
+}
+
+func TestOutOfOrderBlockInsert(t *testing.T) {
+	// b=2, B/b=2: blocks 0,1,2,3 map to sublists 0,1,0,1. Delivering
+	// block 1 (positions 2,3) before block 0 (positions 0,1) is legal
+	// in both organizations (different banks).
+	for _, s := range newStores(t, 64, 2, 2) {
+		name := storeName(s)
+		q := cell.PhysQueueID(0)
+		for _, pos := range []uint64{2, 3} {
+			if err := s.Insert(q, pos, cell.Cell{Seq: pos}); err != nil {
+				t.Fatalf("%s insert block1: %v", name, err)
+			}
+		}
+		if s.HasNext(q) {
+			t.Errorf("%s HasNext true before position 0 arrives", name)
+		}
+		if _, err := s.Pop(q); !errors.Is(err, ErrMissing) {
+			t.Errorf("%s pop err = %v, want ErrMissing", name, err)
+		}
+		for _, pos := range []uint64{0, 1} {
+			if err := s.Insert(q, pos, cell.Cell{Seq: pos}); err != nil {
+				t.Fatalf("%s insert block0: %v", name, err)
+			}
+		}
+		for pos := uint64(0); pos < 4; pos++ {
+			c, err := s.Pop(q)
+			if err != nil || c.Seq != pos {
+				t.Fatalf("%s pop %d = %v, %v", name, pos, c, err)
+			}
+		}
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	for _, s := range newStores(t, 4, 1, 1) {
+		name := storeName(s)
+		for pos := uint64(0); pos < 4; pos++ {
+			if err := s.Insert(0, pos, cell.Cell{Seq: pos}); err != nil {
+				t.Fatalf("%s insert %d: %v", name, pos, err)
+			}
+		}
+		if err := s.Insert(0, 4, cell.Cell{Seq: 4}); !errors.Is(err, ErrFull) {
+			t.Errorf("%s overfull insert err = %v, want ErrFull", name, err)
+		}
+		// Freeing one slot admits one more.
+		if _, err := s.Pop(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(0, 4, cell.Cell{Seq: 4}); err != nil {
+			t.Errorf("%s insert after pop: %v", name, err)
+		}
+		if got := s.Cap(); got != 4 {
+			t.Errorf("%s Cap = %d, want 4", name, got)
+		}
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	for _, s := range newStores(t, 16, 2, 2) {
+		name := storeName(s)
+		if err := s.Insert(1, 0, cell.Cell{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(1, 0, cell.Cell{}); !errors.Is(err, ErrDuplicate) {
+			t.Errorf("%s duplicate err = %v, want ErrDuplicate", name, err)
+		}
+		// Re-inserting an already-popped position is also a duplicate.
+		if err := s.Insert(1, 1, cell.Cell{Seq: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Pop(1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Insert(1, 0, cell.Cell{}); !errors.Is(err, ErrDuplicate) {
+			t.Errorf("%s popped-pos reinsert err = %v, want ErrDuplicate", name, err)
+		}
+	}
+}
+
+func TestListRejectsWithinBankDisorder(t *testing.T) {
+	// b=1, two sublists: positions 0,2,4.. in sublist 0. Inserting
+	// position 4 then position 2 violates the bank FIFO discipline.
+	ls, err := NewList(16, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Insert(0, 4, cell.Cell{Seq: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.Insert(0, 2, cell.Cell{Seq: 2}); !errors.Is(err, ErrOrder) {
+		t.Errorf("err = %v, want ErrOrder", err)
+	}
+}
+
+func TestCAMAcceptsAnyOrder(t *testing.T) {
+	// The CAM organization has no ordering discipline (§8.2 item i).
+	s := NewCAM(16)
+	for _, pos := range []uint64{4, 2, 0, 3, 1} {
+		if err := s.Insert(0, pos, cell.Cell{Seq: pos}); err != nil {
+			t.Fatalf("insert %d: %v", pos, err)
+		}
+	}
+	for want := uint64(0); want < 5; want++ {
+		c, err := s.Pop(0)
+		if err != nil || c.Seq != want {
+			t.Fatalf("pop = %v, %v; want seq %d", c, err, want)
+		}
+	}
+}
+
+func TestNewListValidation(t *testing.T) {
+	cases := [][3]int{{0, 1, 1}, {4, 0, 1}, {4, 1, 0}, {-1, 1, 1}}
+	for _, c := range cases {
+		if _, err := NewList(c[0], c[1], c[2]); err == nil {
+			t.Errorf("NewList(%v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestMultiQueueIsolation(t *testing.T) {
+	for _, s := range newStores(t, 64, 2, 2) {
+		name := storeName(s)
+		for q := cell.PhysQueueID(0); q < 4; q++ {
+			for pos := uint64(0); pos < 4; pos++ {
+				c := cell.Cell{Queue: cell.QueueID(q), Seq: pos}
+				if err := s.Insert(q, pos, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if got := s.Total(); got != 16 {
+			t.Errorf("%s Total = %d, want 16", name, got)
+		}
+		// Draining one queue leaves the others intact and in order.
+		for pos := uint64(0); pos < 4; pos++ {
+			if _, err := s.Pop(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := s.Len(2); got != 0 {
+			t.Errorf("%s Len(2) = %d", name, got)
+		}
+		for q := cell.PhysQueueID(0); q < 4; q++ {
+			if q == 2 {
+				continue
+			}
+			if got := s.Len(q); got != 4 {
+				t.Errorf("%s Len(%d) = %d, want 4", name, q, got)
+			}
+			c, ok := s.Peek(q)
+			if !ok || c.Queue != cell.QueueID(q) || c.Seq != 0 {
+				t.Errorf("%s Peek(%d) = %v, %v", name, q, c, ok)
+			}
+		}
+	}
+}
+
+// TestEquivalenceCAMList drives both organizations with the same
+// randomized — but bank-FIFO-respecting — block arrival and pop
+// schedule and requires identical observable behaviour. This is the
+// §8.2 claim that both designs implement the same buffer.
+func TestEquivalenceCAMList(t *testing.T) {
+	const (
+		queues     = 5
+		blockCell  = 2
+		sublists   = 4
+		blocksPerQ = 12
+		capacity   = queues * blockCell * blocksPerQ
+	)
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cam := NewCAM(capacity)
+		ls, err := NewList(capacity, blockCell, sublists)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// nextBlock[q][s] is the next block ordinal of queue q destined
+		// for sublist s that has not yet been delivered.
+		type key struct{ q, s int }
+		nextBlock := make(map[key]uint64)
+		remaining := make(map[key]int)
+		var keys []key
+		for q := 0; q < queues; q++ {
+			for s := 0; s < sublists; s++ {
+				k := key{q, s}
+				nextBlock[k] = uint64(s)
+				remaining[k] = blocksPerQ / sublists
+				keys = append(keys, k)
+			}
+		}
+		popped := make([]uint64, queues)
+		totalOps := queues * blocksPerQ
+
+		for done := 0; done < totalOps; {
+			if rng.Intn(2) == 0 {
+				// Deliver the next block of a random (queue, sublist).
+				k := keys[rng.Intn(len(keys))]
+				if remaining[k] == 0 {
+					continue
+				}
+				blk := nextBlock[k]
+				for i := 0; i < blockCell; i++ {
+					pos := blk*uint64(blockCell) + uint64(i)
+					c := cell.Cell{Queue: cell.QueueID(k.q), Seq: pos}
+					if err := cam.Insert(cell.PhysQueueID(k.q), pos, c); err != nil {
+						t.Fatalf("seed %d cam insert: %v", seed, err)
+					}
+					if err := ls.Insert(cell.PhysQueueID(k.q), pos, c); err != nil {
+						t.Fatalf("seed %d list insert: %v", seed, err)
+					}
+				}
+				nextBlock[k] = blk + uint64(sublists)
+				remaining[k]--
+				done++
+			} else {
+				// Pop from a random queue; both stores must agree on
+				// availability and content.
+				q := cell.PhysQueueID(rng.Intn(queues))
+				if cam.HasNext(q) != ls.HasNext(q) {
+					t.Fatalf("seed %d: HasNext(%d) disagree: cam=%v list=%v",
+						seed, q, cam.HasNext(q), ls.HasNext(q))
+				}
+				if !cam.HasNext(q) {
+					continue
+				}
+				c1, err1 := cam.Pop(q)
+				c2, err2 := ls.Pop(q)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("seed %d pops: %v / %v", seed, err1, err2)
+				}
+				if c1 != c2 {
+					t.Fatalf("seed %d: pop mismatch %v vs %v", seed, c1, c2)
+				}
+				if c1.Seq != popped[q] {
+					t.Fatalf("seed %d: queue %d delivered seq %d, want %d",
+						seed, q, c1.Seq, popped[q])
+				}
+				popped[q]++
+			}
+			if cam.Total() != ls.Total() {
+				t.Fatalf("seed %d: totals diverge %d vs %d", seed, cam.Total(), ls.Total())
+			}
+		}
+	}
+}
+
+func TestListSlabReuse(t *testing.T) {
+	// Churn through many more cells than the capacity to exercise the
+	// free list.
+	ls, err := NewList(8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := uint64(0); pos < 1000; pos++ {
+		if err := ls.Insert(0, pos, cell.Cell{Seq: pos}); err != nil {
+			t.Fatalf("insert %d: %v", pos, err)
+		}
+		c, err := ls.Pop(0)
+		if err != nil || c.Seq != pos {
+			t.Fatalf("pop %d: %v %v", pos, c, err)
+		}
+	}
+	if ls.Total() != 0 {
+		t.Errorf("Total = %d", ls.Total())
+	}
+	if ls.HighWater() != 1 {
+		t.Errorf("HighWater = %d, want 1", ls.HighWater())
+	}
+}

@@ -1,0 +1,214 @@
+// Package trace records and replays slot-level workload traces. The
+// paper's evaluation has no public traffic traces (and production
+// router traces are proprietary — see DESIGN.md §2), so experiments
+// are driven by synthetic generators; this package makes any such run
+// *reproducible and portable*: capture the exact per-slot stimulus
+// once, replay it against any buffer configuration or implementation
+// revision.
+//
+// The format is line-oriented text, one slot per line:
+//
+//	# comment / header
+//	a3 r7     arrival for queue 3, request for queue 7
+//	a0        arrival only
+//	r2        request only
+//	.         idle slot
+//
+// Lines are ordered; slot numbers are implicit.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cell"
+	"repro/internal/sim"
+)
+
+// Event is the stimulus of one slot.
+type Event struct {
+	// Arrival and Request are queue ids, cell.NoQueue for none.
+	Arrival, Request cell.QueueID
+}
+
+// Trace is an in-memory sequence of per-slot events.
+type Trace struct {
+	Events []Event
+}
+
+// ErrFormat reports a malformed trace line.
+var ErrFormat = errors.New("trace: malformed line")
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# pktbuf slot trace, %d slots\n", len(t.Events)); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		switch {
+		case e.Arrival == cell.NoQueue && e.Request == cell.NoQueue:
+			if _, err := bw.WriteString(".\n"); err != nil {
+				return err
+			}
+		case e.Request == cell.NoQueue:
+			if _, err := fmt.Fprintf(bw, "a%d\n", e.Arrival); err != nil {
+				return err
+			}
+		case e.Arrival == cell.NoQueue:
+			if _, err := fmt.Fprintf(bw, "r%d\n", e.Request); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(bw, "a%d r%d\n", e.Arrival, e.Request); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		e := Event{Arrival: cell.NoQueue, Request: cell.NoQueue}
+		if text != "." {
+			for _, tok := range strings.Fields(text) {
+				if len(tok) < 2 {
+					return nil, fmt.Errorf("%w %d: %q", ErrFormat, line, text)
+				}
+				n, err := strconv.Atoi(tok[1:])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%w %d: %q", ErrFormat, line, text)
+				}
+				switch tok[0] {
+				case 'a':
+					e.Arrival = cell.QueueID(n)
+				case 'r':
+					e.Request = cell.QueueID(n)
+				default:
+					return nil, fmt.Errorf("%w %d: %q", ErrFormat, line, text)
+				}
+			}
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Capture runs the generators for the given number of slots against a
+// live view and records the stimulus they produce. The view is needed
+// because request policies are state-dependent; use it with a real
+// buffer run (see Recorder) or sim.View adapters.
+func Capture(arr sim.ArrivalProcess, req sim.RequestPolicy, v sim.View, slots int) *Trace {
+	t := &Trace{Events: make([]Event, 0, slots)}
+	for s := 0; s < slots; s++ {
+		t.Events = append(t.Events, Event{
+			Arrival: arr.Next(cell.Slot(s)),
+			Request: req.Next(cell.Slot(s), v),
+		})
+	}
+	return t
+}
+
+// Recorder wraps an ArrivalProcess/RequestPolicy pair, transparently
+// recording everything they emit while a Runner drives them.
+type Recorder struct {
+	Arr sim.ArrivalProcess
+	Req sim.RequestPolicy
+	t   Trace
+	// pending pairs the two halves of one slot.
+	haveArrival bool
+	arrival     cell.QueueID
+}
+
+// Next implements sim.ArrivalProcess.
+func (r *Recorder) Next(slot cell.Slot) cell.QueueID {
+	q := r.Arr.Next(slot)
+	r.arrival, r.haveArrival = q, true
+	return q
+}
+
+// NextRequest implements sim.RequestPolicy via the Request method
+// below; Recorder itself is used as both halves.
+func (r *Recorder) NextRequest(slot cell.Slot, v sim.View) cell.QueueID {
+	q := r.Req.Next(slot, v)
+	a := cell.NoQueue
+	if r.haveArrival {
+		a, r.haveArrival = r.arrival, false
+	}
+	r.t.Events = append(r.t.Events, Event{Arrival: a, Request: q})
+	return q
+}
+
+// Trace returns the recorded trace so far.
+func (r *Recorder) Trace() *Trace { return &r.t }
+
+// requestHalf adapts Recorder's request side to sim.RequestPolicy.
+type requestHalf struct{ r *Recorder }
+
+func (h requestHalf) Next(slot cell.Slot, v sim.View) cell.QueueID {
+	return h.r.NextRequest(slot, v)
+}
+
+// Halves returns the two generator halves to plug into a sim.Runner.
+func (r *Recorder) Halves() (sim.ArrivalProcess, sim.RequestPolicy) {
+	return r, requestHalf{r}
+}
+
+// Replayer replays a trace as a sim.ArrivalProcess / sim.RequestPolicy
+// pair. Requests are replayed verbatim: the trace must have been
+// recorded against a behaviourally identical buffer (same acceptance
+// decisions), which holds for any unbounded-DRAM configuration.
+type Replayer struct {
+	t   *Trace
+	pos int
+}
+
+// NewReplayer wraps a trace.
+func NewReplayer(t *Trace) *Replayer { return &Replayer{t: t} }
+
+// Next implements sim.ArrivalProcess.
+func (r *Replayer) Next(cell.Slot) cell.QueueID {
+	if r.pos >= len(r.t.Events) {
+		return cell.NoQueue
+	}
+	return r.t.Events[r.pos].Arrival
+}
+
+// request advances the slot cursor (the request half runs second in
+// the Runner's slot loop).
+func (r *Replayer) request(cell.Slot, sim.View) cell.QueueID {
+	if r.pos >= len(r.t.Events) {
+		return cell.NoQueue
+	}
+	q := r.t.Events[r.pos].Request
+	r.pos++
+	return q
+}
+
+// Halves returns the replaying generator pair.
+func (r *Replayer) Halves() (sim.ArrivalProcess, sim.RequestPolicy) {
+	return r, replayRequest{r}
+}
+
+type replayRequest struct{ r *Replayer }
+
+func (h replayRequest) Next(slot cell.Slot, v sim.View) cell.QueueID {
+	return h.r.request(slot, v)
+}

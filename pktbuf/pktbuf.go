@@ -1,0 +1,274 @@
+// Package pktbuf is the public API of the packet-buffer library: a
+// hybrid SRAM/DRAM virtual-output-queue buffer with worst-case
+// bandwidth guarantees, implementing the Conflict-Free DRAM System
+// (CFDS) of García, Corbal, Cerdà and Valero, "Design and
+// Implementation of High-Performance Memory Systems for Future Packet
+// Buffers" (MICRO-36, 2003), together with the RADS baseline of Iyer,
+// Kompella and McKeown that the paper builds on.
+//
+// The buffer is a slot-accurate model: one Tick per cell time. Each
+// slot accepts at most one arriving cell and one scheduler request and
+// emits at most one delivered cell, exactly like the line card the
+// paper describes. All of the paper's worst-case properties — zero
+// head-SRAM misses, conflict-free DRAM banking, bounded reordering —
+// are enforced as runtime invariants: if a configuration violates
+// them, Tick returns an error instead of silently corrupting traffic.
+//
+// A minimal session:
+//
+//	buf, err := pktbuf.New(pktbuf.Config{Queues: 64, LineRate: pktbuf.OC3072, Granularity: 4, Banks: 256})
+//	...
+//	buf.Tick(pktbuf.Input{Arrival: 3, Request: pktbuf.None}) // cell arrives for VOQ 3
+//	out, err := buf.Tick(pktbuf.Input{Arrival: pktbuf.None, Request: 3})
+//	if out.Delivered != nil { /* forward the cell */ }
+package pktbuf
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/dimension"
+)
+
+// Queue identifies a Virtual Output Queue (0-based).
+type Queue int32
+
+// None means "no arrival" / "no request" in an Input.
+const None Queue = -1
+
+// LineRate selects the SONET line rate the buffer is dimensioned for.
+type LineRate int
+
+// Line rates from the paper's evaluation.
+const (
+	// OC192 is 10 Gb/s (51.2 ns per 64-byte cell).
+	OC192 LineRate = iota
+	// OC768 is 40 Gb/s (12.8 ns per cell).
+	OC768
+	// OC3072 is 160 Gb/s (3.2 ns per cell) — the paper's target.
+	OC3072
+)
+
+func (r LineRate) internal() cell.LineRate {
+	switch r {
+	case OC192:
+		return cell.OC192
+	case OC768:
+		return cell.OC768
+	default:
+		return cell.OC3072
+	}
+}
+
+// Organization selects the shared SRAM organization (§7.1 of the
+// paper).
+type Organization int
+
+// Organizations.
+const (
+	// GlobalCAM is the content-addressable organization: fastest
+	// access, largest area.
+	GlobalCAM Organization = iota
+	// UnifiedLinkedList is the time-multiplexed linked-list
+	// organization: smallest area, ~3× slower per operation.
+	UnifiedLinkedList
+)
+
+// Config describes a buffer. Queues, LineRate and Banks are required;
+// everything else defaults to the paper's dimensioning formulas.
+type Config struct {
+	// Queues is the number of VOQs (Q).
+	Queues int
+	// LineRate fixes the slot time and the RADS granularity B
+	// (assuming the paper's 48 ns DRAM random access time).
+	LineRate LineRate
+	// Granularity is the CFDS transfer granularity b in cells. Zero
+	// selects B (the RADS baseline). Smaller b shrinks the SRAMs at
+	// the cost of a DRAM reordering pipeline (the paper's key
+	// trade-off; b=2..4 is typically optimal).
+	Granularity int
+	// Banks is the number of DRAM banks M (default 256, the paper's
+	// evaluation value).
+	Banks int
+	// BankCapacityBlocks bounds per-bank storage (0 = unbounded).
+	BankCapacityBlocks int
+	// Renaming enables the paper's §6 queue renaming, letting any
+	// single VOQ occupy the whole DRAM instead of 1/G of it.
+	Renaming bool
+	// Organization selects the shared SRAM structure.
+	Organization Organization
+	// Lookahead overrides the MMA lookahead (slots); zero uses the
+	// ECQF full lookahead Q(b−1)+1.
+	Lookahead int
+}
+
+// Cell is one delivered 64-byte unit.
+type Cell struct {
+	// Queue is the VOQ the cell belongs to.
+	Queue Queue
+	// Seq is the cell's arrival ordinal within its VOQ; deliveries are
+	// guaranteed strictly sequential per VOQ.
+	Seq uint64
+}
+
+// Input is one slot's stimulus.
+type Input struct {
+	// Arrival is the VOQ of the cell arriving this slot (None = idle).
+	Arrival Queue
+	// Request is the VOQ the fabric scheduler requests this slot
+	// (None = idle). The queue must have Requestable() > 0.
+	Request Queue
+}
+
+// Output is one slot's outcome.
+type Output struct {
+	// Delivered is the cell granted to the scheduler, if any.
+	Delivered *Cell
+	// Bypassed reports a delivery straight from the ingress SRAM
+	// (cut-through for queues with no DRAM-resident cells).
+	Bypassed bool
+}
+
+// Stats is the public statistics snapshot. See core.Stats for field
+// semantics; all invariant counters must remain zero on a correctly
+// dimensioned buffer.
+type Stats struct {
+	Arrivals, Requests, Deliveries, Bypasses uint64
+	Misses, Drops, BadRequests               uint64
+	TailSRAMHighWater, HeadSRAMHighWater     int
+	MaxRequestRegisterOccupancy              int
+	MaxRequestSkips                          int
+}
+
+// Clean reports whether every worst-case guarantee held so far.
+func (s Stats) Clean() bool {
+	return s.Misses == 0 && s.Drops == 0 && s.BadRequests == 0
+}
+
+// Buffer is a VOQ packet buffer instance.
+type Buffer struct {
+	inner *core.Buffer
+	cfg   Config
+}
+
+// New builds a buffer, applying the paper's dimensioning formulas to
+// every parameter the caller leaves zero.
+func New(cfg Config) (*Buffer, error) {
+	if cfg.Queues <= 0 {
+		return nil, fmt.Errorf("pktbuf: Queues must be positive, got %d", cfg.Queues)
+	}
+	rate := cfg.LineRate.internal()
+	banks := cfg.Banks
+	if banks == 0 {
+		banks = 256
+	}
+	b := cfg.Granularity
+	bigB := rate.Granularity(cell.DefaultDRAMAccessNS)
+	if b == 0 {
+		b = bigB
+	}
+	inner, err := core.New(core.Config{
+		Q:                  cfg.Queues,
+		B:                  bigB,
+		Bsmall:             b,
+		Banks:              banks,
+		BankCapacityBlocks: cfg.BankCapacityBlocks,
+		Renaming:           cfg.Renaming,
+		Lookahead:          cfg.Lookahead,
+		Org:                core.SRAMOrg(cfg.Organization),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Buffer{inner: inner, cfg: cfg}, nil
+}
+
+// Tick advances one slot.
+func (b *Buffer) Tick(in Input) (Output, error) {
+	out, err := b.inner.Tick(core.TickInput{
+		Arrival: cell.QueueID(in.Arrival),
+		Request: cell.QueueID(in.Request),
+	})
+	var pub Output
+	if out.Delivered != nil {
+		pub.Delivered = &Cell{Queue: Queue(out.Delivered.Queue), Seq: out.Delivered.Seq}
+		pub.Bypassed = out.Bypassed
+	}
+	return pub, err
+}
+
+// Len returns the number of cells of q currently buffered.
+func (b *Buffer) Len(q Queue) int { return b.inner.Len(cell.QueueID(q)) }
+
+// Requestable returns how many cells of q the scheduler may still
+// request (buffered cells minus requests already in flight).
+func (b *Buffer) Requestable(q Queue) int { return b.inner.Requestable(cell.QueueID(q)) }
+
+// Now returns the current slot number.
+func (b *Buffer) Now() uint64 { return uint64(b.inner.Now()) }
+
+// Stats returns a statistics snapshot.
+func (b *Buffer) Stats() Stats {
+	s := b.inner.Stats()
+	return Stats{
+		Arrivals: s.Arrivals, Requests: s.Requests, Deliveries: s.Deliveries,
+		Bypasses: s.Bypasses, Misses: s.Misses, Drops: s.Drops,
+		BadRequests:                 s.BadRequests,
+		TailSRAMHighWater:           s.TailHighWater,
+		HeadSRAMHighWater:           s.HeadHighWater,
+		MaxRequestRegisterOccupancy: s.DSS.MaxOccupancy,
+		MaxRequestSkips:             s.DSS.MaxSkips,
+	}
+}
+
+// Sizing reports the dimensioned structure sizes for a configuration
+// without building the buffer — the paper's equations (1)-(4).
+type Sizing struct {
+	// GranularityB is the RADS granularity B for the line rate.
+	GranularityB int
+	// Lookahead is the ECQF full lookahead Q(b−1)+1.
+	Lookahead int
+	// HeadSRAMCells / TailSRAMCells are the SRAM sizes in 64 B cells.
+	HeadSRAMCells, TailSRAMCells int
+	// RequestRegister is equation (1)'s RR size.
+	RequestRegister int
+	// MaxSkips is equation (2)'s reordering bound.
+	MaxSkips int
+	// LatencySlots is equation (3)'s latency register size.
+	LatencySlots int
+	// DelaySlots is the total request-to-delivery pipeline length.
+	DelaySlots int
+}
+
+// DimensionFor computes the paper's sizing for a configuration.
+func DimensionFor(cfg Config) (Sizing, error) {
+	rate := cfg.LineRate.internal()
+	bigB := rate.Granularity(cell.DefaultDRAMAccessNS)
+	b := cfg.Granularity
+	if b == 0 {
+		b = bigB
+	}
+	banks := cfg.Banks
+	if banks == 0 {
+		banks = 256
+	}
+	look := cfg.Lookahead
+	if look == 0 {
+		look = dimension.FullLookahead(cfg.Queues, b)
+	}
+	d := dimension.Config{Q: cfg.Queues, B: bigB, Bsmall: b, M: banks, Lookahead: look}
+	if err := d.Validate(); err != nil {
+		return Sizing{}, err
+	}
+	return Sizing{
+		GranularityB:    bigB,
+		Lookahead:       look,
+		HeadSRAMCells:   d.HeadSRAMSize(),
+		TailSRAMCells:   d.TailSRAMSize(),
+		RequestRegister: d.RRSize(),
+		MaxSkips:        d.MaxSkips(),
+		LatencySlots:    d.LatencySlots(),
+		DelaySlots:      d.DelaySlots(),
+	}, nil
+}

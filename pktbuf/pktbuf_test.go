@@ -1,0 +1,145 @@
+package pktbuf
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(Config{Queues: 4, LineRate: OC768, Granularity: 3}); err == nil {
+		t.Error("non-divisor granularity accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf, err := New(Config{Queues: 8, LineRate: OC768, Granularity: 2, Banks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed 8 cells to queue 5.
+	for i := 0; i < 8; i++ {
+		if _, err := buf.Tick(Input{Arrival: 5, Request: None}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := buf.Len(5); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	// Request them all; run until delivered.
+	var got []Cell
+	for slot := 0; slot < 5000 && len(got) < 8; slot++ {
+		in := Input{Arrival: None, Request: None}
+		if buf.Requestable(5) > 0 {
+			in.Request = 5
+		}
+		out, err := buf.Tick(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Delivered != nil {
+			got = append(got, *out.Delivered)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("delivered %d cells", len(got))
+	}
+	for i, c := range got {
+		if c.Queue != 5 || c.Seq != uint64(i) {
+			t.Errorf("cell %d = %+v", i, c)
+		}
+	}
+	st := buf.Stats()
+	if !st.Clean() || st.Deliveries != 8 || st.Arrivals != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if buf.Now() == 0 {
+		t.Error("Now did not advance")
+	}
+}
+
+func TestRADSDefaultGranularity(t *testing.T) {
+	buf, err := New(Config{Queues: 4, LineRate: OC768, Banks: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Granularity 0 means b=B (RADS); just exercise a few slots.
+	for i := 0; i < 100; i++ {
+		if _, err := buf.Tick(Input{Arrival: Queue(i % 4), Request: None}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if buf.Stats().Arrivals != 100 {
+		t.Error("arrivals not counted")
+	}
+}
+
+func TestDimensionFor(t *testing.T) {
+	s, err := DimensionFor(Config{Queues: 512, LineRate: OC3072, Granularity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GranularityB != 32 {
+		t.Errorf("B = %d, want 32", s.GranularityB)
+	}
+	if s.Lookahead != 512+1 {
+		t.Errorf("Lookahead = %d, want 513", s.Lookahead)
+	}
+	if s.RequestRegister != 1024 {
+		t.Errorf("RR = %d, want 1024", s.RequestRegister)
+	}
+	if s.HeadSRAMCells <= 0 || s.TailSRAMCells <= 0 || s.DelaySlots <= s.Lookahead {
+		t.Errorf("sizing = %+v", s)
+	}
+	if _, err := DimensionFor(Config{Queues: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStatsClean(t *testing.T) {
+	s := Stats{}
+	if !s.Clean() {
+		t.Error("zero stats not clean")
+	}
+	s.Misses = 1
+	if s.Clean() {
+		t.Error("missed stats clean")
+	}
+}
+
+func TestLinkedListOrganization(t *testing.T) {
+	buf, err := New(Config{Queues: 4, LineRate: OC768, Granularity: 2, Banks: 64,
+		Organization: UnifiedLinkedList})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		in := Input{Arrival: Queue(i % 4), Request: None}
+		if buf.Requestable(Queue(i%4)) > 0 {
+			in.Request = Queue(i % 4)
+		}
+		if _, err := buf.Tick(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !buf.Stats().Clean() {
+		t.Errorf("stats = %+v", buf.Stats())
+	}
+}
+
+func TestRenamingConfig(t *testing.T) {
+	buf, err := New(Config{Queues: 4, LineRate: OC768, Granularity: 2, Banks: 64,
+		Renaming: true, BankCapacityBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := buf.Tick(Input{Arrival: 0, Request: None}); err != nil {
+			break // bounded DRAM eventually backpressures; fine
+		}
+	}
+	if buf.Stats().Arrivals == 0 {
+		t.Error("nothing accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package pktbuf
+
+import (
+	"repro/internal/cacti"
+	"repro/internal/cell"
+	"repro/internal/dimension"
+)
+
+// TechEstimate is the 0.13 µm technology cost of one buffer design
+// point, from the CACTI-style model the paper's §7/§8 evaluation uses.
+type TechEstimate struct {
+	// HeadSRAMCells / TailSRAMCells are the dimensioned sizes.
+	HeadSRAMCells, TailSRAMCells int
+	// AccessNS is the most-restricting SRAM access time (the larger
+	// array) in the chosen organization.
+	AccessNS float64
+	// AreaCM2 is the combined h+t SRAM area.
+	AreaCM2 float64
+	// BudgetNS is the per-cell budget at the line rate.
+	BudgetNS float64
+	// Feasible reports AccessNS ≤ BudgetNS.
+	Feasible bool
+}
+
+// EstimateTechnology evaluates a configuration against the paper's
+// technology model: can the SRAMs of this design point actually cycle
+// at the line rate, and what would they cost in silicon?
+func EstimateTechnology(cfg Config) (TechEstimate, error) {
+	s, err := DimensionFor(cfg)
+	if err != nil {
+		return TechEstimate{}, err
+	}
+	org := cacti.OrgCAM
+	if cfg.Organization == UnifiedLinkedList {
+		org = cacti.OrgLinkedList
+	}
+	larger := s.HeadSRAMCells
+	if s.TailSRAMCells > larger {
+		larger = s.TailSRAMCells
+	}
+	rate := cfg.LineRate.internal()
+	est := TechEstimate{
+		HeadSRAMCells: s.HeadSRAMCells,
+		TailSRAMCells: s.TailSRAMCells,
+		AccessNS:      cacti.ForCells(org, larger).AccessNS,
+		AreaCM2: cacti.ForCells(org, s.HeadSRAMCells).AreaCM2 +
+			cacti.ForCells(org, s.TailSRAMCells).AreaCM2,
+		BudgetNS: rate.AccessBudgetNS(),
+	}
+	est.Feasible = est.AccessNS <= est.BudgetNS
+	return est, nil
+}
+
+// OptimalGranularity searches the granularities dividing B for the
+// design with the smallest request-to-delivery delay whose SRAMs still
+// meet the line-rate budget. It returns 0 if no granularity is
+// feasible (the §7.2 RADS-at-OC-3072 situation).
+func OptimalGranularity(queues int, rate LineRate, org Organization) int {
+	bigB := rate.internal().Granularity(cell.DefaultDRAMAccessNS)
+	best, bestDelay := 0, 0
+	for b := 1; b <= bigB; b *= 2 {
+		cfg := Config{Queues: queues, LineRate: rate, Granularity: b, Organization: org}
+		est, err := EstimateTechnology(cfg)
+		if err != nil || !est.Feasible {
+			continue
+		}
+		d := dimension.Config{
+			Q: queues, B: bigB, Bsmall: b, M: 256,
+			Lookahead: dimension.FullLookahead(queues, b),
+		}
+		delay := d.DelaySlots()
+		if best == 0 || delay < bestDelay {
+			best, bestDelay = b, delay
+		}
+	}
+	return best
+}

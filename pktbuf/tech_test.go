@@ -1,0 +1,51 @@
+package pktbuf
+
+import "testing"
+
+func TestEstimateTechnologyPaperEndpoints(t *testing.T) {
+	// RADS at OC-3072 with 512 queues: infeasible (§7.2).
+	rads, err := EstimateTechnology(Config{Queues: 512, LineRate: OC3072})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rads.Feasible {
+		t.Errorf("RADS OC-3072 feasible at %.2f ns (budget %.1f)", rads.AccessNS, rads.BudgetNS)
+	}
+	// CFDS b=2: feasible (§8.3).
+	cfds, err := EstimateTechnology(Config{Queues: 512, LineRate: OC3072, Granularity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfds.Feasible {
+		t.Errorf("CFDS b=2 infeasible at %.2f ns", cfds.AccessNS)
+	}
+	if cfds.AreaCM2 >= rads.AreaCM2 {
+		t.Errorf("CFDS area %.2f not below RADS %.2f", cfds.AreaCM2, rads.AreaCM2)
+	}
+	// OC-768 RADS: feasible in either organization (§7.2).
+	for _, org := range []Organization{GlobalCAM, UnifiedLinkedList} {
+		e, err := EstimateTechnology(Config{Queues: 128, LineRate: OC768, Organization: org})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Feasible {
+			t.Errorf("OC-768 org %v infeasible at %.2f ns", org, e.AccessNS)
+		}
+	}
+	if _, err := EstimateTechnology(Config{Queues: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestOptimalGranularity(t *testing.T) {
+	// OC-3072, 512 queues: the paper's interior optimum (2 or 4).
+	b := OptimalGranularity(512, OC3072, GlobalCAM)
+	if b != 2 && b != 4 {
+		t.Errorf("optimal b = %d, want 2 or 4", b)
+	}
+	// OC-768: every granularity is feasible, and the lookahead term
+	// Q(b−1) dominates the delay, so the finest granularity wins.
+	if b := OptimalGranularity(128, OC768, GlobalCAM); b != 1 {
+		t.Errorf("OC-768 optimal b = %d, want 1 (all feasible; smallest lookahead)", b)
+	}
+}
