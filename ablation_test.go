@@ -81,6 +81,7 @@ func TestAblationFIFOSchedulerDegrades(t *testing.T) {
 // BenchmarkAblationScheduler times both disciplines on the same
 // adversarial workload, reporting deliveries/slot and misses.
 func BenchmarkAblationScheduler(b *testing.B) {
+	b.ReportAllocs()
 	for _, fifo := range []bool{false, true} {
 		name := "oldest-ready-first"
 		if fifo {
@@ -112,6 +113,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 // capacity, reporting the head SRAM high-water mark each actually
 // needs.
 func BenchmarkAblationMMASizing(b *testing.B) {
+	b.ReportAllocs()
 	for _, kind := range []core.MMAKind{core.ECQF, core.MDQF} {
 		b.Run(fmt.Sprintf("%v", kind), func(b *testing.B) {
 			cfg, err := (core.Config{Q: 16, B: 32, Bsmall: 4, Banks: 64, MMA: kind}).ApplyDefaults()

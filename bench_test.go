@@ -19,6 +19,7 @@ import (
 // BenchmarkFigure8 regenerates Figure 8 (RADS h-SRAM access time and
 // area vs lookahead, OC-768 and OC-3072, CAM vs linked list).
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		figs := experiments.Figure8()
 		if len(figs) != 2 {
@@ -30,6 +31,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkTable2 regenerates Table 2 (Requests Register sizes and
 // scheduling times per granularity).
 func BenchmarkTable2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(experiments.Table2()) != 2 {
 			b.Fatal("bad Table2 output")
@@ -40,6 +42,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure10 regenerates Figure 10 (CFDS vs RADS SRAM area and
 // access time as a function of delay, OC-3072).
 func BenchmarkFigure10(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if len(experiments.Figure10()) != 6 {
 			b.Fatal("bad Figure10 output")
@@ -50,6 +53,7 @@ func BenchmarkFigure10(b *testing.B) {
 // BenchmarkFigure11 regenerates Figure 11 (maximum queue count per
 // granularity under the 3.2 ns budget).
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows := experiments.Figure11()
 		if len(rows) != 6 {
@@ -60,6 +64,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkHeadline regenerates the §8.3/§10 RADS-vs-CFDS headline.
 func BenchmarkHeadline(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h := experiments.Headline()
 		if h.RADS.AccessCAM <= h.CFDS.AccessCAM {
@@ -76,6 +81,7 @@ func BenchmarkHeadline(b *testing.B) {
 
 func benchSimulate(b *testing.B, cfg core.Config, queues int) {
 	b.Helper()
+	b.ReportAllocs()
 	buf, err := core.New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -88,7 +94,7 @@ func benchSimulate(b *testing.B, cfg core.Config, queues int) {
 	}
 	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
 	b.ResetTimer()
-	res, err := r.Run(uint64(b.N))
+	res, err := r.RunBatch(uint64(b.N), 0)
 	if err != nil {
 		b.Fatalf("%v (stats %v)", err, res.Stats)
 	}
@@ -148,6 +154,7 @@ func BenchmarkSimulateRenaming(b *testing.B) {
 // BenchmarkSimulateHotspot runs the skewed workload (80% of traffic on
 // one queue) at full drain rate.
 func BenchmarkSimulateHotspot(b *testing.B) {
+	b.ReportAllocs()
 	buf, err := core.New(core.Config{Q: 32, B: 32, Bsmall: 4, Banks: 256})
 	if err != nil {
 		b.Fatal(err)
@@ -156,7 +163,7 @@ func BenchmarkSimulateHotspot(b *testing.B) {
 	req, _ := sim.NewRoundRobinDrain(32)
 	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
 	b.ResetTimer()
-	res, err := r.Run(uint64(b.N))
+	res, err := r.RunBatch(uint64(b.N), 0)
 	if err != nil {
 		b.Fatalf("%v (stats %v)", err, res.Stats)
 	}
@@ -170,6 +177,7 @@ func BenchmarkSimulateHotspot(b *testing.B) {
 // (Q=512, b=4, M=256 — the Figure 10 design point) to show the
 // simulator handles the full system.
 func BenchmarkSimulateLargeScale(b *testing.B) {
+	b.ReportAllocs()
 	buf, err := core.New(core.Config{Q: 512, B: 32, Bsmall: 4, Banks: 256})
 	if err != nil {
 		b.Fatal(err)
@@ -182,7 +190,7 @@ func BenchmarkSimulateLargeScale(b *testing.B) {
 	}
 	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
 	b.ResetTimer()
-	res, err := r.Run(uint64(b.N))
+	res, err := r.RunBatch(uint64(b.N), 0)
 	if err != nil {
 		b.Fatalf("%v (stats %v)", err, res.Stats)
 	}
@@ -195,6 +203,7 @@ func BenchmarkSimulateLargeScale(b *testing.B) {
 // BenchmarkSingleQueueBlast is the single-group stress: all traffic on
 // one queue sustains 2 cells/slot on B/b banks (skips exercised).
 func BenchmarkSingleQueueBlast(b *testing.B) {
+	b.ReportAllocs()
 	buf, err := core.New(core.Config{Q: 16, B: 32, Bsmall: 4, Banks: 64})
 	if err != nil {
 		b.Fatal(err)
@@ -206,7 +215,7 @@ func BenchmarkSingleQueueBlast(b *testing.B) {
 	}
 	r := &sim.Runner{Buffer: buf, Arrivals: sim.NewSingleQueueArrivals(0), Requests: req}
 	b.ResetTimer()
-	res, err := r.Run(uint64(b.N))
+	res, err := r.RunBatch(uint64(b.N), 0)
 	if err != nil {
 		b.Fatalf("%v (stats %v)", err, res.Stats)
 	}
@@ -225,10 +234,76 @@ func BenchmarkTick(b *testing.B) {
 		b.Fatal(err)
 	}
 	in := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := buf.Tick(in); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ------------------------------------------------------------------
+// BenchmarkTick* steady-state suite: per-slot cost of Tick under
+// sustained full-rate traffic (one arrival and one request per slot,
+// the §3 adversarial round-robin drain) at the OC-3072 design point
+// (B=32). ns/op is the cost of one simulated slot including workload
+// generation; allocs/op is the bookkeeping gate — the dense-arena
+// datapath must stay at ~0 in steady state. Baselines are recorded in
+// BENCH_baseline.json.
+// ------------------------------------------------------------------
+
+func benchTickSteadyState(b *testing.B, cfg core.Config, queues int) {
+	b.Helper()
+	buf, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, _ := sim.NewRoundRobinArrivals(queues, 1.0)
+	req, _ := sim.NewRoundRobinDrain(queues)
+	warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
+	if _, err := warm.Run(uint64(queues * cfg.B * 4)); err != nil {
+		b.Fatal(err)
+	}
+	steady := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	if _, err := steady.Run(uint64(queues * cfg.B * 8)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := core.TickInput{Arrival: arr.Next(buf.Now()), Request: req.Next(buf.Now(), buf)}
+		if _, err := buf.Tick(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if buf.Stats().Misses != 0 {
+		b.Fatalf("misses: %v", buf.Stats())
+	}
+}
+
+// BenchmarkTickOC3072SteadyState is the headline regression gate: the
+// CFDS design point (Q=64, B=32, b=4, M=256, CAM SRAM) in steady
+// state.
+func BenchmarkTickOC3072SteadyState(b *testing.B) {
+	benchTickSteadyState(b, core.Config{Q: 64, B: 32, Bsmall: 4, Banks: 256}, 64)
+}
+
+// BenchmarkTickOC3072Renaming adds the §6 renaming layer on the same
+// design point.
+func BenchmarkTickOC3072Renaming(b *testing.B) {
+	benchTickSteadyState(b, core.Config{Q: 64, B: 32, Bsmall: 4, Banks: 256, Renaming: true}, 64)
+}
+
+// BenchmarkTickOC3072ListSRAM swaps in the unified linked-list head
+// SRAM (the zero-map slab organization).
+func BenchmarkTickOC3072ListSRAM(b *testing.B) {
+	benchTickSteadyState(b, core.Config{Q: 64, B: 32, Bsmall: 4, Banks: 256, Org: core.OrgLinkedList}, 64)
+}
+
+// BenchmarkTickOC3072LargeScale is the Figure 10 paper-scale point
+// (Q=512) in steady state.
+func BenchmarkTickOC3072LargeScale(b *testing.B) {
+	benchTickSteadyState(b, core.Config{Q: 512, B: 32, Bsmall: 4, Banks: 256}, 512)
 }

@@ -48,6 +48,7 @@ func main() {
 		orgName  = flag.String("org", "cam", "SRAM organization: cam|list")
 		mmaName  = flag.String("mma", "ecqf", "head MMA: ecqf|mdqf")
 		slots    = flag.Uint64("slots", 100000, "slots to simulate")
+		batch    = flag.Uint64("batch", 0, "batched-driver chunk size in slots (0 = default; 1 = plain per-slot loop)")
 		warmup   = flag.Uint64("warmup", 0, "arrival-only slots before requests start (0 = auto: Q·b·4)")
 		arrName  = flag.String("arrivals", "roundrobin", "arrivals: roundrobin|uniform|hotspot|bursty|single|none")
 		reqName  = flag.String("requests", "rrdrain", "requests: rrdrain|uniform|longest|none")
@@ -174,7 +175,7 @@ func main() {
 			fmt.Printf("%v\n", lat)
 		}
 	} else {
-		res, err = runner.Run(*slots)
+		res, err = runner.RunBatch(*slots, *batch)
 	}
 	if err != nil {
 		log.Printf("INVARIANT VIOLATION: %v", err)

@@ -9,4 +9,28 @@
 // DESIGN.md for the system inventory, and EXPERIMENTS.md for the
 // paper-versus-measured record. The benchmarks in bench_test.go
 // regenerate every table and figure of the paper's evaluation.
+//
+// # Dense-arena hot path
+//
+// The simulator is slot-accurate: one core.Buffer.Tick per cell time.
+// All per-queue state on that path — tail-SRAM deques, sequence
+// cursors, occupancy ledgers, SRAM queue tables, DRAM reservation
+// cursors and renaming registers — lives in dense slices indexed by
+// the queue ordinal, sized from the configuration at construction
+// (logical ids are [0, Q); physical ids are [0, P) because the §6
+// renaming table hands out register-bounded ordinals). DRAM→SRAM
+// completions are scheduled on a fixed slot ring, and block payload
+// storage is pooled, so steady-state Tick performs no hashing and no
+// allocation. BENCH_baseline.json records the gate: the BenchmarkTick*
+// suite must stay ≥2× under the map-keyed seed at 0 allocs/op.
+//
+// # Batched simulation driver
+//
+// sim.Runner.RunBatch(slots, batch) is the long-run fast path: it
+// chunks the slot loop, hoists the arrival-generator interface
+// dispatch out of the inner loop for sim.BatchArrivalProcess
+// implementations, resolves the delivery-callback and drop-tolerance
+// branches per batch, and snapshots statistics once per run.
+// cmd/pktbufsim exposes it as -batch; Runner.Run is the batch-size-1
+// special case.
 package repro

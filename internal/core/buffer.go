@@ -32,10 +32,17 @@ var (
 	// ErrOutOfOrder means a delivered cell violated per-queue FIFO
 	// order — never acceptable.
 	ErrOutOfOrder = errors.New("core: out-of-order delivery")
+	// ErrUnknownQueue means an arrival named a logical queue outside
+	// [0, Q): the dense state arenas are sized from Config at
+	// construction, so queue ids are ordinals, not arbitrary keys.
+	// (An out-of-range request surfaces as ErrBadRequest — such a
+	// queue trivially has nothing requestable.)
+	ErrUnknownQueue = errors.New("core: queue id out of range")
 )
 
 // TickInput carries the per-slot stimulus: at most one arriving cell
-// and one scheduler request. Use cell.NoQueue for "none".
+// and one scheduler request. Use cell.NoQueue for "none". Queue ids
+// must be ordinals in [0, Config.Q).
 type TickInput struct {
 	// Arrival is the logical queue of the cell arriving this slot.
 	Arrival cell.QueueID
@@ -46,19 +53,71 @@ type TickInput struct {
 // TickOutput reports the slot's outcome.
 type TickOutput struct {
 	// Delivered is the cell granted to the arbiter this slot, if any.
+	// The pointee is owned by the Buffer and overwritten by the next
+	// Tick; callers that retain the cell must copy it.
 	Delivered *cell.Cell
 	// Bypassed reports that the delivery came straight from the tail
 	// SRAM (cut-through for queues with no DRAM-bound cells).
 	Bypassed bool
 }
 
-// tailQueue is one logical queue's slice of the tail SRAM: cells in
-// arrival order. The first promised cells are committed to the bypass
-// path; staging removes cells from the front of the unpromised region
-// (DRAM receives cells strictly in arrival order).
+// tailQueue is one logical queue's slice of the tail SRAM: a deque of
+// cells in arrival order, stored in cells[start:]. The first promised
+// cells of the live region are committed to the bypass path; staging
+// removes cells from the front of the unpromised region (DRAM receives
+// cells strictly in arrival order). The deque compacts in place when
+// the backing array fills, so steady-state operation does not
+// allocate.
 type tailQueue struct {
 	cells    []cell.Cell
+	start    int
 	promised int
+}
+
+func (t *tailQueue) len() int { return len(t.cells) - t.start }
+
+func (t *tailQueue) push(c cell.Cell) {
+	if len(t.cells) == cap(t.cells) && t.start > 0 {
+		n := copy(t.cells, t.cells[t.start:])
+		t.cells = t.cells[:n]
+		t.start = 0
+	}
+	t.cells = append(t.cells, c)
+}
+
+// popFront removes and returns the oldest cell (the bypass delivery).
+func (t *tailQueue) popFront() cell.Cell {
+	c := t.cells[t.start]
+	t.start++
+	if t.start == len(t.cells) {
+		t.cells, t.start = t.cells[:0], 0
+	}
+	return c
+}
+
+// extractBlock copies the n oldest unpromised cells into dst and
+// removes them from the deque, preserving the promised prefix (which
+// slides right over the vacated region).
+func (t *tailQueue) extractBlock(n int, dst []cell.Cell) {
+	base := t.start + t.promised
+	copy(dst, t.cells[base:base+n])
+	copy(t.cells[t.start+n:base+n], t.cells[t.start:base])
+	t.start += n
+	if t.start == len(t.cells) {
+		t.cells, t.start = t.cells[:0], 0
+	}
+}
+
+// queueState is one logical queue's slot in the dense state arena: its
+// tail-SRAM deque, the arrival/delivery sequence cursors and the
+// occupancy/pending counters. The arena replaces five per-queue hash
+// maps on the Tick path.
+type queueState struct {
+	tail         tailQueue
+	arrivedSeq   uint64
+	deliveredSeq uint64
+	sysOcc       int
+	pendingReq   int
 }
 
 // completion is a DRAM→SRAM block transfer scheduled to land at a
@@ -94,16 +153,23 @@ type Buffer struct {
 	logical []pipeEntry
 	logHead int
 
-	tail      map[cell.QueueID]*tailQueue
+	// qs is the dense per-queue state arena, indexed by the logical
+	// queue ordinal; it is sized to Config.Q at construction.
+	qs        []queueState
 	tailTotal int // resident cells incl. promised and staged
+	// pendingTotal counts admitted requests not yet delivered (the
+	// cells in flight through the request pipeline).
+	pendingTotal int
 
-	completions map[cell.Slot][]completion
+	// compRing is the completion calendar: a fixed ring of length
+	// accessSlots+1 indexed by slot mod length. Slot buckets are
+	// truncated (capacity kept) after landing, so the steady-state
+	// read path does not allocate.
+	compRing [][]completion
 
-	now          cell.Slot
-	arrivedSeq   map[cell.QueueID]uint64
-	deliveredSeq map[cell.QueueID]uint64
-	sysOcc       map[cell.QueueID]int
-	pendingReq   map[cell.QueueID]int
+	now cell.Slot
+	// delivered is the scratch cell TickOutput.Delivered points into.
+	delivered cell.Cell
 
 	stats Stats
 }
@@ -117,12 +183,35 @@ func New(cfg Config) (*Buffer, error) {
 	}
 	d := cfg.Dimension()
 
+	// The dense arenas are sized from the physical name space P: the
+	// logical space Q without renaming, or the register-bounded ordinal
+	// space the rename table hands out (§6 oversubscription, A·Q names
+	// rounded up to whole groups).
+	physSpace := cfg.Q
+	var tbl *rename.Table
+	if cfg.Renaming {
+		namesPerGroup := (cfg.Q*cfg.Oversub + d.Groups() - 1) / d.Groups()
+		tbl, err = rename.New(d.Groups(), namesPerGroup, cfg.RegisterCap, cfg.Bsmall)
+		if err != nil {
+			return nil, err
+		}
+		physSpace = d.Groups() * namesPerGroup
+		// Renaming keeps physical ids dense: every name is an ordinal
+		// in [0, P). The arenas below rely on that, so check it here
+		// rather than discover it as an index panic on the datapath.
+		if tbl.TotalNames() != physSpace || physSpace < cfg.Q {
+			return nil, fmt.Errorf("core: physical name space %d inconsistent (Q=%d, groups=%d)",
+				tbl.TotalNames(), cfg.Q, d.Groups())
+		}
+	}
+
 	dcfg := dram.Config{
 		Banks:              cfg.Banks,
 		BanksPerGroup:      d.BanksPerGroup(),
 		AccessSlots:        cfg.accessSlots(),
 		BlockCells:         cfg.Bsmall,
 		BankCapacityBlocks: cfg.BankCapacityBlocks,
+		Queues:             physSpace,
 	}
 	if err := dcfg.Validate(); err != nil {
 		return nil, err
@@ -131,13 +220,13 @@ func New(cfg Config) (*Buffer, error) {
 	var head sram.Store
 	switch cfg.Org {
 	case OrgLinkedList:
-		ls, err := sram.NewList(cfg.HeadSRAMCells, cfg.Bsmall, d.BanksPerGroup())
+		ls, err := sram.NewList(cfg.HeadSRAMCells, cfg.Bsmall, d.BanksPerGroup(), physSpace)
 		if err != nil {
 			return nil, err
 		}
 		head = ls
 	default:
-		head = sram.NewCAM(cfg.HeadSRAMCells)
+		head = sram.NewCAM(cfg.HeadSRAMCells, physSpace)
 	}
 
 	pipeLen := cfg.Lookahead + cfg.LatencySlots
@@ -152,20 +241,20 @@ func New(cfg Config) (*Buffer, error) {
 	var hm mma.HeadMMA
 	switch cfg.MMA {
 	case MDQF:
-		m, err := mma.NewMDQF(cfg.Bsmall)
+		m, err := mma.NewMDQF(cfg.Bsmall, physSpace)
 		if err != nil {
 			return nil, err
 		}
 		hm = m
 	default:
-		e, err := mma.NewECQF(look, cfg.Bsmall)
+		e, err := mma.NewECQF(look, cfg.Bsmall, physSpace)
 		if err != nil {
 			return nil, err
 		}
 		hm = e
 	}
 
-	tm, err := mma.NewTailMMA(cfg.Bsmall)
+	tm, err := mma.NewTailMMA(cfg.Bsmall, cfg.Q)
 	if err != nil {
 		return nil, err
 	}
@@ -173,14 +262,9 @@ func New(cfg Config) (*Buffer, error) {
 	dr := dram.New(dcfg)
 	var mp mapper
 	if cfg.Renaming {
-		namesPerGroup := (cfg.Q*cfg.Oversub + d.Groups() - 1) / d.Groups()
-		tbl, err := rename.New(d.Groups(), namesPerGroup, cfg.RegisterCap, cfg.Bsmall)
-		if err != nil {
-			return nil, err
-		}
 		mp = &renameMapper{table: tbl, dram: dr}
 	} else {
-		mp = newIdentityMapper(dr)
+		mp = newIdentityMapper(dr, cfg.Q)
 	}
 
 	logical := make([]pipeEntry, pipeLen)
@@ -192,21 +276,17 @@ func New(cfg Config) (*Buffer, error) {
 		policy = dss.FIFOBlocking
 	}
 	return &Buffer{
-		cfg:          cfg,
-		dram:         dr,
-		head:         head,
-		sched:        dss.NewWithPolicy(cfg.RRCapacity, policy),
-		hmma:         hm,
-		tmma:         tm,
-		mapr:         mp,
-		look:         look,
-		logical:      logical,
-		tail:         make(map[cell.QueueID]*tailQueue),
-		completions:  make(map[cell.Slot][]completion),
-		arrivedSeq:   make(map[cell.QueueID]uint64),
-		deliveredSeq: make(map[cell.QueueID]uint64),
-		sysOcc:       make(map[cell.QueueID]int),
-		pendingReq:   make(map[cell.QueueID]int),
+		cfg:      cfg,
+		dram:     dr,
+		head:     head,
+		sched:    dss.NewWithPolicy(cfg.RRCapacity, policy),
+		hmma:     hm,
+		tmma:     tm,
+		mapr:     mp,
+		look:     look,
+		logical:  logical,
+		qs:       make([]queueState, cfg.Q),
+		compRing: make([][]completion, cfg.accessSlots()+1),
 	}, nil
 }
 
@@ -217,13 +297,27 @@ func (b *Buffer) Config() Config { return b.cfg }
 func (b *Buffer) Now() cell.Slot { return b.now }
 
 // Len returns the number of cells of queue q currently in the buffer.
-func (b *Buffer) Len(q cell.QueueID) int { return b.sysOcc[q] }
+func (b *Buffer) Len(q cell.QueueID) int {
+	if q < 0 || int(q) >= len(b.qs) {
+		return 0
+	}
+	return b.qs[q].sysOcc
+}
 
 // Requestable returns how many cells of q the arbiter may still
 // request (cells in the system minus requests already in flight).
 func (b *Buffer) Requestable(q cell.QueueID) int {
-	return b.sysOcc[q] - b.pendingReq[q]
+	if q < 0 || int(q) >= len(b.qs) {
+		return 0
+	}
+	return b.qs[q].sysOcc - b.qs[q].pendingReq
 }
+
+// PendingRequests returns the number of admitted requests still in
+// flight through the pipeline (requested but not yet delivered). A
+// drain loop may stop as soon as this reaches zero with no further
+// requests issued.
+func (b *Buffer) PendingRequests() int { return b.pendingTotal }
 
 // Stats returns a snapshot of the accumulated statistics.
 func (b *Buffer) Stats() Stats {
@@ -231,15 +325,6 @@ func (b *Buffer) Stats() Stats {
 	s.DSS = b.sched.Stats()
 	s.HeadHighWater = b.head.HighWater()
 	return s
-}
-
-func (b *Buffer) tailQueue(q cell.QueueID) *tailQueue {
-	t, ok := b.tail[q]
-	if !ok {
-		t = &tailQueue{}
-		b.tail[q] = t
-	}
-	return t
 }
 
 // Tick advances the buffer by one slot. Errors wrapping the Err*
@@ -256,17 +341,22 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 	}
 
 	// 1. Land DRAM→SRAM transfers completing this slot, before the
-	// delivery point ("perfectly synchronized hardware", §3).
-	for _, c := range b.completions[b.now] {
-		base := c.ordinal * uint64(b.cfg.Bsmall)
-		for i, cl := range c.cells {
-			if err := b.head.Insert(c.phys, base+uint64(i), cl); err != nil {
-				b.stats.HeadOverflows++
-				record(fmt.Errorf("head SRAM insert: %w", err))
+	// delivery point ("perfectly synchronized hardware", §3). The
+	// completion calendar is a fixed ring indexed by slot.
+	slotIdx := int(b.now % cell.Slot(len(b.compRing)))
+	if pending := b.compRing[slotIdx]; len(pending) > 0 {
+		for _, c := range pending {
+			base := c.ordinal * uint64(b.cfg.Bsmall)
+			for i, cl := range c.cells {
+				if err := b.head.Insert(c.phys, base+uint64(i), cl); err != nil {
+					b.stats.HeadOverflows++
+					record(fmt.Errorf("head SRAM insert: %w", err))
+				}
 			}
+			b.dram.ReleaseBlock(c.cells)
 		}
+		b.compRing[slotIdx] = pending[:0]
 	}
-	delete(b.completions, b.now)
 
 	// 2. Arrival.
 	if in.Arrival != cell.NoQueue {
@@ -322,6 +412,9 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 
 // arrive admits one cell into the tail SRAM.
 func (b *Buffer) arrive(q cell.QueueID) error {
+	if q < 0 || int(q) >= len(b.qs) {
+		return fmt.Errorf("%w: arrival for queue %d (Q=%d)", ErrUnknownQueue, q, len(b.qs))
+	}
 	if b.tailTotal >= b.cfg.TailSRAMCells {
 		// With a bounded DRAM the tail bound is conditional: any queue
 		// blocked from writing (a full group without renaming, or §6's
@@ -335,13 +428,13 @@ func (b *Buffer) arrive(q cell.QueueID) error {
 		}
 		return fmt.Errorf("%w: %d cells at slot %d", ErrTailOverflow, b.tailTotal, b.now)
 	}
-	seq := b.arrivedSeq[q]
-	b.arrivedSeq[q] = seq + 1
-	tq := b.tailQueue(q)
-	tq.cells = append(tq.cells, cell.Cell{Queue: q, Seq: seq})
+	qs := &b.qs[q]
+	seq := qs.arrivedSeq
+	qs.arrivedSeq = seq + 1
+	qs.tail.push(cell.Cell{Queue: q, Seq: seq})
 	b.tailTotal++
 	b.tmma.OnArrival(q)
-	b.sysOcc[q]++
+	qs.sysOcc++
 	b.stats.Arrivals++
 	return nil
 }
@@ -355,14 +448,14 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 		return cell.NoPhysQueue, cell.NoQueue,
 			fmt.Errorf("%w: queue %d at slot %d", ErrBadRequest, q, b.now)
 	}
-	b.pendingReq[q]++
+	b.qs[q].pendingReq++
+	b.pendingTotal++
 	b.stats.Requests++
 	phys, ok := b.mapr.ConsumeForRequest(q)
 	if !ok {
 		// Bypass: commit the oldest unpromised tail cell to direct
 		// delivery and remove it from the t-MMA's stageable ledger.
-		tq := b.tailQueue(q)
-		tq.promised++
+		b.qs[q].tail.promised++
 		b.tmma.OnBypass(q)
 		return cell.NoPhysQueue, q, nil
 	}
@@ -372,33 +465,34 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 
 // deliver pops the cell for a request exiting the pipeline.
 func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID) (*cell.Cell, bool, error) {
-	want := b.deliveredSeq[q]
+	qs := &b.qs[q]
+	want := qs.deliveredSeq
 	finish := func(c cell.Cell, bypassed bool) (*cell.Cell, bool, error) {
+		b.delivered = c
 		if c.Queue != q || c.Seq != want {
-			return &c, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
+			return &b.delivered, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
 				ErrOutOfOrder, q, c, want)
 		}
-		b.deliveredSeq[q] = want + 1
-		b.sysOcc[q]--
-		b.pendingReq[q]--
+		qs.deliveredSeq = want + 1
+		qs.sysOcc--
+		qs.pendingReq--
+		b.pendingTotal--
 		b.stats.Deliveries++
 		if bypassed {
 			b.stats.Bypasses++
 		}
-		return &c, bypassed, nil
+		return &b.delivered, bypassed, nil
 	}
 
 	if phys == cell.NoPhysQueue {
 		// Bypass delivery from the tail SRAM front.
-		tq := b.tailQueue(q)
-		if len(tq.cells) == 0 || tq.promised == 0 {
+		if qs.tail.len() == 0 || qs.tail.promised == 0 {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
 				ErrMiss, q, b.now)
 		}
-		c := tq.cells[0]
-		tq.cells = tq.cells[1:]
-		tq.promised--
+		c := qs.tail.popFront()
+		qs.tail.promised--
 		b.tailTotal--
 		return finish(c, true)
 	}
@@ -440,10 +534,8 @@ func (b *Buffer) tailCycle() error {
 	if err := b.mapr.NoteWrite(q, p); err != nil {
 		return err
 	}
-	tq := b.tailQueue(q)
-	blk := make([]cell.Cell, b.cfg.Bsmall)
-	copy(blk, tq.cells[tq.promised:tq.promised+b.cfg.Bsmall])
-	tq.cells = append(tq.cells[:tq.promised], tq.cells[tq.promised+b.cfg.Bsmall:]...)
+	blk := b.dram.AcquireBlock()
+	b.qs[q].tail.extractBlock(b.cfg.Bsmall, blk)
 	b.tmma.OnTransfer(q)
 	return b.sched.Enqueue(dss.Request{
 		Queue: p, Dir: dss.Write, Ordinal: ordinal, Bank: bank,
@@ -483,15 +575,17 @@ func (b *Buffer) dsaCycle(budget int) error {
 			if _, err := b.dram.BeginWriteAt(r.Queue, r.Ordinal, r.Cells, b.now); err != nil {
 				return fmt.Errorf("core: DSA write issue: %w", err)
 			}
-			// The block physically leaves the tail SRAM on the bus.
+			// The block physically leaves the tail SRAM on the bus; its
+			// staging storage goes back to the pool.
 			b.tailTotal -= len(r.Cells)
+			b.dram.ReleaseBlock(r.Cells)
 		case dss.Read:
 			_, cells, err := b.dram.BeginReadAt(r.Queue, r.Ordinal, b.now)
 			if err != nil {
 				return fmt.Errorf("core: DSA read issue: %w", err)
 			}
-			at := b.now + access
-			b.completions[at] = append(b.completions[at], completion{
+			at := int((b.now + access) % cell.Slot(len(b.compRing)))
+			b.compRing[at] = append(b.compRing[at], completion{
 				phys: r.Queue, ordinal: r.Ordinal, cells: cells,
 			})
 		}

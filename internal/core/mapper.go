@@ -31,12 +31,12 @@ type identityMapper struct {
 	dram *dram.DRAM
 	// towardDRAM counts cells written toward DRAM minus cells
 	// requested, per queue — the single-entry degenerate form of the
-	// renaming counter.
-	towardDRAM map[cell.QueueID]int
+	// renaming counter. Dense arena indexed by the queue ordinal.
+	towardDRAM []int
 }
 
-func newIdentityMapper(d *dram.DRAM) *identityMapper {
-	return &identityMapper{dram: d, towardDRAM: make(map[cell.QueueID]int)}
+func newIdentityMapper(d *dram.DRAM, queues int) *identityMapper {
+	return &identityMapper{dram: d, towardDRAM: make([]int, queues)}
 }
 
 func (m *identityMapper) PeekWriteTarget(q cell.QueueID) (cell.PhysQueueID, error) {
@@ -57,7 +57,7 @@ func (m *identityMapper) NoteWrite(q cell.QueueID, _ cell.PhysQueueID) error {
 }
 
 func (m *identityMapper) ConsumeForRequest(q cell.QueueID) (cell.PhysQueueID, bool) {
-	if m.towardDRAM[q] <= 0 {
+	if q < 0 || int(q) >= len(m.towardDRAM) || m.towardDRAM[q] <= 0 {
 		return cell.NoPhysQueue, false
 	}
 	m.towardDRAM[q]--

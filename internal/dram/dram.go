@@ -60,6 +60,11 @@ type Config struct {
 	// BankCapacityBlocks is the number of blocks each bank can store.
 	// Zero means unbounded (useful for pure-timing tests).
 	BankCapacityBlocks int
+	// Queues sizes the per-queue state arena at construction (the
+	// physical name space P). Zero lets the arena grow on demand —
+	// convenient for tests, but production callers should size it so
+	// the datapath never grows.
+	Queues int
 }
 
 // Validate reports whether the configuration is usable.
@@ -77,6 +82,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dram: BlockCells must be positive, got %d", c.BlockCells)
 	case c.BankCapacityBlocks < 0:
 		return fmt.Errorf("dram: BankCapacityBlocks must be non-negative, got %d", c.BankCapacityBlocks)
+	case c.Queues < 0:
+		return fmt.Errorf("dram: Queues must be non-negative, got %d", c.Queues)
 	}
 	return nil
 }
@@ -86,9 +93,10 @@ func (c Config) Groups() int { return c.Banks / c.BanksPerGroup }
 
 // queueState tracks one physical queue's stored blocks plus the
 // reservation cursors. blocks holds *issued* writes, keyed by block
-// ordinal; reads remove entries. Ordinals below readReserved are
-// consumed; ordinals in [readReserved, writeReserved) are live or in
-// flight.
+// ordinal (not a queue identifier — the queue dimension itself is the
+// dense arena index); reads remove entries. Ordinals below
+// readReserved are consumed; ordinals in [readReserved, writeReserved)
+// are live or in flight.
 type queueState struct {
 	blocks map[uint64][]cell.Cell
 	// writeReserved is the next block ordinal to assign to a write.
@@ -103,9 +111,13 @@ type queueState struct {
 // the simulator is single-goroutine by design (see DESIGN.md §6).
 type DRAM struct {
 	cfg       Config
-	busyUntil []cell.Slot // per bank: busy while now < busyUntil
-	groupBlk  []int       // per group: blocks reserved-or-stored
-	queues    map[cell.PhysQueueID]*queueState
+	busyUntil []cell.Slot  // per bank: busy while now < busyUntil
+	groupBlk  []int        // per group: blocks reserved-or-stored
+	queues    []queueState // dense arena indexed by physical ordinal
+
+	// blockPool recycles b-cell block storage between writes and reads
+	// so the steady-state datapath does not allocate.
+	blockPool [][]cell.Cell
 
 	// accesses counts issued bank accesses, for stats.
 	accesses uint64
@@ -125,7 +137,7 @@ func New(cfg Config) *DRAM {
 		cfg:       cfg,
 		busyUntil: make([]cell.Slot, cfg.Banks),
 		groupBlk:  make([]int, cfg.Groups()),
-		queues:    make(map[cell.PhysQueueID]*queueState),
+		queues:    make([]queueState, cfg.Queues),
 	}
 }
 
@@ -255,12 +267,39 @@ func (d *DRAM) Utilization(now cell.Slot) float64 {
 }
 
 func (d *DRAM) queue(p cell.PhysQueueID) *queueState {
-	q, ok := d.queues[p]
-	if !ok {
-		q = &queueState{blocks: make(map[uint64][]cell.Cell)}
-		d.queues[p] = q
+	for int(p) >= len(d.queues) {
+		d.queues = append(d.queues, queueState{})
+	}
+	q := &d.queues[p]
+	if q.blocks == nil {
+		q.blocks = make(map[uint64][]cell.Cell)
 	}
 	return q
+}
+
+// AcquireBlock returns a length-b cell slice from the recycling pool
+// (or a fresh one). Recycled slices retain stale contents: the caller
+// must overwrite all b entries. Callers staging a write block through
+// the DSS use it so the steady-state write path does not allocate;
+// the slice comes back to the pool via ReleaseBlock.
+func (d *DRAM) AcquireBlock() []cell.Cell {
+	if n := len(d.blockPool); n > 0 {
+		blk := d.blockPool[n-1]
+		d.blockPool = d.blockPool[:n-1]
+		return blk
+	}
+	return make([]cell.Cell, d.cfg.BlockCells)
+}
+
+// ReleaseBlock returns a block slice — one handed out by AcquireBlock
+// or returned by BeginRead/BeginReadAt — to the recycling pool. The
+// caller must not retain the slice afterwards. Slices of the wrong
+// size are dropped.
+func (d *DRAM) ReleaseBlock(blk []cell.Cell) {
+	if len(blk) != d.cfg.BlockCells {
+		return
+	}
+	d.blockPool = append(d.blockPool, blk)
 }
 
 // ReserveWrite assigns the next block ordinal (and hence bank) of
@@ -300,7 +339,7 @@ func (d *DRAM) BeginWriteAt(p cell.PhysQueueID, ordinal uint64, cells []cell.Cel
 		return NoBank, fmt.Errorf("%w: bank %d busy until slot %d, write at slot %d",
 			ErrBankConflict, b, d.busyUntil[b], now)
 	}
-	stored := make([]cell.Cell, len(cells))
+	stored := d.AcquireBlock()
 	copy(stored, cells)
 	q.blocks[ordinal] = stored
 	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)

@@ -117,7 +117,10 @@ type Scheduler struct {
 	policy   Policy
 	rr       []Request // age-ordered: rr[0] is the oldest
 	orr      []lock
-	stats    Stats
+	// issued is the reusable result buffer handed back by Cycle, so
+	// the per-cycle selection does not allocate.
+	issued []Request
+	stats  Stats
 }
 
 // lock is one ORR entry: a bank and the slot its access completes.
@@ -217,13 +220,16 @@ func (s *Scheduler) ORRLen(now cell.Slot) int {
 //
 // budget is 2 in the paper's configuration: the buffer sustains one
 // read and one write block per b slots (bandwidth 2× the line rate).
+//
+// The returned slice is owned by the Scheduler and valid only until
+// the next Cycle call; callers must consume it before cycling again.
 func (s *Scheduler) Cycle(now cell.Slot, budget, accessSlots int) []Request {
 	s.pruneORR(now)
 	if len(s.rr) == 0 {
 		s.stats.EmptyCycles++
 		return nil
 	}
-	var issued []Request
+	issued := s.issued[:0]
 	for n := 0; n < budget; n++ {
 		idx := -1
 		if s.policy == FIFOBlocking {
@@ -268,6 +274,10 @@ func (s *Scheduler) Cycle(now cell.Slot, budget, accessSlots int) []Request {
 		if len(s.rr) == 0 {
 			break
 		}
+	}
+	s.issued = issued
+	if len(issued) == 0 {
+		return nil
 	}
 	return issued
 }

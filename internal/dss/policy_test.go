@@ -79,6 +79,7 @@ func TestPolicyAccessors(t *testing.T) {
 // BenchmarkPolicy measures scheduler cycles per second for both
 // disciplines on the conflicting stream (the DESIGN.md ablation).
 func BenchmarkPolicy(b *testing.B) {
+	b.ReportAllocs()
 	for _, p := range []Policy{OldestReadyFirst, FIFOBlocking} {
 		b.Run(p.String(), func(b *testing.B) {
 			s := NewWithPolicy(16, p)

@@ -8,6 +8,7 @@ import (
 
 // BenchmarkLookaheadShift measures the shift-register datapath cost.
 func BenchmarkLookaheadShift(b *testing.B) {
+	b.ReportAllocs()
 	l, _ := NewLookahead(4096)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -19,9 +20,10 @@ func BenchmarkLookaheadShift(b *testing.B) {
 // scale: Q=512 queues, a full pipeline of Q(b−1)+1+Λ ≈ 4.6k entries
 // (b=4). This is the operation the hardware performs every b slots.
 func BenchmarkECQFSelect(b *testing.B) {
+	b.ReportAllocs()
 	const pipe = 4573
 	look, _ := NewLookahead(pipe)
-	e, _ := NewECQF(look, 4)
+	e, _ := NewECQF(look, 4, 512)
 	for i := 0; i < pipe; i++ {
 		look.Shift(cell.PhysQueueID(i % 512))
 	}
@@ -42,7 +44,8 @@ func BenchmarkECQFSelect(b *testing.B) {
 
 // BenchmarkMDQFSelect measures the lookahead-free baseline's scan.
 func BenchmarkMDQFSelect(b *testing.B) {
-	m, _ := NewMDQF(4)
+	b.ReportAllocs()
+	m, _ := NewMDQF(4, 512)
 	for q := cell.PhysQueueID(0); q < 512; q++ {
 		m.OnRequestEnter(q)
 	}

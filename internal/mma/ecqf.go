@@ -39,31 +39,53 @@ type HeadMMA interface {
 // queue's occupancy counter per request; the first queue whose scratch
 // counter goes negative is "critical" and is selected. With lookahead
 // L* = Q(b−1)+1 this minimizes SRAM to Q(b−1) cells.
+//
+// All per-queue state is kept in dense slices indexed by the physical
+// queue ordinal; the scratch counters are epoch-stamped so Select does
+// no clearing work proportional to the queue count.
 type ECQF struct {
 	b    int
 	look *Lookahead
-	occ  map[cell.PhysQueueID]int
-	// scratch is reused across Select calls to avoid per-call
-	// allocation on the hot path.
-	scratch map[cell.PhysQueueID]int
+	occ  []int32
+	// scratch/stamp implement an epoch-validated scratch array: an
+	// entry is live only when stamp[q] == epoch, so each Select starts
+	// from logically-zero counters without touching O(queues) memory.
+	scratch []int32
+	stamp   []uint32
+	epoch   uint32
 }
 
 var _ HeadMMA = (*ECQF)(nil)
 
-// NewECQF builds an ECQF over the given lookahead with granularity b.
-func NewECQF(look *Lookahead, b int) (*ECQF, error) {
+// NewECQF builds an ECQF over the given lookahead with granularity b
+// for a physical name space of queues ordinals. Queues beyond the
+// initial size are accommodated by growing the arenas (amortized, off
+// the steady-state path).
+func NewECQF(look *Lookahead, b, queues int) (*ECQF, error) {
 	if look == nil {
 		return nil, fmt.Errorf("mma: ECQF needs a lookahead register")
 	}
 	if b <= 0 {
 		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
 	}
+	if queues < 0 {
+		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
+	}
 	return &ECQF{
 		b:       b,
 		look:    look,
-		occ:     make(map[cell.PhysQueueID]int),
-		scratch: make(map[cell.PhysQueueID]int),
+		occ:     make([]int32, queues),
+		scratch: make([]int32, queues),
+		stamp:   make([]uint32, queues),
 	}, nil
+}
+
+func (e *ECQF) ensure(q cell.PhysQueueID) {
+	for int(q) >= len(e.occ) {
+		e.occ = append(e.occ, 0)
+		e.scratch = append(e.scratch, 0)
+		e.stamp = append(e.stamp, 0)
+	}
 }
 
 // OnRequestEnter implements HeadMMA. ECQF's ledger moves on replenish
@@ -72,23 +94,39 @@ func NewECQF(look *Lookahead, b int) (*ECQF, error) {
 func (e *ECQF) OnRequestEnter(cell.PhysQueueID) {}
 
 // OnRequestLeave implements HeadMMA.
-func (e *ECQF) OnRequestLeave(q cell.PhysQueueID) { e.occ[q]-- }
+func (e *ECQF) OnRequestLeave(q cell.PhysQueueID) {
+	e.ensure(q)
+	e.occ[q]--
+}
 
 // OnReplenish credits the ledger with one block of b cells; the caller
 // invokes it when the replenish request is handed to the DRAM side.
-func (e *ECQF) OnReplenish(q cell.PhysQueueID) { e.occ[q] += e.b }
+func (e *ECQF) OnReplenish(q cell.PhysQueueID) {
+	e.ensure(q)
+	e.occ[q] += int32(e.b)
+}
 
 // Occupancy implements HeadMMA.
-func (e *ECQF) Occupancy(q cell.PhysQueueID) int { return e.occ[q] }
+func (e *ECQF) Occupancy(q cell.PhysQueueID) int {
+	if q < 0 || int(q) >= len(e.occ) {
+		return 0
+	}
+	return int(e.occ[q])
+}
 
 // Select implements HeadMMA: the earliest critical queue, in lookahead
-// order. The scratch map holds the number of pending lookahead
+// order. The scratch counters hold the number of pending lookahead
 // requests seen so far per queue; queue q is critical at the request
 // that makes occ[q] − seen[q] < 0. When no queue is critical the MMA
 // idles — replenishing uncritical queues would only inflate the SRAM
 // occupancy beyond the dimensioned bound.
 func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
-	clear(e.scratch)
+	e.epoch++
+	if e.epoch == 0 {
+		// uint32 wrap: stale stamps could alias the new epoch.
+		clear(e.stamp)
+		e.epoch = 1
+	}
 	var (
 		chosen cell.PhysQueueID
 		found  bool
@@ -96,6 +134,11 @@ func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, b
 	e.look.Scan(func(_ int, q cell.PhysQueueID) bool {
 		if q == cell.NoPhysQueue {
 			return true
+		}
+		e.ensure(q)
+		if e.stamp[q] != e.epoch {
+			e.stamp[q] = e.epoch
+			e.scratch[q] = 0
 		}
 		e.scratch[q]++
 		if e.occ[q]-e.scratch[q] < 0 {
@@ -108,7 +151,7 @@ func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, b
 			// scanning for a later critical queue, and reset this
 			// queue's scratch so criticality re-triggers only after b
 			// more of its requests.
-			e.scratch[q] -= e.b
+			e.scratch[q] -= int32(e.b)
 		}
 		return true
 	})
@@ -122,31 +165,34 @@ func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, b
 // quantifies that.
 type MDQF struct {
 	b   int
-	occ map[cell.PhysQueueID]int
-	// known tracks every queue ever seen, so Select can consider
-	// queues whose requests all left the pipeline already.
-	known map[cell.PhysQueueID]struct{}
+	occ []int32
 }
 
 var _ HeadMMA = (*MDQF)(nil)
 
-// NewMDQF builds an MDQF with granularity b.
-func NewMDQF(b int) (*MDQF, error) {
+// NewMDQF builds an MDQF with granularity b for a physical name space
+// of queues ordinals.
+func NewMDQF(b, queues int) (*MDQF, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
 	}
-	return &MDQF{
-		b:     b,
-		occ:   make(map[cell.PhysQueueID]int),
-		known: make(map[cell.PhysQueueID]struct{}),
-	}, nil
+	if queues < 0 {
+		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
+	}
+	return &MDQF{b: b, occ: make([]int32, queues)}, nil
+}
+
+func (m *MDQF) ensure(q cell.PhysQueueID) {
+	for int(q) >= len(m.occ) {
+		m.occ = append(m.occ, 0)
+	}
 }
 
 // OnRequestEnter implements HeadMMA: MDQF reacts at entry time (it has
 // no lookahead window, so the request is "seen" immediately).
 func (m *MDQF) OnRequestEnter(q cell.PhysQueueID) {
+	m.ensure(q)
 	m.occ[q]--
-	m.known[q] = struct{}{}
 }
 
 // OnRequestLeave implements HeadMMA (a no-op: the debit was taken at
@@ -155,26 +201,31 @@ func (m *MDQF) OnRequestLeave(cell.PhysQueueID) {}
 
 // OnReplenish credits one block.
 func (m *MDQF) OnReplenish(q cell.PhysQueueID) {
-	m.occ[q] += m.b
-	m.known[q] = struct{}{}
+	m.ensure(q)
+	m.occ[q] += int32(m.b)
 }
 
 // Occupancy implements HeadMMA.
-func (m *MDQF) Occupancy(q cell.PhysQueueID) int { return m.occ[q] }
+func (m *MDQF) Occupancy(q cell.PhysQueueID) int {
+	if q < 0 || int(q) >= len(m.occ) {
+		return 0
+	}
+	return int(m.occ[q])
+}
 
 // Select implements HeadMMA: deepest deficit first, ties to the lowest
 // queue id for determinism. Only queues in actual deficit (occupancy
 // below zero, i.e. requests outstanding beyond replenished cells) are
-// considered; otherwise the MMA idles like ECQF does.
+// considered; otherwise the MMA idles like ECQF does. The dense arena
+// makes this a linear scan over the physical name space.
 func (m *MDQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
-	best, bestOcc, found := cell.NoPhysQueue, 0, false
-	for q := range m.known {
-		if m.occ[q] >= 0 || !eligible(q) {
+	best, bestOcc, found := cell.NoPhysQueue, int32(0), false
+	for i := range m.occ {
+		q := cell.PhysQueueID(i)
+		if m.occ[i] >= 0 || (found && m.occ[i] >= bestOcc) || !eligible(q) {
 			continue
 		}
-		if !found || m.occ[q] < bestOcc || (m.occ[q] == bestOcc && q < best) {
-			best, bestOcc, found = q, m.occ[q], true
-		}
+		best, bestOcc, found = q, m.occ[i], true
 	}
 	return best, found
 }

@@ -94,7 +94,7 @@ func TestECQFPaperExample(t *testing.T) {
 	// queue 1: scanning, queue 3 loses 2 (occ 2->0), queue 1 loses 3
 	// (occ 2 -> -1) => queue 1 critical first.
 	look, _ := NewLookahead(6)
-	e, err := NewECQF(look, 3)
+	e, err := NewECQF(look, 3, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestECQFPaperExample(t *testing.T) {
 
 func TestECQFCountsAndCriticality(t *testing.T) {
 	look, _ := NewLookahead(4)
-	e, _ := NewECQF(look, 2)
+	e, _ := NewECQF(look, 2, 16)
 	// No requests: nothing critical.
 	if _, ok := e.Select(allEligible); ok {
 		t.Error("empty lookahead selected a queue")
@@ -139,7 +139,7 @@ func TestECQFCountsAndCriticality(t *testing.T) {
 
 func TestECQFSkipsIneligibleCritical(t *testing.T) {
 	look, _ := NewLookahead(4)
-	e, _ := NewECQF(look, 2)
+	e, _ := NewECQF(look, 2, 16)
 	look.Shift(1)
 	look.Shift(2)
 	// Queue 1 critical first but ineligible; queue 2 must be chosen.
@@ -152,7 +152,7 @@ func TestECQFSkipsIneligibleCritical(t *testing.T) {
 
 func TestECQFIdlesWithoutCriticality(t *testing.T) {
 	look, _ := NewLookahead(4)
-	e, _ := NewECQF(look, 4)
+	e, _ := NewECQF(look, 4, 16)
 	// One pending request, occupancy 2: not critical (2-1 >= 0), so
 	// the MMA must idle rather than inflate the SRAM.
 	e.OnReplenish(5) // occ 4
@@ -166,7 +166,7 @@ func TestECQFIdlesWithoutCriticality(t *testing.T) {
 
 func TestECQFLedger(t *testing.T) {
 	look, _ := NewLookahead(2)
-	e, _ := NewECQF(look, 3)
+	e, _ := NewECQF(look, 3, 16)
 	e.OnReplenish(9)
 	e.OnReplenish(9)
 	e.OnRequestLeave(9)
@@ -181,16 +181,16 @@ func TestECQFLedger(t *testing.T) {
 
 func TestNewECQFValidation(t *testing.T) {
 	look, _ := NewLookahead(2)
-	if _, err := NewECQF(nil, 2); err == nil {
+	if _, err := NewECQF(nil, 2, 16); err == nil {
 		t.Error("nil lookahead accepted")
 	}
-	if _, err := NewECQF(look, 0); err == nil {
+	if _, err := NewECQF(look, 0, 16); err == nil {
 		t.Error("zero granularity accepted")
 	}
 }
 
 func TestMDQFSelectsDeepestDeficit(t *testing.T) {
-	m, err := NewMDQF(2)
+	m, err := NewMDQF(2, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestMDQFSelectsDeepestDeficit(t *testing.T) {
 		t.Errorf("Select = %d, %v; want 1", q, ok)
 	}
 	// Tie break toward lower id.
-	m2, _ := NewMDQF(2)
+	m2, _ := NewMDQF(2, 16)
 	m2.OnRequestEnter(8)
 	m2.OnRequestEnter(4)
 	if q, ok := m2.Select(allEligible); !ok || q != 4 {
@@ -218,17 +218,17 @@ func TestMDQFSelectsDeepestDeficit(t *testing.T) {
 }
 
 func TestNewMDQFValidation(t *testing.T) {
-	if _, err := NewMDQF(0); err == nil {
+	if _, err := NewMDQF(0, 16); err == nil {
 		t.Error("zero granularity accepted")
 	}
 }
 
 func TestTailMMA(t *testing.T) {
-	tm, err := NewTailMMA(3)
+	tm, err := NewTailMMA(3, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewTailMMA(0); err == nil {
+	if _, err := NewTailMMA(0, 16); err == nil {
 		t.Error("zero granularity accepted")
 	}
 	// No queue has b cells yet.
@@ -275,7 +275,7 @@ func TestECQFZeroMissSingleQueueTheory(t *testing.T) {
 	const Q, b = 4, 3
 	lookSize := Q*(b-1) + 1
 	look, _ := NewLookahead(lookSize)
-	e, _ := NewECQF(look, b)
+	e, _ := NewECQF(look, b, 64)
 	// Start with every queue's SRAM primed at b-1 cells (steady state).
 	for q := cell.PhysQueueID(0); q < Q; q++ {
 		e.occ[q] = b - 1

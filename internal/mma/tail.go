@@ -14,56 +14,75 @@ import (
 // This implementation picks the queue with the highest occupancy
 // (largest backlog first), which satisfies the rule and minimizes the
 // occupancy high-water mark; ties break toward the lowest queue id for
-// determinism.
+// determinism. The occupancy ledger is a dense slice indexed by the
+// logical queue ordinal.
 type TailMMA struct {
 	b   int
-	occ map[cell.QueueID]int
+	occ []int32
 }
 
-// NewTailMMA builds a tail MMA with granularity b.
-func NewTailMMA(b int) (*TailMMA, error) {
+// NewTailMMA builds a tail MMA with granularity b for queues logical
+// queues. Queues beyond the initial size are accommodated by growing
+// the ledger (amortized, off the steady-state path).
+func NewTailMMA(b, queues int) (*TailMMA, error) {
 	if b <= 0 {
 		return nil, fmt.Errorf("mma: granularity must be positive, got %d", b)
 	}
-	return &TailMMA{b: b, occ: make(map[cell.QueueID]int)}, nil
+	if queues < 0 {
+		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
+	}
+	return &TailMMA{b: b, occ: make([]int32, queues)}, nil
+}
+
+func (t *TailMMA) ensure(q cell.QueueID) {
+	for int(q) >= len(t.occ) {
+		t.occ = append(t.occ, 0)
+	}
 }
 
 // OnArrival records one cell arriving into the tail SRAM for queue q.
-func (t *TailMMA) OnArrival(q cell.QueueID) { t.occ[q]++ }
+func (t *TailMMA) OnArrival(q cell.QueueID) {
+	t.ensure(q)
+	t.occ[q]++
+}
 
 // OnTransfer debits one block handed to the DRAM side.
 func (t *TailMMA) OnTransfer(q cell.QueueID) {
-	t.occ[q] -= t.b
-	if t.occ[q] == 0 {
-		delete(t.occ, q)
-	}
+	t.ensure(q)
+	t.occ[q] -= int32(t.b)
 }
 
 // OnBypass records one cell leaving the tail SRAM directly to the
 // egress (the cut-through path for queues with no DRAM backlog).
 func (t *TailMMA) OnBypass(q cell.QueueID) {
+	t.ensure(q)
 	t.occ[q]--
-	if t.occ[q] == 0 {
-		delete(t.occ, q)
-	}
 }
 
 // Occupancy returns the tail-SRAM ledger for q.
-func (t *TailMMA) Occupancy(q cell.QueueID) int { return t.occ[q] }
+func (t *TailMMA) Occupancy(q cell.QueueID) int {
+	if q < 0 || int(q) >= len(t.occ) {
+		return 0
+	}
+	return int(t.occ[q])
+}
 
 // Select returns the queue to write back, or ok=false if no queue has
 // accumulated a full block. eligible lets the caller veto queues whose
 // DRAM group cannot accept a write right now (the renaming layer then
 // redirects them).
 func (t *TailMMA) Select(eligible func(cell.QueueID) bool) (cell.QueueID, bool) {
-	best, bestOcc, found := cell.NoQueue, 0, false
-	for q, n := range t.occ {
-		if n < t.b || !eligible(q) {
+	best, bestOcc, found := cell.NoQueue, int32(0), false
+	for i := range t.occ {
+		n := t.occ[i]
+		if n < int32(t.b) || (found && n <= bestOcc) {
 			continue
 		}
-		if !found || n > bestOcc || (n == bestOcc && q < best) {
-			best, bestOcc, found = q, n, true
+		q := cell.QueueID(i)
+		if !eligible(q) {
+			continue
 		}
+		best, bestOcc, found = q, n, true
 	}
 	return best, found
 }

@@ -11,6 +11,14 @@
 // when its counter reaches zero the head advances and the physical
 // name returns to the free pool.
 //
+// The registers live in a dense slice indexed by the logical queue
+// ordinal, and each register is a true fixed-capacity ring (matching
+// the paper's circular hardware register); the name→owner table is a
+// slice indexed by the physical ordinal. Physical names are dense by
+// construction: name p belongs to group p mod G and the full space is
+// exactly G·namesPerGroup ordinals, so slice indexing is exact, not a
+// hash.
+//
 // The scheme is invisible to the MMA and DSS layers: they operate on
 // physical names only ("all previous results remain the same, although
 // QP is used instead of Q", §6).
@@ -39,10 +47,33 @@ type entry struct {
 	count int
 }
 
-// register is the per-logical-queue circular register. The paper's
-// hardware is a fixed-capacity ring; we model it as a bounded deque.
+// register is the per-logical-queue circular register: a fixed-size
+// ring of entries. Storage is allocated on the queue's first write and
+// reused forever after.
 type register struct {
 	entries []entry
+	head    int
+	count   int
+}
+
+func (r *register) at(i int) *entry {
+	return &r.entries[(r.head+i)%len(r.entries)]
+}
+
+func (r *register) headEntry() *entry { return r.at(0) }
+
+func (r *register) tailEntry() *entry { return r.at(r.count - 1) }
+
+func (r *register) push(e entry) {
+	*r.at(r.count) = e
+	r.count++
+}
+
+func (r *register) popHead() entry {
+	e := r.entries[r.head]
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+	return e
 }
 
 // Table is the set of renaming registers plus the free pool of
@@ -51,10 +82,10 @@ type register struct {
 type Table struct {
 	groups     int
 	blockCells int
-	capacity   int // max entries per register
-	regs       map[cell.QueueID]*register
-	free       [][]cell.PhysQueueID // per group, LIFO of free names
-	inUse      map[cell.PhysQueueID]cell.QueueID
+	capacity   int        // max entries per register
+	regs       []register // dense arena indexed by logical ordinal
+	free       [][]cell.PhysQueueID
+	inUse      []cell.QueueID // indexed by physical ordinal; NoQueue = free
 	totalNames int
 }
 
@@ -77,10 +108,12 @@ func New(groups, namesPerGroup, registerCap, blockCells int) (*Table, error) {
 		groups:     groups,
 		blockCells: blockCells,
 		capacity:   registerCap,
-		regs:       make(map[cell.QueueID]*register),
 		free:       make([][]cell.PhysQueueID, groups),
-		inUse:      make(map[cell.PhysQueueID]cell.QueueID),
+		inUse:      make([]cell.QueueID, groups*namesPerGroup),
 		totalNames: groups * namesPerGroup,
+	}
+	for i := range t.inUse {
+		t.inUse[i] = cell.NoQueue
 	}
 	// Name p lives in group p mod G; stack them so low names pop first.
 	for g := 0; g < groups; g++ {
@@ -99,47 +132,69 @@ func (t *Table) Groups() int { return t.groups }
 // FreeNames returns the number of unused physical names in group g.
 func (t *Table) FreeNames(g int) int { return len(t.free[g]) }
 
-// TotalNames returns the physical name space size P.
+// TotalNames returns the physical name space size P. Every name the
+// table ever hands out is an ordinal in [0, P), so arenas indexed by
+// physical name can be sized exactly.
 func (t *Table) TotalNames() int { return t.totalNames }
 
 // RegisterCap returns the per-register entry capacity.
 func (t *Table) RegisterCap() int { return t.capacity }
 
+// reg returns the register for q, growing the arena if q is beyond it
+// (amortized; steady state never grows). It may return a register with
+// count == 0 (no live mapping).
+func (t *Table) reg(q cell.QueueID) *register {
+	for int(q) >= len(t.regs) {
+		t.regs = append(t.regs, register{})
+	}
+	return &t.regs[q]
+}
+
+// peek returns the register for q without growing the arena, or nil.
+func (t *Table) peek(q cell.QueueID) *register {
+	if q < 0 || int(q) >= len(t.regs) {
+		return nil
+	}
+	return &t.regs[q]
+}
+
 // ReadTargetTail returns the physical name of q's tail entry (where
 // writes currently land), if any.
 func (t *Table) ReadTargetTail(q cell.QueueID) (cell.PhysQueueID, bool) {
-	r := t.regs[q]
-	if r == nil || len(r.entries) == 0 {
+	r := t.peek(q)
+	if r == nil || r.count == 0 {
 		return cell.NoPhysQueue, false
 	}
-	return r.entries[len(r.entries)-1].phys, true
+	return r.tailEntry().phys, true
 }
 
 // Entries returns the number of live register entries for q.
 func (t *Table) Entries(q cell.QueueID) int {
-	if r, ok := t.regs[q]; ok {
-		return len(r.entries)
+	if r := t.peek(q); r != nil {
+		return r.count
 	}
 	return 0
 }
 
 // CellsInDRAM returns the total cell count across q's entries.
 func (t *Table) CellsInDRAM(q cell.QueueID) int {
-	r, ok := t.regs[q]
-	if !ok {
+	r := t.peek(q)
+	if r == nil {
 		return 0
 	}
 	total := 0
-	for _, e := range r.entries {
-		total += e.count
+	for i := 0; i < r.count; i++ {
+		total += r.at(i).count
 	}
 	return total
 }
 
 // Owner returns the logical queue using physical name p, if any.
 func (t *Table) Owner(p cell.PhysQueueID) (cell.QueueID, bool) {
-	q, ok := t.inUse[p]
-	return q, ok
+	if p < 0 || int(p) >= len(t.inUse) || t.inUse[p] == cell.NoQueue {
+		return cell.NoQueue, false
+	}
+	return t.inUse[p], true
 }
 
 // WriteTarget returns the physical queue the next block of q must be
@@ -153,14 +208,14 @@ func (t *Table) Owner(p cell.PhysQueueID) (cell.QueueID, bool) {
 // returned, and NoteWrite must follow each successful DRAM
 // reservation.
 func (t *Table) WriteTarget(q cell.QueueID, groupOK func(g int) bool, groupOcc func(g int) int) (cell.PhysQueueID, error) {
-	r := t.regs[q]
-	if r != nil && len(r.entries) > 0 {
-		tail := r.entries[len(r.entries)-1]
+	r := t.reg(q)
+	if r.count > 0 {
+		tail := r.tailEntry()
 		if groupOK(int(tail.phys) % t.groups) {
 			return tail.phys, nil
 		}
-		if len(r.entries) >= t.capacity {
-			return cell.NoPhysQueue, fmt.Errorf("%w: queue %d has %d entries", ErrRegisterFull, q, len(r.entries))
+		if r.count >= t.capacity {
+			return cell.NoPhysQueue, fmt.Errorf("%w: queue %d has %d entries", ErrRegisterFull, q, r.count)
 		}
 	}
 	// Allocate from the least-occupied group that has both free names
@@ -181,11 +236,10 @@ func (t *Table) WriteTarget(q cell.QueueID, groupOK func(g int) bool, groupOcc f
 	names := t.free[bestG]
 	p := names[len(names)-1]
 	t.free[bestG] = names[:len(names)-1]
-	if r == nil {
-		r = &register{}
-		t.regs[q] = r
+	if r.entries == nil {
+		r.entries = make([]entry, t.capacity)
 	}
-	r.entries = append(r.entries, entry{phys: p})
+	r.push(entry{phys: p})
 	t.inUse[p] = q
 	return p, nil
 }
@@ -193,11 +247,11 @@ func (t *Table) WriteTarget(q cell.QueueID, groupOK func(g int) bool, groupOcc f
 // NoteWrite credits one block of cells to the tail entry of q, which
 // must be the entry WriteTarget returned.
 func (t *Table) NoteWrite(q cell.QueueID, p cell.PhysQueueID) error {
-	r := t.regs[q]
-	if r == nil || len(r.entries) == 0 {
+	r := t.peek(q)
+	if r == nil || r.count == 0 {
 		return fmt.Errorf("%w: queue %d", ErrNoEntry, q)
 	}
-	tail := &r.entries[len(r.entries)-1]
+	tail := r.tailEntry()
 	if tail.phys != p {
 		return fmt.Errorf("%w: queue %d tail is %d, got %d", ErrNotTail, q, tail.phys, p)
 	}
@@ -208,11 +262,11 @@ func (t *Table) NoteWrite(q cell.QueueID, p cell.PhysQueueID) error {
 // ReadTarget returns the physical queue holding the oldest cells of q
 // (the head entry), or false if q has nothing in DRAM.
 func (t *Table) ReadTarget(q cell.QueueID) (cell.PhysQueueID, bool) {
-	r := t.regs[q]
-	if r == nil || len(r.entries) == 0 || r.entries[0].count == 0 {
+	r := t.peek(q)
+	if r == nil || r.count == 0 || r.headEntry().count == 0 {
 		return cell.NoPhysQueue, false
 	}
-	return r.entries[0].phys, true
+	return r.headEntry().phys, true
 }
 
 // ConsumeCell debits one cell from the head entry of q — the §6
@@ -221,18 +275,18 @@ func (t *Table) ReadTarget(q cell.QueueID) (cell.PhysQueueID, bool) {
 // the physical name the request must use. When the counter reaches
 // zero the head advances and the physical name is recycled.
 func (t *Table) ConsumeCell(q cell.QueueID) (cell.PhysQueueID, error) {
-	r := t.regs[q]
-	if r == nil || len(r.entries) == 0 {
+	r := t.peek(q)
+	if r == nil || r.count == 0 {
 		return cell.NoPhysQueue, fmt.Errorf("%w: queue %d", ErrNoEntry, q)
 	}
-	head := &r.entries[0]
+	head := r.headEntry()
 	if head.count < 1 {
 		return cell.NoPhysQueue, fmt.Errorf("%w: queue %d head count %d", ErrUnderflow, q, head.count)
 	}
 	p := head.phys
 	head.count--
 	if head.count == 0 {
-		t.releaseHead(q, r)
+		t.releaseHead(r)
 	}
 	return p, nil
 }
@@ -240,15 +294,11 @@ func (t *Table) ConsumeCell(q cell.QueueID) (cell.PhysQueueID, error) {
 // releaseHead frees exhausted head entries. The tail entry is released
 // too when empty — the queue then has no DRAM presence and its next
 // write reallocates, possibly in a different group.
-func (t *Table) releaseHead(q cell.QueueID, r *register) {
-	for len(r.entries) > 0 && r.entries[0].count == 0 {
-		p := r.entries[0].phys
-		g := int(p) % t.groups
-		t.free[g] = append(t.free[g], p)
-		delete(t.inUse, p)
-		r.entries = r.entries[1:]
-	}
-	if len(r.entries) == 0 {
-		delete(t.regs, q)
+func (t *Table) releaseHead(r *register) {
+	for r.count > 0 && r.headEntry().count == 0 {
+		e := r.popHead()
+		g := int(e.phys) % t.groups
+		t.free[g] = append(t.free[g], e.phys)
+		t.inUse[e.phys] = cell.NoQueue
 	}
 }

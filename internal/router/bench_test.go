@@ -11,6 +11,7 @@ import (
 // BenchmarkRouterStep measures the per-slot cost of the whole router
 // (segmentation + 4 buffers + iSLIP + reassembly) under ~full load.
 func BenchmarkRouterStep(b *testing.B) {
+	b.ReportAllocs()
 	r, err := New(Config{
 		Ports:   4,
 		Classes: 2,

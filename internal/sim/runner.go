@@ -45,31 +45,68 @@ type Runner struct {
 
 // Run simulates the given number of slots.
 func (r *Runner) Run(slots uint64) (Result, error) {
+	return r.RunBatch(slots, 1)
+}
+
+// defaultBatch is the RunBatch chunk size when the caller passes 0.
+const defaultBatch = 4096
+
+// RunBatch simulates the given number of slots in chunks of batch
+// (0 selects a default). It is the fast path for long steady-state
+// runs: the per-slot work is reduced to generator calls plus
+// Buffer.Tick — the arrival-process interface dispatch is hoisted out
+// of the inner loop for BatchArrivalProcess implementations (one
+// NextBatch call fills a whole chunk), the delivery-callback and
+// drop-tolerance branches are resolved per batch, and the Stats
+// snapshot is taken once at the end of the run instead of being
+// rebuilt anywhere inside the loop.
+func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
 		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
 	}
+	if batch == 0 {
+		batch = defaultBatch
+	}
 	res := Result{DropsAllowed: r.AllowDrops}
-	for s := uint64(0); s < slots; s++ {
-		in := core.TickInput{
-			Arrival: r.Arrivals.Next(r.Buffer.Now()),
-			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+	buf := r.Buffer
+	onDeliver := r.OnDeliver
+	batchArr, batched := r.Arrivals.(BatchArrivalProcess)
+	var arrBuf []cell.QueueID
+	if batched && batch > 1 {
+		arrBuf = make([]cell.QueueID, batch)
+	} else {
+		batched = false
+	}
+	for done := uint64(0); done < slots; {
+		n := batch
+		if left := slots - done; left < n {
+			n = left
 		}
-		out, err := r.Buffer.Tick(in)
-		if err != nil {
-			if r.AllowDrops && errors.Is(err, core.ErrBufferFull) {
-				err = nil
+		if batched {
+			batchArr.NextBatch(buf.Now(), arrBuf[:n])
+		}
+		for i := uint64(0); i < n; i++ {
+			var in core.TickInput
+			if batched {
+				in.Arrival = arrBuf[i]
 			} else {
-				res.Slots = s + 1
-				res.Stats = r.Buffer.Stats()
-				return res, fmt.Errorf("sim: slot %d: %w", s, err)
+				in.Arrival = r.Arrivals.Next(buf.Now())
+			}
+			in.Request = r.Requests.Next(buf.Now(), buf)
+			out, err := buf.Tick(in)
+			if err != nil && !(r.AllowDrops && errors.Is(err, core.ErrBufferFull)) {
+				res.Slots = done + i + 1
+				res.Stats = buf.Stats()
+				return res, fmt.Errorf("sim: slot %d: %w", done+i, err)
+			}
+			if out.Delivered != nil && onDeliver != nil {
+				onDeliver(*out.Delivered, out.Bypassed)
 			}
 		}
-		if out.Delivered != nil && r.OnDeliver != nil {
-			r.OnDeliver(*out.Delivered, out.Bypassed)
-		}
+		done += n
 	}
 	res.Slots = slots
-	res.Stats = r.Buffer.Stats()
+	res.Stats = buf.Stats()
 	return res, nil
 }
 
@@ -92,11 +129,13 @@ func (r *Runner) Drain(maxSlots uint64) (uint64, error) {
 				r.OnDeliver(*out.Delivered, out.Bypassed)
 			}
 		}
-		if in.Request == cell.NoQueue && out.Delivered == nil {
-			// Nothing requestable and the pipeline has emptied?
-			if r.Buffer.Stats().Deliveries == r.Buffer.Stats().Requests {
-				break
-			}
+		// Terminate as soon as the pipeline is demonstrably drained:
+		// no request issued this slot and none in flight. (Checking
+		// delivery counters only on idle slots would spin for all
+		// maxSlots when a non-idle policy keeps probing an empty
+		// buffer.)
+		if in.Request == cell.NoQueue && r.Buffer.PendingRequests() == 0 {
+			break
 		}
 	}
 	return delivered, nil

@@ -282,3 +282,68 @@ func TestRunnerBoundedDRAMWithDropsAllowed(t *testing.T) {
 		t.Errorf("drops-allowed run not clean: %v", res.Stats)
 	}
 }
+
+func TestDrainTerminatesPromptly(t *testing.T) {
+	// Regression: Drain's early exit used to run only on fully idle
+	// slots, so a drain could burn all maxSlots after the buffer had
+	// emptied. It must now stop as soon as no request is issued and
+	// none is in flight.
+	b := testBuffer(t, 4)
+	req, _ := NewRoundRobinDrain(4)
+
+	// An empty buffer drains in one slot.
+	r := &Runner{Buffer: b, Arrivals: NewSingleQueueArrivals(0), Requests: req}
+	start := b.Now()
+	n, err := r.Drain(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("drained %d cells from empty buffer", n)
+	}
+	if used := uint64(b.Now() - start); used > 1 {
+		t.Errorf("empty drain used %d slots, want 1", used)
+	}
+
+	// A populated buffer drains in O(pipeline) slots, not maxSlots.
+	r.Requests = NewIdleRequests()
+	if _, err := r.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	r.Requests = req
+	start = b.Now()
+	n, err = r.Drain(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("drained %d, want 100", n)
+	}
+	if used := uint64(b.Now() - start); used > 10000 {
+		t.Errorf("drain used %d slots for 100 cells", used)
+	}
+}
+
+func TestRunBatchArrivalEquivalence(t *testing.T) {
+	// The batched arrival fast path must be slot-for-slot identical to
+	// per-slot Next calls.
+	for _, mk := range []struct {
+		name string
+		make func() ArrivalProcess
+	}{
+		{"rr", func() ArrivalProcess { a, _ := NewRoundRobinArrivals(4, 0.7); return a }},
+		{"uniform", func() ArrivalProcess { a, _ := NewUniformArrivals(4, 0.6, 3); return a }},
+		{"single", func() ArrivalProcess { return NewSingleQueueArrivals(2) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			ref, batched := mk.make(), mk.make().(BatchArrivalProcess)
+			got := make([]cell.QueueID, 257)
+			batched.NextBatch(0, got)
+			for i, g := range got {
+				if want := ref.Next(cell.Slot(i)); g != want {
+					t.Fatalf("slot %d: batch %d, per-slot %d", i, g, want)
+				}
+			}
+		})
+	}
+}

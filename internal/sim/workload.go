@@ -34,6 +34,16 @@ type ArrivalProcess interface {
 	Next(slot cell.Slot) cell.QueueID
 }
 
+// BatchArrivalProcess is the optional fast path Runner.RunBatch uses
+// to hoist the per-slot interface dispatch out of the inner loop: one
+// NextBatch call generates the arrivals for len(out) consecutive
+// slots starting at start. Implementations must be equivalent to
+// calling Next once per slot in order.
+type BatchArrivalProcess interface {
+	ArrivalProcess
+	NextBatch(start cell.Slot, out []cell.QueueID)
+}
+
 // RequestPolicy produces at most one scheduler request per slot.
 type RequestPolicy interface {
 	// Next returns the queue to request at slot, or cell.NoQueue. The
@@ -70,6 +80,13 @@ func (u *uniformArrivals) Next(cell.Slot) cell.QueueID {
 	return cell.QueueID(u.rng.Intn(u.q))
 }
 
+// NextBatch implements BatchArrivalProcess.
+func (u *uniformArrivals) NextBatch(start cell.Slot, out []cell.QueueID) {
+	for i := range out {
+		out[i] = u.Next(start + cell.Slot(i))
+	}
+}
+
 // roundRobinArrivals cycles deterministically over the queues at the
 // given load (every k-th slot idles to shape the rate).
 type roundRobinArrivals struct {
@@ -100,6 +117,13 @@ func (r *roundRobinArrivals) Next(cell.Slot) cell.QueueID {
 	q := cell.QueueID(r.next)
 	r.next = (r.next + 1) % r.q
 	return q
+}
+
+// NextBatch implements BatchArrivalProcess.
+func (r *roundRobinArrivals) NextBatch(start cell.Slot, out []cell.QueueID) {
+	for i := range out {
+		out[i] = r.Next(start + cell.Slot(i))
+	}
 }
 
 // hotspotArrivals sends hotFrac of the traffic to queue 0 and spreads
@@ -196,6 +220,13 @@ func NewSingleQueueArrivals(q cell.QueueID) ArrivalProcess {
 }
 
 func (s singleQueueArrivals) Next(cell.Slot) cell.QueueID { return s.q }
+
+// NextBatch implements BatchArrivalProcess.
+func (s singleQueueArrivals) NextBatch(_ cell.Slot, out []cell.QueueID) {
+	for i := range out {
+		out[i] = s.q
+	}
+}
 
 // ---------------------------------------------------------------- requests
 

@@ -9,6 +9,7 @@ import (
 // benchStore measures steady-state insert+pop cost per cell.
 func benchStore(b *testing.B, s Store) {
 	b.Helper()
+	b.ReportAllocs()
 	const queues = 64
 	pos := make([]uint64, queues)
 	b.ResetTimer()
@@ -27,12 +28,12 @@ func benchStore(b *testing.B, s Store) {
 
 // BenchmarkStoreCAM measures the global CAM organization.
 func BenchmarkStoreCAM(b *testing.B) {
-	benchStore(b, NewCAM(1<<16))
+	benchStore(b, NewCAM(1<<16, 64))
 }
 
 // BenchmarkStoreLinkedList measures the unified linked list.
 func BenchmarkStoreLinkedList(b *testing.B) {
-	ls, err := NewList(1<<16, 4, 8)
+	ls, err := NewList(1<<16, 4, 8, 64)
 	if err != nil {
 		b.Fatal(err)
 	}

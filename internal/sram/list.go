@@ -18,17 +18,13 @@ type entry struct {
 }
 
 // listQueue is the per-queue bookkeeping of the linked-list
-// organization: head/tail pointers for each of the B/b bank sublists
-// plus the global pop cursor.
+// organization: the resident-cell count and the global pop cursor. The
+// per-sublist head/tail pointers and ordering state live in the
+// store's flattened arrays (queue ordinal × sublists + sublist index),
+// so adding a queue is one slice grow, not a per-queue allocation.
 type listQueue struct {
-	head, tail []int32
-	count      int
-	nextPop    uint64
-	// lastPos[i] tracks the highest position inserted into sublist i,
-	// to enforce the §8.2 in-order-per-bank discipline.
-	lastPos []uint64
-	// seeded[i] records whether sublist i has received any cell yet.
-	seeded []bool
+	count   int
+	nextPop uint64
 }
 
 // ListStore is the unified linked-list organization (§7.1): a
@@ -38,22 +34,34 @@ type listQueue struct {
 // that out-of-order block delivery across banks never requires
 // mid-list insertion (§8.2 item ii): within one bank, operations are
 // strictly ordered, so each sublist grows FIFO.
+//
+// The slab free list is intrusive (threaded through the entries'
+// next pointers), and all per-queue state is slice-indexed by the
+// physical queue ordinal.
 type ListStore struct {
-	slab      []entry
-	freeHead  int32
-	queues    map[cell.PhysQueueID]*listQueue
-	sublists  int
-	blockCell int
-	total     int
-	highWater int
+	slab     []entry
+	freeHead int32
+	queues   []listQueue
+	// head/tail/lastPos/seeded are indexed by q*sublists + sublist.
+	// lastPos tracks the highest position inserted into a sublist, to
+	// enforce the §8.2 in-order-per-bank discipline; seeded records
+	// whether the sublist has received any cell yet.
+	head, tail []int32
+	lastPos    []uint64
+	seeded     []bool
+	sublists   int
+	blockCell  int
+	total      int
+	highWater  int
 }
 
 var _ Store = (*ListStore)(nil)
 
 // NewList returns a ListStore with the given capacity in cells,
-// blockCells = b (cells per block) and sublists = B/b (banks per
-// group). capacity must be positive: a linked list is a physical slab.
-func NewList(capacity, blockCells, sublists int) (*ListStore, error) {
+// blockCells = b (cells per block), sublists = B/b (banks per group)
+// and queues physical queue ordinals. capacity must be positive: a
+// linked list is a physical slab.
+func NewList(capacity, blockCells, sublists, queues int) (*ListStore, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("sram: list capacity must be positive, got %d", capacity)
 	}
@@ -63,11 +71,21 @@ func NewList(capacity, blockCells, sublists int) (*ListStore, error) {
 	if sublists <= 0 {
 		return nil, fmt.Errorf("sram: sublists must be positive, got %d", sublists)
 	}
+	if queues < 0 {
+		return nil, fmt.Errorf("sram: queues must be non-negative, got %d", queues)
+	}
 	s := &ListStore{
 		slab:      make([]entry, capacity),
-		queues:    make(map[cell.PhysQueueID]*listQueue),
+		queues:    make([]listQueue, queues),
+		head:      make([]int32, queues*sublists),
+		tail:      make([]int32, queues*sublists),
+		lastPos:   make([]uint64, queues*sublists),
+		seeded:    make([]bool, queues*sublists),
 		sublists:  sublists,
 		blockCell: blockCells,
+	}
+	for i := range s.head {
+		s.head[i], s.tail[i] = nilIdx, nilIdx
 	}
 	// Thread the free list through the slab.
 	for i := range s.slab {
@@ -79,26 +97,23 @@ func NewList(capacity, blockCells, sublists int) (*ListStore, error) {
 }
 
 func (s *ListStore) queue(q cell.PhysQueueID) *listQueue {
-	st, ok := s.queues[q]
-	if !ok {
-		st = &listQueue{
-			head:    make([]int32, s.sublists),
-			tail:    make([]int32, s.sublists),
-			lastPos: make([]uint64, s.sublists),
-			seeded:  make([]bool, s.sublists),
+	for int(q) >= len(s.queues) {
+		s.queues = append(s.queues, listQueue{})
+		for i := 0; i < s.sublists; i++ {
+			s.head = append(s.head, nilIdx)
+			s.tail = append(s.tail, nilIdx)
+			s.lastPos = append(s.lastPos, 0)
+			s.seeded = append(s.seeded, false)
 		}
-		for i := range st.head {
-			st.head[i], st.tail[i] = nilIdx, nilIdx
-		}
-		s.queues[q] = st
 	}
-	return st
+	return &s.queues[q]
 }
 
-// sublistFor returns the sublist index for stream position pos: block
-// ordinal mod (B/b), mirroring the block-cyclic bank interleave.
-func (s *ListStore) sublistFor(pos uint64) int {
-	return int((pos / uint64(s.blockCell)) % uint64(s.sublists))
+// sublistFor returns the flattened sublist index for stream position
+// pos of queue q: block ordinal mod (B/b), mirroring the block-cyclic
+// bank interleave.
+func (s *ListStore) sublistFor(q cell.PhysQueueID, pos uint64) int {
+	return int(q)*s.sublists + int((pos/uint64(s.blockCell))%uint64(s.sublists))
 }
 
 // Insert implements Store. Within one sublist, positions must arrive
@@ -112,13 +127,13 @@ func (s *ListStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 	if pos < st.nextPop {
 		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
 	}
-	li := s.sublistFor(pos)
-	if st.seeded[li] && pos <= st.lastPos[li] {
-		if pos == st.lastPos[li] {
+	li := s.sublistFor(q, pos)
+	if s.seeded[li] && pos <= s.lastPos[li] {
+		if pos == s.lastPos[li] {
 			return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
 		}
 		return fmt.Errorf("%w: queue %d pos %d after %d in sublist %d",
-			ErrOrder, q, pos, st.lastPos[li], li)
+			ErrOrder, q, pos, s.lastPos[li], li%s.sublists)
 	}
 
 	// Take a slab entry from the free list.
@@ -126,14 +141,14 @@ func (s *ListStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 	s.freeHead = s.slab[idx].next
 	s.slab[idx] = entry{c: c, pos: pos, next: nilIdx}
 
-	if st.tail[li] == nilIdx {
-		st.head[li] = idx
+	if s.tail[li] == nilIdx {
+		s.head[li] = idx
 	} else {
-		s.slab[st.tail[li]].next = idx
+		s.slab[s.tail[li]].next = idx
 	}
-	st.tail[li] = idx
-	st.lastPos[li] = pos
-	st.seeded[li] = true
+	s.tail[li] = idx
+	s.lastPos[li] = pos
+	s.seeded[li] = true
 	st.count++
 	s.total++
 	if s.total > s.highWater {
@@ -145,15 +160,15 @@ func (s *ListStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 // Pop implements Store.
 func (s *ListStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 	st := s.queue(q)
-	li := s.sublistFor(st.nextPop)
-	idx := st.head[li]
+	li := s.sublistFor(q, st.nextPop)
+	idx := s.head[li]
 	if idx == nilIdx || s.slab[idx].pos != st.nextPop {
 		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
 	}
 	c := s.slab[idx].c
-	st.head[li] = s.slab[idx].next
-	if st.head[li] == nilIdx {
-		st.tail[li] = nilIdx
+	s.head[li] = s.slab[idx].next
+	if s.head[li] == nilIdx {
+		s.tail[li] = nilIdx
 	}
 	// Return the entry to the free list.
 	s.slab[idx] = entry{next: s.freeHead}
@@ -168,8 +183,8 @@ func (s *ListStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 // Peek implements Store.
 func (s *ListStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
 	st := s.queue(q)
-	li := s.sublistFor(st.nextPop)
-	idx := st.head[li]
+	li := s.sublistFor(q, st.nextPop)
+	idx := s.head[li]
 	if idx == nilIdx || s.slab[idx].pos != st.nextPop {
 		return cell.Cell{}, false
 	}

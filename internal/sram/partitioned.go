@@ -19,13 +19,15 @@ import (
 // late block simply lands at its slot).
 type PartitionedStore struct {
 	perQueue  int
-	queues    map[cell.PhysQueueID]*partition
+	queues    []partition
 	total     int
 	highWater int
 	capacity  int
 }
 
-// partition is one queue's circular buffer.
+// partition is one queue's circular buffer; its backing arrays are
+// allocated on first contact so idle queues cost one struct slot in
+// the dense arena.
 type partition struct {
 	cells   []cell.Cell
 	present []bool
@@ -36,7 +38,7 @@ type partition struct {
 var _ Store = (*PartitionedStore)(nil)
 
 // NewPartitioned returns a PartitionedStore with queues partitions of
-// perQueue cells each.
+// perQueue cells each, slice-indexed by the physical queue ordinal.
 func NewPartitioned(queues, perQueue int) (*PartitionedStore, error) {
 	if queues <= 0 {
 		return nil, fmt.Errorf("sram: queues must be positive, got %d", queues)
@@ -46,19 +48,19 @@ func NewPartitioned(queues, perQueue int) (*PartitionedStore, error) {
 	}
 	return &PartitionedStore{
 		perQueue: perQueue,
-		queues:   make(map[cell.PhysQueueID]*partition),
+		queues:   make([]partition, queues),
 		capacity: queues * perQueue,
 	}, nil
 }
 
 func (s *PartitionedStore) queue(q cell.PhysQueueID) *partition {
-	p, ok := s.queues[q]
-	if !ok {
-		p = &partition{
-			cells:   make([]cell.Cell, s.perQueue),
-			present: make([]bool, s.perQueue),
-		}
-		s.queues[q] = p
+	for int(q) >= len(s.queues) {
+		s.queues = append(s.queues, partition{})
+	}
+	p := &s.queues[q]
+	if p.cells == nil {
+		p.cells = make([]cell.Cell, s.perQueue)
+		p.present = make([]bool, s.perQueue)
 	}
 	return p
 }

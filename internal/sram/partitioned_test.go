@@ -48,7 +48,7 @@ func TestPartitionedIsolationCost(t *testing.T) {
 	// capacity absorbs the same burst.
 	const queues, perQueue = 4, 4
 	part, _ := NewPartitioned(queues, perQueue)
-	shared := NewCAM(queues * perQueue)
+	shared := NewCAM(queues*perQueue, queues)
 
 	var partErr error
 	accepted := 0
@@ -138,7 +138,7 @@ func TestPartitionedEquivalenceWithCAM(t *testing.T) {
 	for seed := int64(1); seed <= 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		part, _ := NewPartitioned(queues, perQueue)
-		cam := NewCAM(queues * perQueue)
+		cam := NewCAM(queues*perQueue, queues)
 		inserted := make([]uint64, queues)
 		popped := make([]uint64, queues)
 		for op := 0; op < 400; op++ {

@@ -10,6 +10,13 @@
 // an explicit insertion key (`pos`); Pop always returns the next
 // in-order cell.
 //
+// Per-queue bookkeeping is held in dense slices indexed by the
+// physical queue ordinal (physical names are dense by construction:
+// the renaming table of §6 hands out register-bounded ordinals). The
+// stores grow their arenas on first contact with an ordinal beyond the
+// constructed size, so growth is amortized and off the steady-state
+// path.
+//
 // The two implementations are functionally equivalent (see the
 // equivalence property test); they differ only in the hardware cost
 // model (internal/cacti) and in the ordering discipline they require:
@@ -59,7 +66,9 @@ type Store interface {
 	HighWater() int
 }
 
-// camQueue is the per-queue state of the CAM organization.
+// camQueue is the per-queue state of the CAM organization. The cells
+// map is keyed by stream position (not a queue identifier), mirroring
+// the associative tag lookup of the hardware.
 type camQueue struct {
 	cells   map[uint64]cell.Cell
 	nextPop uint64
@@ -71,7 +80,7 @@ type camQueue struct {
 // keyed by (queue, position). Out-of-order insertion is trivial
 // because the order is part of the tag (§8.2 item i).
 type CAMStore struct {
-	queues    map[cell.PhysQueueID]*camQueue
+	queues    []camQueue
 	capacity  int
 	total     int
 	highWater int
@@ -80,16 +89,21 @@ type CAMStore struct {
 var _ Store = (*CAMStore)(nil)
 
 // NewCAM returns a CAMStore with the given capacity in cells
-// (0 = unbounded).
-func NewCAM(capacity int) *CAMStore {
-	return &CAMStore{queues: make(map[cell.PhysQueueID]*camQueue), capacity: capacity}
+// (0 = unbounded) serving queues physical queue ordinals.
+func NewCAM(capacity, queues int) *CAMStore {
+	if queues < 0 {
+		queues = 0
+	}
+	return &CAMStore{queues: make([]camQueue, queues), capacity: capacity}
 }
 
 func (s *CAMStore) queue(q cell.PhysQueueID) *camQueue {
-	st, ok := s.queues[q]
-	if !ok {
-		st = &camQueue{cells: make(map[uint64]cell.Cell)}
-		s.queues[q] = st
+	for int(q) >= len(s.queues) {
+		s.queues = append(s.queues, camQueue{})
+	}
+	st := &s.queues[q]
+	if st.cells == nil {
+		st.cells = make(map[uint64]cell.Cell)
 	}
 	return st
 }

@@ -12,11 +12,11 @@ import (
 // parameters, for running the same scenario against both.
 func newStores(t *testing.T, capacity, blockCells, sublists int) []Store {
 	t.Helper()
-	ls, err := NewList(capacity, blockCells, sublists)
+	ls, err := NewList(capacity, blockCells, sublists, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return []Store{NewCAM(capacity), ls}
+	return []Store{NewCAM(capacity, 16), ls}
 }
 
 func TestInsertPopInOrder(t *testing.T) {
@@ -144,7 +144,7 @@ func TestDuplicateInsert(t *testing.T) {
 func TestListRejectsWithinBankDisorder(t *testing.T) {
 	// b=1, two sublists: positions 0,2,4.. in sublist 0. Inserting
 	// position 4 then position 2 violates the bank FIFO discipline.
-	ls, err := NewList(16, 1, 2)
+	ls, err := NewList(16, 1, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestListRejectsWithinBankDisorder(t *testing.T) {
 
 func TestCAMAcceptsAnyOrder(t *testing.T) {
 	// The CAM organization has no ordering discipline (§8.2 item i).
-	s := NewCAM(16)
+	s := NewCAM(16, 4)
 	for _, pos := range []uint64{4, 2, 0, 3, 1} {
 		if err := s.Insert(0, pos, cell.Cell{Seq: pos}); err != nil {
 			t.Fatalf("insert %d: %v", pos, err)
@@ -175,7 +175,7 @@ func TestCAMAcceptsAnyOrder(t *testing.T) {
 func TestNewListValidation(t *testing.T) {
 	cases := [][3]int{{0, 1, 1}, {4, 0, 1}, {4, 1, 0}, {-1, 1, 1}}
 	for _, c := range cases {
-		if _, err := NewList(c[0], c[1], c[2]); err == nil {
+		if _, err := NewList(c[0], c[1], c[2], 4); err == nil {
 			t.Errorf("NewList(%v) succeeded, want error", c)
 		}
 	}
@@ -233,8 +233,8 @@ func TestEquivalenceCAMList(t *testing.T) {
 	)
 	for seed := int64(1); seed <= 25; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		cam := NewCAM(capacity)
-		ls, err := NewList(capacity, blockCell, sublists)
+		cam := NewCAM(capacity, queues)
+		ls, err := NewList(capacity, blockCell, sublists, queues)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -312,7 +312,7 @@ func TestEquivalenceCAMList(t *testing.T) {
 func TestListSlabReuse(t *testing.T) {
 	// Churn through many more cells than the capacity to exercise the
 	// free list.
-	ls, err := NewList(8, 1, 1)
+	ls, err := NewList(8, 1, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
