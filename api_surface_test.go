@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// publicPackages is the supported API surface: everything importable
+// outside the module. A change here is a compatibility event.
+var publicPackages = []string{"pktbuf", "pktbuf/sim", "pktbuf/trace"}
+
+// publicAPISurface renders the exported declarations (signatures
+// only, no bodies, no comments) of every public package into a
+// deterministic text form.
+func publicAPISurface(t *testing.T) string {
+	t.Helper()
+	var out bytes.Buffer
+	for _, dir := range publicPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", dir, err)
+		}
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			pkg := pkgs[name]
+			fmt.Fprintf(&out, "package %s // import %q\n\n", name, "repro/"+dir)
+			files := make([]string, 0, len(pkg.Files))
+			for fn := range pkg.Files {
+				files = append(files, fn)
+			}
+			sort.Strings(files)
+			for _, fn := range files {
+				f := pkg.Files[fn]
+				if !ast.FileExports(f) {
+					continue
+				}
+				for _, d := range f.Decls {
+					if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.IMPORT {
+						continue
+					}
+					if fd, ok := d.(*ast.FuncDecl); ok {
+						fd.Body = nil
+					}
+					if err := printer.Fprint(&out, fset, d); err != nil {
+						t.Fatal(err)
+					}
+					out.WriteString("\n\n")
+				}
+			}
+		}
+	}
+	return out.String()
+}
+
+// TestPublicAPISurface is the breaking-change tripwire: the exported
+// surface of the public packages must match the checked-in golden
+// snapshot. After an intentional API change, regenerate it with
+//
+//	UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .
+//
+// and review the golden diff like any other API review.
+func TestPublicAPISurface(t *testing.T) {
+	got := publicAPISurface(t)
+	golden := filepath.Join("testdata", "api_surface.golden")
+	if os.Getenv("UPDATE_API_SURFACE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (run UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed.\nIf intentional, regenerate with UPDATE_API_SURFACE=1 go test -run TestPublicAPISurface .\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// surfaceDiff renders a minimal line diff (full context is in the
+// golden file; this just points at the first divergence).
+func surfaceDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("first divergence at golden line %d:\n- %s\n+ %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("golden has %d lines, current surface has %d", len(wl), len(gl))
+}
+
+// TestExamplesUsePublicAPIOnly enforces the façade boundary: example
+// code is user-facing documentation and must not reach into
+// repro/internal.
+func TestExamplesUsePublicAPIOnly(t *testing.T) {
+	files, err := filepath.Glob("examples/*/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example files found")
+	}
+	for _, file := range files {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, file, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if strings.HasPrefix(path, "repro/internal") {
+				t.Errorf("%s imports %s; examples must use the public API only", file, path)
+			}
+		}
+	}
+}

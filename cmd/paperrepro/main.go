@@ -12,8 +12,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cell"
 	"repro/internal/experiments"
+	"repro/pktbuf"
 )
 
 func main() {
@@ -39,8 +39,8 @@ func main() {
 		fmt.Fprintln(out, "§7.2 RADS h-SRAM size ranges (min lookahead → full lookahead)")
 		for _, s := range experiments.Section7Sizes() {
 			fmt.Fprintf(out, "  %-8v %8.1f kB → %8.1f kB\n", s.Point.Rate,
-				float64(s.MinLookaheadCells*cell.Size)/1e3,
-				float64(s.FullLookaheadCells*cell.Size)/1e3)
+				float64(s.MinLookaheadCells*pktbuf.CellSize)/1e3,
+				float64(s.FullLookaheadCells*pktbuf.CellSize)/1e3)
 		}
 		fmt.Fprintln(out)
 	}

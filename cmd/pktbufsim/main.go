@@ -1,7 +1,8 @@
 // Command pktbufsim runs the slot-accurate packet-buffer simulator
 // under a chosen workload and prints the invariant verdict and
 // statistics. It is the general-purpose harness behind the paper's
-// zero-miss and conflict-freedom claims.
+// zero-miss and conflict-freedom claims, and it is built entirely on
+// the public API (repro/pktbuf and its sim and trace subpackages).
 //
 // Example — the §3 adversarial pattern on a CFDS buffer:
 //
@@ -15,20 +16,19 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/cell"
-	"repro/internal/core"
-	"repro/internal/sim"
-	"repro/internal/trace"
+	"repro/pktbuf"
+	"repro/pktbuf/sim"
+	"repro/pktbuf/trace"
 )
 
-func lineRate(s string) (cell.LineRate, error) {
+func lineRate(s string) (pktbuf.LineRate, error) {
 	switch s {
 	case "oc192":
-		return cell.OC192, nil
+		return pktbuf.OC192, nil
 	case "oc768":
-		return cell.OC768, nil
+		return pktbuf.OC768, nil
 	case "oc3072":
-		return cell.OC3072, nil
+		return pktbuf.OC3072, nil
 	default:
 		return 0, fmt.Errorf("unknown rate %q (oc192|oc768|oc3072)", s)
 	}
@@ -56,8 +56,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		allow    = flag.Bool("allowdrops", false, "tolerate drops when the DRAM is bounded")
 		record   = flag.String("record", "", "record the workload trace to this file")
-		replay   = flag.String("replay", "", "replay a recorded trace instead of generating (overrides -arrivals/-requests/-warmup)")
-		latency  = flag.Bool("latency", false, "measure per-cell sojourn times")
+		replay   = flag.String("replay", "", "replay a recorded trace instead of generating (overrides -arrivals/-requests/-warmup/-slots)")
+		latency  = flag.Bool("latency", false, "measure per-cell sojourn times (cells buffered before measurement are excluded; with -replay the samples therefore include the recorded warmup prefix, which a recording run's -latency does not see)")
 	)
 	flag.Parse()
 
@@ -65,39 +65,39 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.Config{
-		Q:                  *queues,
-		B:                  rate.Granularity(cell.DefaultDRAMAccessNS),
-		Bsmall:             *gran,
+	cfg := pktbuf.Config{
+		Queues:             *queues,
+		LineRate:           rate,
+		Granularity:        *gran,
 		Banks:              *banks,
 		BankCapacityBlocks: *bankCap,
 		Renaming:           *renaming,
 	}
 	switch *orgName {
 	case "cam":
-		cfg.Org = core.OrgCAM
+		cfg.Organization = pktbuf.GlobalCAM
 	case "list":
-		cfg.Org = core.OrgLinkedList
+		cfg.Organization = pktbuf.UnifiedLinkedList
 	default:
 		log.Fatalf("unknown org %q", *orgName)
 	}
 	switch *mmaName {
 	case "ecqf":
-		cfg.MMA = core.ECQF
+		cfg.MMA = pktbuf.ECQF
 	case "mdqf":
-		cfg.MMA = core.MDQF
+		cfg.MMA = pktbuf.MDQF
 	default:
 		log.Fatalf("unknown mma %q", *mmaName)
 	}
 
-	buf, err := core.New(cfg)
+	buf, err := pktbuf.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	final := buf.Config()
-	fmt.Printf("config: Q=%d B=%d b=%d M=%d lookahead=%d latency=%d RR=%d headSRAM=%d tailSRAM=%d renaming=%v org=%v mma=%v\n",
-		final.Q, final.B, final.Bsmall, final.Banks, final.Lookahead, final.LatencySlots,
-		final.RRCapacity, final.HeadSRAMCells, final.TailSRAMCells, final.Renaming, final.Org, final.MMA)
+	s := buf.Sizing()
+	fmt.Printf("config: Q=%d B=%d b=%d M=%d lookahead=%d latency=%d RR=%d headSRAM=%d tailSRAM=%d renaming=%v org=%s mma=%s\n",
+		cfg.Queues, s.GranularityB, s.Granularity, *banks, s.Lookahead, s.LatencySlots,
+		s.RequestRegister, s.HeadSRAMCells, s.TailSRAMCells, cfg.Renaming, *orgName, *mmaName)
 
 	var arr sim.ArrivalProcess
 	switch *arrName {
@@ -139,6 +139,9 @@ func main() {
 
 	var rec *trace.Recorder
 	if *replay != "" {
+		if *record != "" {
+			log.Fatal("-record cannot be combined with -replay (the trace already exists)")
+		}
 		f, err := os.Open(*replay)
 		if err != nil {
 			log.Fatal(err)
@@ -149,20 +152,29 @@ func main() {
 			log.Fatal(err)
 		}
 		arr, req = trace.NewReplayer(tr).Halves()
-		if uint64(len(tr.Events)) < *slots {
-			*slots = uint64(len(tr.Events))
-		}
+		// Replay the whole trace: it contains the recording run's
+		// warmup prefix, so cutting it at -slots would replay a
+		// different (request-starved) experiment.
+		*slots = uint64(len(tr.Events))
 	} else {
 		w := *warmup
 		if w == 0 {
-			w = uint64(final.Q * final.Bsmall * 4)
+			w = uint64(cfg.Queues * s.Granularity * 4)
 		}
-		warmRunner := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests(), AllowDrops: *allow}
+		// When recording, the warmup slots must be part of the trace:
+		// a replay starts from an empty buffer, so a trace that began
+		// after the warmup would request queues that are still empty.
+		warmArr, warmReq := arr, sim.NewIdleRequests()
+		if *record != "" {
+			rec = &trace.Recorder{Arr: arr, Req: warmReq}
+			warmArr, warmReq = rec.Halves()
+		}
+		warmRunner := &sim.Runner{Buffer: buf, Arrivals: warmArr, Requests: warmReq, AllowDrops: *allow}
 		if _, err := warmRunner.Run(w); err != nil {
 			log.Fatalf("warmup: %v", err)
 		}
-		if *record != "" {
-			rec = &trace.Recorder{Arr: arr, Req: req}
+		if rec != nil {
+			rec.Req = req
 			arr, req = rec.Halves()
 		}
 	}
@@ -179,7 +191,7 @@ func main() {
 	}
 	if err != nil {
 		log.Printf("INVARIANT VIOLATION: %v", err)
-		fmt.Printf("stats: %v\n", res.Stats)
+		fmt.Printf("stats: %+v\n", res.Stats)
 		os.Exit(1)
 	}
 	if rec != nil {
@@ -195,7 +207,7 @@ func main() {
 		}
 		fmt.Printf("trace: %d slots recorded to %s\n", len(rec.Trace().Events), *record)
 	}
-	fmt.Printf("stats: %v\n", res.Stats)
+	fmt.Printf("stats: %+v\n", res.Stats)
 	if res.Clean() {
 		fmt.Println("verdict: CLEAN — zero misses, zero conflicts, bounded reordering")
 	} else {
@@ -206,7 +218,7 @@ func main() {
 
 type noneArrivals struct{}
 
-func (noneArrivals) Next(cell.Slot) cell.QueueID { return cell.NoQueue }
+func (noneArrivals) Next(uint64) pktbuf.Queue { return pktbuf.None }
 
 func maxf(a, b float64) float64 {
 	if a > b {

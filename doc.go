@@ -2,13 +2,20 @@
 // of High-Performance Memory Systems for Future Packet Buffers"
 // (García, Corbal, Cerdà, Valero — MICRO-36, 2003).
 //
-// The public API lives in repro/pktbuf; the substrates (DRAM banking,
-// shared SRAM organizations, MMAs, the DRAM Scheduler Subsystem,
-// queue renaming, the CACTI-style technology model and the experiment
-// generators) live under repro/internal. See README.md for the map,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// paper-versus-measured record. The benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation.
+// The public API is the repro/pktbuf tree: repro/pktbuf (the buffer:
+// Tick/TickBatch, typed sentinel errors, sizing and the technology
+// model), repro/pktbuf/sim (the batched simulation driver and the
+// workload generators) and repro/pktbuf/trace (slot-trace record and
+// replay). The substrates (DRAM banking, shared SRAM organizations,
+// MMAs, the DRAM Scheduler Subsystem, queue renaming, the CACTI-style
+// technology model and the experiment generators) live under
+// repro/internal and are implementation detail; examples and the
+// pktbufsim harness consume only the public surface, and
+// api_surface_test.go pins the exported API against a golden
+// snapshot. See README.md for the map, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-versus-measured record.
+// The benchmarks in bench_test.go regenerate every table and figure
+// of the paper's evaluation.
 //
 // # Dense-arena hot path
 //
@@ -32,5 +39,9 @@
 // implementations, resolves the delivery-callback and drop-tolerance
 // branches per batch, and snapshots statistics once per run.
 // cmd/pktbufsim exposes it as -batch; Runner.Run is the batch-size-1
-// special case.
+// special case. The same design is mirrored on the public surface:
+// pktbuf.Buffer.TickBatch and pktbuf/sim.Runner.RunBatch drive the
+// buffer through the façade at internal speed (BenchmarkPktbuf* in
+// facade_bench_test.go holds them within ~1% of the internal suite at
+// zero allocations per slot).
 package repro

@@ -4,7 +4,7 @@
 // empty almost simultaneously — and verifies the zero-miss guarantee
 // plus the §5.3 reordering bounds. It then demonstrates the §6
 // fragmentation problem by flooding one queue against a bounded DRAM,
-// with and without renaming.
+// with and without renaming. Everything runs through the public API.
 //
 // Run with: go run ./examples/adversarial
 package main
@@ -14,26 +14,30 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cell"
-	"repro/internal/core"
-	"repro/internal/sim"
+	"repro/pktbuf"
+	"repro/pktbuf/sim"
 )
 
 const queues = 32
 
 func adversarialRun(name string, b int) {
-	buf, err := core.New(core.Config{Q: queues, B: 32, Bsmall: b, Banks: 256})
+	buf, err := pktbuf.New(pktbuf.Config{
+		Queues:      queues,
+		LineRate:    pktbuf.OC3072, // B=32 at 48 ns DRAM
+		Granularity: b,
+		Banks:       256,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := buf.Config()
+	s := buf.Sizing()
 
 	arr, _ := sim.NewRoundRobinArrivals(queues, 1.0)
 	req, _ := sim.NewRoundRobinDrain(queues)
 
 	// Backlog every queue into DRAM first, then run the adversary.
 	warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
-	if _, err := warm.Run(uint64(queues * cfg.Bsmall * 8)); err != nil {
+	if _, err := warm.Run(uint64(queues * s.Granularity * 8)); err != nil {
 		log.Fatalf("%s warmup: %v", name, err)
 	}
 	run := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
@@ -42,35 +46,40 @@ func adversarialRun(name string, b int) {
 		log.Fatalf("%s: INVARIANT VIOLATION: %v", name, err)
 	}
 
-	d := cfg.Dimension()
-	skipBound := cfg.IssuesPerCycle * d.MaxSkips()
+	// The DSA issues up to 2 requests per b-slot cycle (one read plus
+	// one write), so the delivered skip bound is 2·Dmax.
+	skipBound := 2 * s.MaxSkips
 	st := res.Stats
 	fmt.Printf("%-14s b=%-3d misses=%d deliveries=%-8d headHW=%d/%d tailHW=%d/%d rrOcc=%d/%d skips=%d (bound %d)\n",
-		name, cfg.Bsmall, st.Misses, st.Deliveries,
-		st.HeadHighWater, cfg.HeadSRAMCells,
-		st.TailHighWater, cfg.TailSRAMCells,
-		st.DSS.MaxOccupancy, cfg.RRCapacity,
-		st.DSS.MaxSkips, skipBound)
-	if st.Misses != 0 || st.DSS.MaxSkips > skipBound {
+		name, s.Granularity, st.Misses, st.Deliveries,
+		st.HeadSRAMHighWater, s.HeadSRAMCells,
+		st.TailSRAMHighWater, s.TailSRAMCells,
+		st.MaxRequestRegisterOccupancy, s.RequestRegister,
+		st.MaxRequestSkips, skipBound)
+	if st.Misses != 0 || st.MaxRequestSkips > skipBound {
 		log.Fatalf("%s: guarantee violated", name)
 	}
 }
 
 func fragmentationDemo(renaming bool) int {
-	buf, err := core.New(core.Config{
-		Q: queues, B: 32, Bsmall: 4, Banks: 256,
-		BankCapacityBlocks: 4, Renaming: renaming,
+	buf, err := pktbuf.New(pktbuf.Config{
+		Queues:             queues,
+		LineRate:           pktbuf.OC3072,
+		Granularity:        4,
+		Banks:              256,
+		BankCapacityBlocks: 4,
+		Renaming:           renaming,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	accepted := 0
 	for i := 0; i < 100000; i++ {
-		_, err := buf.Tick(core.TickInput{Arrival: 0, Request: cell.NoQueue})
+		_, err := buf.Tick(pktbuf.Input{Arrival: 0, Request: pktbuf.None})
 		switch {
 		case err == nil:
 			accepted++
-		case errors.Is(err, core.ErrBufferFull):
+		case errors.Is(err, pktbuf.ErrBufferFull):
 			return accepted
 		default:
 			log.Fatalf("fragmentation demo: %v", err)
@@ -83,7 +92,7 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("=== §3 adversarial round-robin drain (zero-miss check) ===")
-	adversarialRun("RADS", 32)
+	adversarialRun("RADS", 0) // Granularity 0 = b=B, the RADS baseline
 	for _, b := range []int{16, 8, 4, 2} {
 		adversarialRun("CFDS", b)
 	}

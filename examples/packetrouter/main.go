@@ -1,8 +1,11 @@
-// Packet router: drives the full system of the paper's Figure 1 —
-// variable-length packets segmented into 64-byte cells, buffered in
-// per-input VOQ packet buffers (CFDS), switched by an iSLIP fabric
-// scheduler, and reassembled at the output ports. Verifies that every
-// packet crosses the router byte-identical.
+// Packet router: drives the full system of the paper's Figure 1 built
+// entirely on the public API — variable-length packets segmented into
+// 64-byte cells, buffered in per-input VOQ packet buffers (CFDS),
+// switched by a round-robin fabric matching, and reassembled at the
+// output ports. The buffer transports (queue, seq) identities; the
+// line card keeps each cell's payload chunk keyed by that identity,
+// so the final byte-for-byte comparison verifies that every cell of
+// every packet crossed the router exactly once and strictly in order.
 //
 // Run with: go run ./examples/packetrouter
 package main
@@ -13,122 +16,217 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/packet"
-	"repro/internal/router"
+	"repro/pktbuf"
 )
 
 const (
 	ports   = 4
 	classes = 2
-	slots   = 60000
+	// voqs is the number of logical queues per input buffer: one per
+	// (output port, service class).
+	voqs  = ports * classes
+	slots = 60000
 )
+
+// voq maps an (output, class) pair to a logical queue id.
+func voq(output, class int) pktbuf.Queue {
+	return pktbuf.Queue(output*classes + class)
+}
+
+// packet is one in-flight packet at an input port's VOQ: the payload
+// it must reassemble to, and the reassembly progress.
+type packet struct {
+	expect []byte
+	got    []byte
+}
+
+// voqState is the line-card bookkeeping for one VOQ of one input: the
+// payload chunk of every cell pushed into the buffer, in seq order,
+// and the FIFO of packets those cells belong to.
+type voqState struct {
+	// chunks[i] is the 64-byte payload of the cell with seq
+	// nextDeliverSeq+i (cells deliver strictly in seq order).
+	chunks         [][]byte
+	nextDeliverSeq uint64
+	packets        []*packet
+}
+
+// port is one input line card: its VOQ buffer, the per-slot cell
+// injection queue, and per-VOQ reassembly state.
+type port struct {
+	id  int
+	buf *pktbuf.Buffer
+	// pending is the FIFO of cells waiting to enter the buffer (one
+	// arrival per slot, the line rate).
+	pending []pktbuf.Queue
+	vq      [voqs]voqState
+}
+
+func newPort(id int) (*port, error) {
+	buf, err := pktbuf.New(pktbuf.Config{
+		Queues:      voqs,
+		LineRate:    pktbuf.OC3072,
+		Granularity: 4,
+		Banks:       256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &port{id: id, buf: buf}, nil
+}
+
+// offer segments a packet into cells and queues them for injection.
+func (p *port) offer(q pktbuf.Queue, payload []byte) {
+	st := &p.vq[q]
+	st.packets = append(st.packets, &packet{expect: payload})
+	for off := 0; off < len(payload); off += pktbuf.CellSize {
+		end := off + pktbuf.CellSize
+		if end > len(payload) {
+			end = len(payload)
+		}
+		st.chunks = append(st.chunks, payload[off:end])
+		p.pending = append(p.pending, q)
+	}
+}
+
+// arrival pops the next cell to inject this slot, or None.
+func (p *port) arrival() pktbuf.Queue {
+	if len(p.pending) == 0 {
+		return pktbuf.None
+	}
+	q := p.pending[0]
+	p.pending = p.pending[1:]
+	return q
+}
+
+// requestFor returns a requestable VOQ of p addressed to output,
+// class priority first, or None.
+func (p *port) requestFor(output int) pktbuf.Queue {
+	for class := 0; class < classes; class++ {
+		if q := voq(output, class); p.buf.Requestable(q) > 0 {
+			return q
+		}
+	}
+	return pktbuf.None
+}
+
+// deliver routes a delivered cell to its packet's reassembly buffer
+// and returns the reassembled packet when it completes.
+func (p *port) deliver(c pktbuf.Cell) (*packet, error) {
+	st := &p.vq[c.Queue]
+	if c.Seq != st.nextDeliverSeq || len(st.chunks) == 0 || len(st.packets) == 0 {
+		return nil, fmt.Errorf("input %d queue %d: unexpected cell seq %d (want %d)",
+			p.id, c.Queue, c.Seq, st.nextDeliverSeq)
+	}
+	st.nextDeliverSeq++
+	chunk := st.chunks[0]
+	st.chunks = st.chunks[1:]
+	pk := st.packets[0]
+	pk.got = append(pk.got, chunk...)
+	if len(pk.got) < len(pk.expect) {
+		return nil, nil
+	}
+	st.packets = st.packets[1:]
+	return pk, nil
+}
 
 func main() {
 	log.SetFlags(0)
 
-	r, err := router.New(router.Config{
-		Ports:               ports,
-		Classes:             classes,
-		Buffer:              core.Config{B: 32, Bsmall: 4, Banks: 256},
-		SchedulerIterations: 2,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	rng := rand.New(rand.NewSource(2003))
-	type sentKey struct{ in, out int }
-	sent := map[sentKey][][]byte{}
-	offered, bytesIn := 0, 0
-
-	newPacket := func() (int, packet.Packet, []byte) {
-		in := rng.Intn(ports)
-		out := rng.Intn(ports)
-		class := rng.Intn(classes)
-		// Internet-ish trimodal sizes: 40 B acks, 576 B, 1500 B MTU.
-		var size int
-		switch rng.Intn(3) {
-		case 0:
-			size = 40
-		case 1:
-			size = 576
-		default:
-			size = 1500
-		}
-		payload := make([]byte, size)
-		rng.Read(payload)
-		return in, packet.Packet{Flow: r.VOQ(out, class), Payload: payload}, payload
-	}
-
-	verified := 0
-	for slot := 0; slot < slots; slot++ {
-		// ~60% offered load in packets.
-		if rng.Float64() < 0.05 {
-			in, p, payload := newPacket()
-			out := int(p.Flow) / classes
-			if err := r.Offer(in, p); err == nil {
-				sent[sentKey{in, out}] = append(sent[sentKey{in, out}], payload)
-				offered++
-				bytesIn += len(payload)
-			}
-		}
-		egress, err := r.Step()
-		if err != nil {
-			log.Fatalf("slot %d: %v", slot, err)
-		}
-		for _, e := range egress {
-			k := sentKey{e.Input, e.Output}
-			q := sent[k]
-			found := -1
-			for i := range q {
-				if bytes.Equal(q[i], e.Packet.Payload) {
-					found = i
-					break
-				}
-			}
-			if found < 0 {
-				log.Fatalf("corrupted packet at output %d (from input %d, %d bytes)",
-					e.Output, e.Input, len(e.Packet.Payload))
-			}
-			sent[k] = append(q[:found], q[found+1:]...)
-			verified++
-		}
-	}
-	// Drain what remains.
-	for slot := 0; slot < 10*slots && verified < offered; slot++ {
-		egress, err := r.Step()
+	inputs := make([]*port, ports)
+	for i := range inputs {
+		p, err := newPort(i)
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, e := range egress {
-			k := sentKey{e.Input, e.Output}
-			q := sent[k]
-			found := -1
-			for i := range q {
-				if bytes.Equal(q[i], e.Packet.Payload) {
-					found = i
+		inputs[i] = p
+	}
+
+	rng := rand.New(rand.NewSource(2003))
+	offered, bytesIn, verified, switched := 0, 0, 0, 0
+
+	step := func(slot int) {
+		// Round-robin matching: each output granted to at most one
+		// input; each input requests at most one cell.
+		granted := [ports]bool{}
+		request := [ports]pktbuf.Queue{}
+		for i, p := range inputs {
+			request[i] = pktbuf.None
+			for k := 0; k < ports; k++ {
+				output := (i + slot + k) % ports
+				if granted[output] {
+					continue
+				}
+				if q := p.requestFor(output); q != pktbuf.None {
+					granted[output] = true
+					request[i] = q
 					break
 				}
 			}
-			if found < 0 {
-				log.Fatalf("corrupted packet during drain at output %d", e.Output)
+		}
+		// Advance every input buffer one slot.
+		for i, p := range inputs {
+			in := pktbuf.Input{Arrival: p.arrival(), Request: request[i]}
+			out, err := p.buf.Tick(in)
+			if err != nil {
+				log.Fatalf("port %d slot %d: %v", i, slot, err)
 			}
-			sent[k] = append(q[:found], q[found+1:]...)
-			verified++
+			if !out.Ok {
+				continue
+			}
+			switched++
+			pk, err := p.deliver(out.Delivered)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pk != nil {
+				if !bytes.Equal(pk.got, pk.expect) {
+					log.Fatalf("corrupted packet from input %d (%d bytes)", i, len(pk.expect))
+				}
+				verified++
+			}
 		}
 	}
 
-	st := r.Stats()
+	for slot := 0; slot < slots; slot++ {
+		// ~5% packet arrival probability per input per slot — roughly
+		// 60% offered load in cells with the trimodal size mix below.
+		if rng.Float64() < 0.05 {
+			in := rng.Intn(ports)
+			out := rng.Intn(ports)
+			class := rng.Intn(classes)
+			// Internet-ish trimodal sizes: 40 B acks, 576 B, 1500 B MTU.
+			var size int
+			switch rng.Intn(3) {
+			case 0:
+				size = 40
+			case 1:
+				size = 576
+			default:
+				size = 1500
+			}
+			payload := make([]byte, size)
+			rng.Read(payload)
+			inputs[in].offer(voq(out, class), payload)
+			offered++
+			bytesIn += size
+		}
+		step(slot)
+	}
+	// Drain what remains.
+	for slot := slots; slot < 11*slots && verified < offered; slot++ {
+		step(slot)
+	}
+
 	fmt.Printf("offered packets:   %d (%d bytes)\n", offered, bytesIn)
-	fmt.Printf("delivered packets: %d (byte-verified %d)\n", st.DeliveredPackets, verified)
-	fmt.Printf("switched cells:    %d over %d slots (%.2f cells/slot)\n",
-		st.SwitchedCells, st.Slots, float64(st.SwitchedCells)/float64(st.Slots))
+	fmt.Printf("delivered packets: %d (byte-verified)\n", verified)
+	fmt.Printf("switched cells:    %d (%.2f cells/slot)\n",
+		switched, float64(switched)/float64(slots))
 	clean := true
-	for p := 0; p < ports; p++ {
-		if bs := r.BufferStats(p); !bs.Clean() {
+	for _, p := range inputs {
+		if st := p.buf.Stats(); !st.Clean() {
 			clean = false
-			fmt.Printf("input %d buffer NOT clean: %v\n", p, bs)
+			fmt.Printf("input %d buffer NOT clean: %+v\n", p.id, st)
 		}
 	}
 	if verified == offered && clean {

@@ -38,13 +38,15 @@ func main() {
 		sizing.TailSRAMCells, sizing.RequestRegister, sizing.LatencySlots)
 
 	// Phase 1: 20 cells each into queues 3, 7 and 11 (one arrival per
-	// slot, the line rate).
+	// slot, the line rate), pushed through the batch entry point.
 	queues := []pktbuf.Queue{3, 7, 11}
-	for i := 0; i < 60; i++ {
-		q := queues[i%len(queues)]
-		if _, err := buf.Tick(pktbuf.Input{Arrival: q, Request: pktbuf.None}); err != nil {
-			log.Fatalf("arrival: %v", err)
-		}
+	fill := make([]pktbuf.Input, 60)
+	for i := range fill {
+		fill[i] = pktbuf.Input{Arrival: queues[i%len(queues)], Request: pktbuf.None}
+	}
+	outs := make([]pktbuf.Output, len(fill))
+	if _, err := buf.TickBatch(fill, outs); err != nil {
+		log.Fatalf("arrivals: %v", err)
 	}
 	for _, q := range queues {
 		fmt.Printf("queue %d buffered: %d cells\n", q, buf.Len(q))
@@ -69,7 +71,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("slot %d: %v", slot, err)
 		}
-		if out.Delivered != nil {
+		if out.Ok {
 			delivered++
 			if delivered <= 3 || delivered == 60 {
 				fmt.Printf("delivery %2d: queue %d seq %d (bypass=%v)\n",

@@ -1,7 +1,9 @@
 // Sizing: explores the paper's central trade-off for a buffer you
 // might actually build — how the CFDS granularity b moves SRAM sizes,
 // technology cost (CACTI-style access time and area at 0.13 µm) and
-// pipeline delay for a given queue count and line rate.
+// pipeline delay for a given queue count and line rate, entirely
+// through the public API (pktbuf.DimensionFor and
+// pktbuf.EstimateTechnology).
 //
 // Run with: go run ./examples/sizing
 package main
@@ -10,9 +12,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cacti"
-	"repro/internal/cell"
-	"repro/internal/dimension"
+	"repro/pktbuf"
 )
 
 func main() {
@@ -22,47 +22,51 @@ func main() {
 		queues = 512
 		banks  = 256
 	)
-	rate := cell.OC3072
-	bigB := rate.Granularity(cell.DefaultDRAMAccessNS)
+	rate := pktbuf.OC3072
+
+	base, err := pktbuf.DimensionFor(pktbuf.Config{Queues: queues, LineRate: rate, Banks: banks})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bigB := base.GranularityB
 
 	fmt.Printf("Dimensioning a %d-queue buffer at %v (B=%d, M=%d, 48 ns DRAM)\n\n",
 		queues, rate, bigB, banks)
 	fmt.Printf("%4s %10s %10s %10s %12s %12s %12s %8s\n",
 		"b", "head kB", "tail kB", "RR", "access ns", "area cm2", "delay us", "ok?")
 
-	budget := rate.AccessBudgetNS()
+	var budget float64
 	for b := bigB; b >= 1; b /= 2 {
-		c := dimension.Config{
-			Q: queues, B: bigB, Bsmall: b, M: banks,
-			Lookahead: dimension.FullLookahead(queues, b),
-		}
-		if err := c.Validate(); err != nil {
+		cfg := pktbuf.Config{Queues: queues, LineRate: rate, Granularity: b, Banks: banks}
+		s, err := pktbuf.DimensionFor(cfg)
+		if err != nil {
 			log.Fatal(err)
 		}
-		head, tail := c.HeadSRAMSize(), c.TailSRAMSize()
-		larger := head
-		if tail > larger {
-			larger = tail
+		est, err := pktbuf.EstimateTechnology(cfg)
+		if err != nil {
+			log.Fatal(err)
 		}
-		access := cacti.ForCells(cacti.OrgCAM, larger).AccessNS
-		area := cacti.ForCells(cacti.OrgCAM, head).AreaCM2 +
-			cacti.ForCells(cacti.OrgCAM, tail).AreaCM2
+		budget = est.BudgetNS
 		verdict := "no"
-		if access <= budget {
+		if est.Feasible {
 			verdict = "YES"
 		}
 		tag := ""
 		if b == bigB {
 			tag = " (RADS)"
 		}
+		delayUS := float64(s.DelaySlots) * rate.SlotTimeNS() * 1e-3
 		fmt.Printf("%4d %10.1f %10.1f %10d %12.2f %12.3f %12.2f %8s%s\n",
 			b,
-			float64(head*cell.Size)/1e3, float64(tail*cell.Size)/1e3,
-			c.RRSize(), access, area,
-			c.DelaySeconds(rate)*1e6, verdict, tag)
+			float64(s.HeadSRAMCells*pktbuf.CellSize)/1e3,
+			float64(s.TailSRAMCells*pktbuf.CellSize)/1e3,
+			s.RequestRegister, est.AccessNS, est.AreaCM2,
+			delayUS, verdict, tag)
 	}
 
 	fmt.Printf("\naccess budget at %v: %.1f ns per cell\n", rate, budget)
+	fmt.Printf("optimal granularity (smallest feasible delay): b=%d\n",
+		pktbuf.OptimalGranularity(queues, rate, pktbuf.GlobalCAM))
 	fmt.Println("Pick the smallest delay whose access time fits the budget —")
 	fmt.Println("the paper's conclusion: an interior b (2–4) is optimal at OC-3072.")
 }

@@ -125,7 +125,7 @@ func main() {
 			if err != nil {
 				log.Fatalf("port %d slot %d: %v", i, slot, err)
 			}
-			if out.Delivered != nil {
+			if out.Ok {
 				output := int(out.Delivered.Queue) / classes
 				p.forwarded[output]++
 			}

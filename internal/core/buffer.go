@@ -38,6 +38,12 @@ var (
 	// (An out-of-range request surfaces as ErrBadRequest — such a
 	// queue trivially has nothing requestable.)
 	ErrUnknownQueue = errors.New("core: queue id out of range")
+	// ErrBadConfig marks a configuration rejected at construction time
+	// (New / ApplyDefaults): inconsistent dimensioning parameters, an
+	// invalid granularity, or substrate sizes below their minima. Every
+	// config-validation failure wraps this sentinel so callers (and the
+	// public façade) can errors.Is-match it.
+	ErrBadConfig = errors.New("core: invalid configuration")
 )
 
 // TickInput carries the per-slot stimulus: at most one arriving cell
@@ -171,6 +177,12 @@ type Buffer struct {
 	// delivered is the scratch cell TickOutput.Delivered points into.
 	delivered cell.Cell
 
+	// writeEligible / readReady are the MMA selection predicates,
+	// built once at construction: closures created per cycle escape
+	// through the MMA interface call and would allocate every b slots.
+	writeEligible func(q cell.QueueID) bool
+	readReady     func(p cell.PhysQueueID) bool
+
 	stats Stats
 }
 
@@ -193,7 +205,7 @@ func New(cfg Config) (*Buffer, error) {
 		namesPerGroup := (cfg.Q*cfg.Oversub + d.Groups() - 1) / d.Groups()
 		tbl, err = rename.New(d.Groups(), namesPerGroup, cfg.RegisterCap, cfg.Bsmall)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		physSpace = d.Groups() * namesPerGroup
 		// Renaming keeps physical ids dense: every name is an ordinal
@@ -214,7 +226,7 @@ func New(cfg Config) (*Buffer, error) {
 		Queues:             physSpace,
 	}
 	if err := dcfg.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 
 	var head sram.Store
@@ -222,7 +234,7 @@ func New(cfg Config) (*Buffer, error) {
 	case OrgLinkedList:
 		ls, err := sram.NewList(cfg.HeadSRAMCells, cfg.Bsmall, d.BanksPerGroup(), physSpace)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		head = ls
 	default:
@@ -235,7 +247,7 @@ func New(cfg Config) (*Buffer, error) {
 	}
 	look, err := mma.NewLookahead(pipeLen)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 
 	var hm mma.HeadMMA
@@ -243,20 +255,20 @@ func New(cfg Config) (*Buffer, error) {
 	case MDQF:
 		m, err := mma.NewMDQF(cfg.Bsmall, physSpace)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		hm = m
 	default:
 		e, err := mma.NewECQF(look, cfg.Bsmall, physSpace)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
 		hm = e
 	}
 
 	tm, err := mma.NewTailMMA(cfg.Bsmall, cfg.Q)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 
 	dr := dram.New(dcfg)
@@ -275,7 +287,7 @@ func New(cfg Config) (*Buffer, error) {
 	if cfg.FIFOScheduler {
 		policy = dss.FIFOBlocking
 	}
-	return &Buffer{
+	buf := &Buffer{
 		cfg:      cfg,
 		dram:     dr,
 		head:     head,
@@ -287,7 +299,13 @@ func New(cfg Config) (*Buffer, error) {
 		logical:  logical,
 		qs:       make([]queueState, cfg.Q),
 		compRing: make([][]completion, cfg.accessSlots()+1),
-	}, nil
+	}
+	buf.writeEligible = func(q cell.QueueID) bool {
+		_, err := buf.mapr.PeekWriteTarget(q)
+		return err == nil
+	}
+	buf.readReady = buf.dram.ReadableNow
+	return buf, nil
 }
 
 // Config returns the fully defaulted configuration in use.
@@ -318,6 +336,17 @@ func (b *Buffer) Requestable(q cell.QueueID) int {
 // drain loop may stop as soon as this reaches zero with no further
 // requests issued.
 func (b *Buffer) PendingRequests() int { return b.pendingTotal }
+
+// ArrivedSeq returns the number of cells that have ever arrived for
+// queue q — equivalently, the Seq the next arrival to q will be
+// assigned. Samplers that attach to a buffer mid-run (for example the
+// latency tracker) use it to align with the per-queue numbering.
+func (b *Buffer) ArrivedSeq(q cell.QueueID) uint64 {
+	if q < 0 || int(q) >= len(b.qs) {
+		return 0
+	}
+	return b.qs[q].arrivedSeq
+}
 
 // Stats returns a snapshot of the accumulated statistics.
 func (b *Buffer) Stats() Stats {
@@ -513,10 +542,7 @@ func (b *Buffer) tailCycle() error {
 		b.stats.TailStalls++
 		return nil
 	}
-	q, ok := b.tmma.Select(func(q cell.QueueID) bool {
-		_, err := b.mapr.PeekWriteTarget(q)
-		return err == nil
-	})
+	q, ok := b.tmma.Select(b.writeEligible)
 	if !ok {
 		return nil
 	}
@@ -549,9 +575,7 @@ func (b *Buffer) headCycle() error {
 		b.stats.HeadStalls++
 		return nil
 	}
-	p, ok := b.hmma.Select(func(p cell.PhysQueueID) bool {
-		return b.dram.ReadableNow(p)
-	})
+	p, ok := b.hmma.Select(b.readReady)
 	if !ok {
 		return nil
 	}

@@ -152,7 +152,7 @@ func (c Config) ApplyDefaults() (Config, error) {
 	}
 	d := c.Dimension()
 	if err := d.Validate(); err != nil {
-		return c, err
+		return c, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	if c.RRCapacity <= 0 {
 		c.RRCapacity = d.RRSize()
@@ -201,15 +201,15 @@ func (c Config) ApplyDefaults() (Config, error) {
 func (c Config) validate() error {
 	switch {
 	case c.Q <= 0:
-		return fmt.Errorf("core: Q must be positive, got %d", c.Q)
+		return fmt.Errorf("%w: Q must be positive, got %d", ErrBadConfig, c.Q)
 	case c.B < 2 || c.B%2 != 0:
-		return fmt.Errorf("core: B must be an even granularity ≥ 2 (one write + one read per window), got %d", c.B)
+		return fmt.Errorf("%w: B must be an even granularity ≥ 2 (one write + one read per window), got %d", ErrBadConfig, c.B)
 	case c.HeadSRAMCells < c.Bsmall:
-		return fmt.Errorf("core: head SRAM (%d cells) smaller than one block (%d)", c.HeadSRAMCells, c.Bsmall)
+		return fmt.Errorf("%w: head SRAM (%d cells) smaller than one block (%d)", ErrBadConfig, c.HeadSRAMCells, c.Bsmall)
 	case c.TailSRAMCells < c.Bsmall:
-		return fmt.Errorf("core: tail SRAM (%d cells) smaller than one block (%d)", c.TailSRAMCells, c.Bsmall)
+		return fmt.Errorf("%w: tail SRAM (%d cells) smaller than one block (%d)", ErrBadConfig, c.TailSRAMCells, c.Bsmall)
 	case c.Renaming && c.Oversub < 1:
-		return fmt.Errorf("core: oversubscription must be ≥ 1, got %d", c.Oversub)
+		return fmt.Errorf("%w: oversubscription must be ≥ 1, got %d", ErrBadConfig, c.Oversub)
 	}
 	return nil
 }

@@ -1,0 +1,15 @@
+// Package facade bridges the public pktbuf façade to its sibling
+// public driver packages: it lets pktbuf/sim unwrap a *pktbuf.Buffer
+// to the *core.Buffer behind it, so re-exported request policies can
+// consult the buffer state directly instead of through two stacked
+// interface adapters per probe. The hook is installed by package
+// pktbuf at init time; the argument is typed any because pktbuf
+// cannot be imported from here without a cycle.
+package facade
+
+import "repro/internal/core"
+
+// CoreOf returns the core buffer behind a *pktbuf.Buffer. It is set
+// by package pktbuf's init and is therefore non-nil in any program
+// that links the façade.
+var CoreOf func(buffer any) *core.Buffer

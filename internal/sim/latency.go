@@ -49,6 +49,16 @@ func NewLatencyTracker() *LatencyTracker {
 	}
 }
 
+// SeedNextSeq aligns the tracker with a buffer that already carries
+// traffic: the next arrival the tracker observes for q will be keyed
+// with the given sequence number (core.Buffer.ArrivedSeq). Without
+// seeding, a tracker attached mid-run keys measured arrivals from 0
+// and pairs them with the deliveries of older cells, silently
+// cancelling the queueing delay out of every sample.
+func (t *LatencyTracker) SeedNextSeq(q cell.QueueID, seq uint64) {
+	t.arrivals[q] = seq
+}
+
 // OnArrival records a cell entering the buffer at slot now.
 func (t *LatencyTracker) OnArrival(q cell.QueueID, now cell.Slot) {
 	seq := t.arrivals[q]
@@ -105,8 +115,14 @@ func (r *Runner) RunWithLatency(slots uint64) (Result, LatencyStats, error) {
 		return Result{}, LatencyStats{}, fmt.Errorf("sim: latency measurement requires AllowDrops=false")
 	}
 	tracker := NewLatencyTracker()
-	prevDeliver := r.OnDeliver
 	buf := r.Buffer
+	// Align with the buffer's numbering: warmup cells arrived before
+	// measurement keep their seqs, and their (untracked) deliveries
+	// are skipped instead of mispairing with measured arrivals.
+	for q := 0; q < buf.Config().Q; q++ {
+		tracker.SeedNextSeq(cell.QueueID(q), buf.ArrivedSeq(cell.QueueID(q)))
+	}
+	prevDeliver := r.OnDeliver
 	arr := r.Arrivals
 	r.Arrivals = arrivalTap{inner: arr, tap: func(q cell.QueueID, now cell.Slot) {
 		if q != cell.NoQueue {
@@ -114,7 +130,9 @@ func (r *Runner) RunWithLatency(slots uint64) (Result, LatencyStats, error) {
 		}
 	}}
 	r.OnDeliver = func(c cell.Cell, bypassed bool) {
-		tracker.OnDeliver(c, buf.Now())
+		// The callback fires after Tick has advanced the clock, so the
+		// delivery slot is Now()-1 (arrivals are stamped pre-Tick).
+		tracker.OnDeliver(c, buf.Now()-1)
 		if prevDeliver != nil {
 			prevDeliver(c, bypassed)
 		}

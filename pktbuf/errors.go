@@ -1,0 +1,39 @@
+package pktbuf
+
+import "repro/internal/core"
+
+// The façade's error taxonomy. Every error returned by New, Tick,
+// TickBatch and DimensionFor that corresponds to one of these
+// conditions wraps the matching sentinel, so callers dispatch with
+// errors.Is without importing anything under repro/internal:
+//
+//	out, err := buf.Tick(in)
+//	switch {
+//	case errors.Is(err, pktbuf.ErrBufferFull): // drop policy
+//	case errors.Is(err, pktbuf.ErrBadRequest): // scheduler bug
+//	}
+//
+// Any other non-nil error from Tick reports a violated worst-case
+// invariant (a head-SRAM miss, out-of-order delivery, or a SRAM
+// dimensioning overflow) — on a correctly dimensioned buffer these
+// never occur, and they indicate a configuration or implementation
+// problem rather than a recoverable condition.
+var (
+	// ErrBufferFull reports that the buffer (DRAM and tail SRAM) is
+	// genuinely out of space and the arriving cell was rejected. Only
+	// possible with a bounded DRAM (Config.BankCapacityBlocks > 0);
+	// the slot otherwise completes normally.
+	ErrBufferFull = core.ErrBufferFull
+	// ErrUnknownQueue reports an arrival for a queue outside
+	// [0, Config.Queues).
+	ErrUnknownQueue = core.ErrUnknownQueue
+	// ErrBadRequest reports a scheduler request for a queue with
+	// nothing requestable — forbidden by the system model (§2). Gate
+	// requests on Buffer.Requestable to avoid it.
+	ErrBadRequest = core.ErrBadRequest
+	// ErrBadConfig reports a configuration rejected by New,
+	// DimensionFor or EstimateTechnology: an unknown LineRate, a
+	// granularity that does not divide B, non-positive queue or bank
+	// counts, and so on.
+	ErrBadConfig = core.ErrBadConfig
+)

@@ -1,0 +1,193 @@
+package pktbuf_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/pktbuf"
+)
+
+// small returns a compact valid configuration to mutate in tests.
+func small() pktbuf.Config {
+	return pktbuf.Config{Queues: 4, LineRate: pktbuf.OC768, Granularity: 2, Banks: 64}
+}
+
+func TestErrBufferFullThroughFacade(t *testing.T) {
+	cfg := small()
+	cfg.BankCapacityBlocks = 1
+	buf, err := pktbuf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full error
+	for i := 0; i < 100000 && full == nil; i++ {
+		if _, err := buf.Tick(pktbuf.Input{Arrival: 0, Request: pktbuf.None}); err != nil {
+			full = err
+		}
+	}
+	if full == nil {
+		t.Fatal("bounded DRAM never filled")
+	}
+	if !errors.Is(full, pktbuf.ErrBufferFull) {
+		t.Errorf("errors.Is(%v, ErrBufferFull) = false", full)
+	}
+	if errors.Is(full, pktbuf.ErrBadRequest) || errors.Is(full, pktbuf.ErrUnknownQueue) {
+		t.Errorf("%v matches unrelated sentinels", full)
+	}
+}
+
+func TestErrUnknownQueueThroughFacade(t *testing.T) {
+	buf, err := pktbuf.New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = buf.Tick(pktbuf.Input{Arrival: 99, Request: pktbuf.None})
+	if !errors.Is(err, pktbuf.ErrUnknownQueue) {
+		t.Errorf("arrival for queue 99: err = %v, want ErrUnknownQueue", err)
+	}
+}
+
+func TestErrBadRequestThroughFacade(t *testing.T) {
+	buf, err := pktbuf.New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting an empty queue and requesting out of range both
+	// surface as ErrBadRequest (nothing is requestable either way).
+	for _, q := range []pktbuf.Queue{2, 99} {
+		_, err = buf.Tick(pktbuf.Input{Arrival: pktbuf.None, Request: q})
+		if !errors.Is(err, pktbuf.ErrBadRequest) {
+			t.Errorf("request for queue %d: err = %v, want ErrBadRequest", q, err)
+		}
+	}
+}
+
+func TestErrBadConfigFromNew(t *testing.T) {
+	cases := map[string]pktbuf.Config{
+		"zero queues":       {LineRate: pktbuf.OC768, Banks: 64},
+		"negative queues":   {Queues: -1, LineRate: pktbuf.OC768, Banks: 64},
+		"unknown line rate": {Queues: 4, LineRate: pktbuf.LineRate(42), Banks: 64},
+		"non-divisor b":     {Queues: 4, LineRate: pktbuf.OC768, Granularity: 3, Banks: 64},
+		"b over B":          {Queues: 4, LineRate: pktbuf.OC768, Granularity: 64, Banks: 64},
+		"negative banks":    {Queues: 4, LineRate: pktbuf.OC768, Granularity: 2, Banks: -8},
+		"unknown org":       {Queues: 4, LineRate: pktbuf.OC768, Granularity: 2, Banks: 64, Organization: pktbuf.Organization(7)},
+		"unknown mma":       {Queues: 4, LineRate: pktbuf.OC768, Granularity: 2, Banks: 64, MMA: pktbuf.MMA(9)},
+	}
+	for name, cfg := range cases {
+		if _, err := pktbuf.New(cfg); !errors.Is(err, pktbuf.ErrBadConfig) {
+			t.Errorf("%s: New err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestDimensionForValidation(t *testing.T) {
+	bad := map[string]pktbuf.Config{
+		"zero queues":       {LineRate: pktbuf.OC3072},
+		"negative queues":   {Queues: -5, LineRate: pktbuf.OC3072},
+		"unknown line rate": {Queues: 64, LineRate: pktbuf.LineRate(-1)},
+		"negative b":        {Queues: 64, LineRate: pktbuf.OC3072, Granularity: -2},
+		"b over B":          {Queues: 64, LineRate: pktbuf.OC3072, Granularity: 64},
+		"non-divisor b":     {Queues: 64, LineRate: pktbuf.OC3072, Granularity: 5},
+		"negative banks":    {Queues: 64, LineRate: pktbuf.OC3072, Granularity: 4, Banks: -1},
+		"negative lookhead": {Queues: 64, LineRate: pktbuf.OC3072, Granularity: 4, Lookahead: -7},
+	}
+	for name, cfg := range bad {
+		if _, err := pktbuf.DimensionFor(cfg); !errors.Is(err, pktbuf.ErrBadConfig) {
+			t.Errorf("%s: DimensionFor err = %v, want ErrBadConfig", name, err)
+		}
+	}
+	// EstimateTechnology shares the validation path and additionally
+	// rejects unknown organizations.
+	if _, err := pktbuf.EstimateTechnology(pktbuf.Config{Queues: 4, LineRate: pktbuf.LineRate(7)}); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Error("EstimateTechnology accepted an unknown line rate")
+	}
+	if _, err := pktbuf.EstimateTechnology(pktbuf.Config{Queues: 4, LineRate: pktbuf.OC768, Organization: pktbuf.Organization(3)}); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Error("EstimateTechnology accepted an unknown organization")
+	}
+	// OptimalGranularity reports infeasible (0) rather than guessing a
+	// rate for invalid input.
+	if b := pktbuf.OptimalGranularity(64, pktbuf.LineRate(42), pktbuf.GlobalCAM); b != 0 {
+		t.Errorf("OptimalGranularity with unknown rate = %d, want 0", b)
+	}
+	// The resolved granularity is reported back.
+	s, err := pktbuf.DimensionFor(pktbuf.Config{Queues: 64, LineRate: pktbuf.OC3072})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Granularity != s.GranularityB || s.GranularityB != 32 {
+		t.Errorf("RADS default sizing = %+v, want b = B = 32", s)
+	}
+}
+
+func TestTickBatch(t *testing.T) {
+	buf, err := pktbuf.New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill 8 cells into queue 1 in one batch, then drain with
+	// per-batch request slots; compare against per-Tick semantics.
+	fill := make([]pktbuf.Input, 8)
+	for i := range fill {
+		fill[i] = pktbuf.Input{Arrival: 1, Request: pktbuf.None}
+	}
+	out := make([]pktbuf.Output, len(fill))
+	n, err := buf.TickBatch(fill, out)
+	if err != nil || n != len(fill) {
+		t.Fatalf("TickBatch = (%d, %v), want (%d, nil)", n, err, len(fill))
+	}
+	if got := buf.Len(1); got != 8 {
+		t.Fatalf("Len(1) = %d after batch fill, want 8", got)
+	}
+	var got []pktbuf.Cell
+	step := make([]pktbuf.Input, 16)
+	outs := make([]pktbuf.Output, 16)
+	for round := 0; round < 500 && len(got) < 8; round++ {
+		for i := range step {
+			step[i] = pktbuf.Input{Arrival: pktbuf.None, Request: pktbuf.None}
+		}
+		if buf.Requestable(1) > 0 {
+			step[0].Request = 1
+		}
+		if _, err := buf.TickBatch(step, outs); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Ok {
+				got = append(got, o.Delivered)
+			}
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("delivered %d cells via TickBatch, want 8", len(got))
+	}
+	for i, c := range got {
+		if c.Queue != 1 || c.Seq != uint64(i) {
+			t.Errorf("cell %d = %+v, want queue 1 seq %d", i, c, i)
+		}
+	}
+}
+
+func TestTickBatchErrors(t *testing.T) {
+	buf, err := pktbuf.New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]pktbuf.Input, 4)
+	if n, err := buf.TickBatch(in, make([]pktbuf.Output, 3)); err == nil || n != 0 {
+		t.Errorf("short output slice: TickBatch = (%d, %v), want (0, error)", n, err)
+	}
+	// An error mid-batch stops after the offending slot.
+	for i := range in {
+		in[i] = pktbuf.Input{Arrival: 0, Request: pktbuf.None}
+	}
+	in[2].Arrival = 99 // unknown queue
+	out := make([]pktbuf.Output, len(in))
+	n, err := buf.TickBatch(in, out)
+	if n != 3 || !errors.Is(err, pktbuf.ErrUnknownQueue) {
+		t.Errorf("TickBatch = (%d, %v), want (3, ErrUnknownQueue)", n, err)
+	}
+	// The preceding slots completed: two cells of queue 0 arrived.
+	if got := buf.Len(0); got != 2 {
+		t.Errorf("Len(0) = %d after aborted batch, want 2", got)
+	}
+}

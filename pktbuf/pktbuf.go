@@ -20,7 +20,15 @@
 //	...
 //	buf.Tick(pktbuf.Input{Arrival: 3, Request: pktbuf.None}) // cell arrives for VOQ 3
 //	out, err := buf.Tick(pktbuf.Input{Arrival: pktbuf.None, Request: 3})
-//	if out.Delivered != nil { /* forward the cell */ }
+//	if out.Ok { /* forward out.Delivered */ }
+//
+// The façade is also the fast path: Tick has value semantics (no
+// per-delivery allocation), TickBatch amortizes the call overhead for
+// long runs, and errors are typed sentinels (ErrBufferFull,
+// ErrUnknownQueue, ErrBadRequest, ErrBadConfig) matched with
+// errors.Is. Long simulations are driven by the repro/pktbuf/sim
+// runner and workload generators; repro/pktbuf/trace records and
+// replays slot-level stimulus.
 package pktbuf
 
 import (
@@ -29,7 +37,19 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/dimension"
+	"repro/internal/facade"
 )
+
+func init() {
+	// Install the bridge that lets the sibling driver package
+	// (repro/pktbuf/sim) reach the core buffer without widening the
+	// public API surface.
+	facade.CoreOf = func(b any) *core.Buffer { return b.(*Buffer).inner }
+}
+
+// CellSize is the fixed cell size in bytes (§2 of the paper: packets
+// are segmented into 64-byte cells).
+const CellSize = cell.Size
 
 // Queue identifies a Virtual Output Queue (0-based).
 type Queue int32
@@ -50,15 +70,36 @@ const (
 	OC3072
 )
 
-func (r LineRate) internal() cell.LineRate {
+// String implements fmt.Stringer.
+func (r LineRate) String() string {
+	c, err := r.internal()
+	if err != nil {
+		return fmt.Sprintf("LineRate(%d)", int(r))
+	}
+	return c.String()
+}
+
+// SlotTimeNS returns the duration of one time slot in nanoseconds —
+// the transmission time of one 64-byte cell at the line rate (3.2 ns
+// at OC-3072). Zero for an unknown rate.
+func (r LineRate) SlotTimeNS() float64 {
+	c, err := r.internal()
+	if err != nil {
+		return 0
+	}
+	return c.SlotTimeNS()
+}
+
+func (r LineRate) internal() (cell.LineRate, error) {
 	switch r {
 	case OC192:
-		return cell.OC192
+		return cell.OC192, nil
 	case OC768:
-		return cell.OC768
-	default:
-		return cell.OC3072
+		return cell.OC768, nil
+	case OC3072:
+		return cell.OC3072, nil
 	}
+	return 0, fmt.Errorf("%w: unknown LineRate(%d)", ErrBadConfig, int(r))
 }
 
 // Organization selects the shared SRAM organization (§7.1 of the
@@ -73,6 +114,19 @@ const (
 	// UnifiedLinkedList is the time-multiplexed linked-list
 	// organization: smallest area, ~3× slower per operation.
 	UnifiedLinkedList
+)
+
+// MMA selects the head Memory Management Algorithm.
+type MMA int
+
+// Head MMAs.
+const (
+	// ECQF is Earliest Critical Queue First — the paper's h-MMA (§3),
+	// driven by the request lookahead.
+	ECQF MMA = iota
+	// MDQF is the lookahead-free Most Deficit Queue First baseline of
+	// the RADS work.
+	MDQF
 )
 
 // Config describes a buffer. Queues, LineRate and Banks are required;
@@ -98,6 +152,8 @@ type Config struct {
 	Renaming bool
 	// Organization selects the shared SRAM structure.
 	Organization Organization
+	// MMA selects the head Memory Management Algorithm.
+	MMA MMA
 	// Lookahead overrides the MMA lookahead (slots); zero uses the
 	// ECQF full lookahead Q(b−1)+1.
 	Lookahead int
@@ -121,10 +177,15 @@ type Input struct {
 	Request Queue
 }
 
-// Output is one slot's outcome.
+// Output is one slot's outcome. It has value semantics: nothing in it
+// aliases buffer-owned storage, so outputs may be retained freely and
+// the delivery path performs no allocation.
 type Output struct {
-	// Delivered is the cell granted to the scheduler, if any.
-	Delivered *Cell
+	// Delivered is the cell granted to the scheduler this slot. It is
+	// meaningful only when Ok is true (otherwise it is the zero Cell).
+	Delivered Cell
+	// Ok reports whether a cell was delivered this slot.
+	Ok bool
 	// Bypassed reports a delivery straight from the ingress SRAM
 	// (cut-through for queues with no DRAM-resident cells).
 	Bypassed bool
@@ -153,12 +214,26 @@ type Buffer struct {
 }
 
 // New builds a buffer, applying the paper's dimensioning formulas to
-// every parameter the caller leaves zero.
+// every parameter the caller leaves zero. Rejected configurations
+// return errors matching ErrBadConfig.
 func New(cfg Config) (*Buffer, error) {
 	if cfg.Queues <= 0 {
-		return nil, fmt.Errorf("pktbuf: Queues must be positive, got %d", cfg.Queues)
+		return nil, fmt.Errorf("%w: Queues must be positive, got %d", ErrBadConfig, cfg.Queues)
 	}
-	rate := cfg.LineRate.internal()
+	rate, err := cfg.LineRate.internal()
+	if err != nil {
+		return nil, err
+	}
+	switch cfg.Organization {
+	case GlobalCAM, UnifiedLinkedList:
+	default:
+		return nil, fmt.Errorf("%w: unknown Organization(%d)", ErrBadConfig, int(cfg.Organization))
+	}
+	switch cfg.MMA {
+	case ECQF, MDQF:
+	default:
+		return nil, fmt.Errorf("%w: unknown MMA(%d)", ErrBadConfig, int(cfg.MMA))
+	}
 	banks := cfg.Banks
 	if banks == 0 {
 		banks = 256
@@ -177,6 +252,7 @@ func New(cfg Config) (*Buffer, error) {
 		Renaming:           cfg.Renaming,
 		Lookahead:          cfg.Lookahead,
 		Org:                core.SRAMOrg(cfg.Organization),
+		MMA:                core.MMAKind(cfg.MMA),
 	})
 	if err != nil {
 		return nil, err
@@ -184,7 +260,13 @@ func New(cfg Config) (*Buffer, error) {
 	return &Buffer{inner: inner, cfg: cfg}, nil
 }
 
-// Tick advances one slot.
+// Config returns the configuration the buffer was built from (as
+// passed to New; see Sizing for the derived, as-built parameters).
+func (b *Buffer) Config() Config { return b.cfg }
+
+// Tick advances one slot. The slot completes even when a
+// caller-visible error (ErrBufferFull, ErrUnknownQueue, ErrBadRequest)
+// is returned: deliveries and internal transfers still occur.
 func (b *Buffer) Tick(in Input) (Output, error) {
 	out, err := b.inner.Tick(core.TickInput{
 		Arrival: cell.QueueID(in.Arrival),
@@ -192,10 +274,35 @@ func (b *Buffer) Tick(in Input) (Output, error) {
 	})
 	var pub Output
 	if out.Delivered != nil {
-		pub.Delivered = &Cell{Queue: Queue(out.Delivered.Queue), Seq: out.Delivered.Seq}
+		pub.Delivered = Cell{Queue: Queue(out.Delivered.Queue), Seq: out.Delivered.Seq}
+		pub.Ok = true
 		pub.Bypassed = out.Bypassed
 	}
 	return pub, err
+}
+
+// TickBatch advances one slot per element of in, writing slot i's
+// outcome to out[i]. It requires len(out) ≥ len(in) and returns the
+// number of slots ticked. On error it stops after the offending slot
+// (which, per Tick semantics, still completed and has its outcome in
+// out[n-1]). TickBatch is the batch entry point for precomputed
+// stimulus: semantically identical to calling Tick per element, it
+// allocates nothing and lets a caller drive thousands of slots per
+// call. (For generator-driven runs, sim.Runner.RunBatch is the fast
+// path that actually hoists work out of the slot loop.)
+func (b *Buffer) TickBatch(in []Input, out []Output) (int, error) {
+	if len(out) < len(in) {
+		return 0, fmt.Errorf("pktbuf: TickBatch output slice too short: %d outputs for %d inputs",
+			len(out), len(in))
+	}
+	for i := range in {
+		o, err := b.Tick(in[i])
+		out[i] = o
+		if err != nil {
+			return i + 1, err
+		}
+	}
+	return len(in), nil
 }
 
 // Len returns the number of cells of q currently buffered.
@@ -204,6 +311,19 @@ func (b *Buffer) Len(q Queue) int { return b.inner.Len(cell.QueueID(q)) }
 // Requestable returns how many cells of q the scheduler may still
 // request (buffered cells minus requests already in flight).
 func (b *Buffer) Requestable(q Queue) int { return b.inner.Requestable(cell.QueueID(q)) }
+
+// PendingRequests returns the number of admitted requests still in
+// flight through the request pipeline (requested but not yet
+// delivered). A drain loop may stop as soon as this reaches zero with
+// no further requests issued.
+func (b *Buffer) PendingRequests() int { return b.inner.PendingRequests() }
+
+// ArrivedSeq returns the number of cells that have ever arrived for
+// queue q — equivalently, the Seq the next arrival to q will carry.
+// Samplers that attach to a live buffer (for example the sim
+// package's latency tracker) use it to align with the per-queue
+// numbering.
+func (b *Buffer) ArrivedSeq(q Queue) uint64 { return b.inner.ArrivedSeq(cell.QueueID(q)) }
 
 // Now returns the current slot number.
 func (b *Buffer) Now() uint64 { return uint64(b.inner.Now()) }
@@ -222,12 +342,19 @@ func (b *Buffer) Stats() Stats {
 	}
 }
 
-// Sizing reports the dimensioned structure sizes for a configuration
-// without building the buffer — the paper's equations (1)-(4).
+// Sizing reports a buffer's dimensioned structure sizes — the paper's
+// equations (1)-(4). DimensionFor computes the analytic values for a
+// configuration without building it; Buffer.Sizing reports the
+// as-built values, which include the engineering slack the
+// implementation adds on top of the analytic bounds.
 type Sizing struct {
 	// GranularityB is the RADS granularity B for the line rate.
 	GranularityB int
-	// Lookahead is the ECQF full lookahead Q(b−1)+1.
+	// Granularity is the resolved CFDS granularity b (B when the
+	// configuration left it zero, the RADS baseline).
+	Granularity int
+	// Lookahead is the MMA lookahead in slots (the ECQF full lookahead
+	// Q(b−1)+1 unless overridden).
 	Lookahead int
 	// HeadSRAMCells / TailSRAMCells are the SRAM sizes in 64 B cells.
 	HeadSRAMCells, TailSRAMCells int
@@ -241,9 +368,33 @@ type Sizing struct {
 	DelaySlots int
 }
 
-// DimensionFor computes the paper's sizing for a configuration.
+// Sizing returns the as-built structure sizes of this buffer,
+// including the engineering slack core adds over the analytic bounds.
+func (b *Buffer) Sizing() Sizing {
+	cfg := b.inner.Config()
+	d := cfg.Dimension()
+	return Sizing{
+		GranularityB:    cfg.B,
+		Granularity:     cfg.Bsmall,
+		Lookahead:       cfg.Lookahead,
+		HeadSRAMCells:   cfg.HeadSRAMCells,
+		TailSRAMCells:   cfg.TailSRAMCells,
+		RequestRegister: cfg.RRCapacity,
+		MaxSkips:        d.MaxSkips(),
+		LatencySlots:    cfg.LatencySlots,
+		DelaySlots:      cfg.Lookahead + cfg.LatencySlots,
+	}
+}
+
+// DimensionFor computes the paper's analytic sizing for a
+// configuration. Invalid configurations (unknown LineRate,
+// non-positive Queues/Banks, a Granularity that is negative or does
+// not divide B) return errors matching ErrBadConfig.
 func DimensionFor(cfg Config) (Sizing, error) {
-	rate := cfg.LineRate.internal()
+	rate, err := cfg.LineRate.internal()
+	if err != nil {
+		return Sizing{}, err
+	}
 	bigB := rate.Granularity(cell.DefaultDRAMAccessNS)
 	b := cfg.Granularity
 	if b == 0 {
@@ -259,10 +410,11 @@ func DimensionFor(cfg Config) (Sizing, error) {
 	}
 	d := dimension.Config{Q: cfg.Queues, B: bigB, Bsmall: b, M: banks, Lookahead: look}
 	if err := d.Validate(); err != nil {
-		return Sizing{}, err
+		return Sizing{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	return Sizing{
 		GranularityB:    bigB,
+		Granularity:     b,
 		Lookahead:       look,
 		HeadSRAMCells:   d.HeadSRAMSize(),
 		TailSRAMCells:   d.TailSRAMSize(),

@@ -38,8 +38,8 @@ func TestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if out.Delivered != nil {
-			got = append(got, *out.Delivered)
+		if out.Ok {
+			got = append(got, out.Delivered)
 		}
 	}
 	if len(got) != 8 {

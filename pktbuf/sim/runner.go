@@ -1,0 +1,210 @@
+// Package sim is the public simulation driver for the packet buffer:
+// a slot-loop runner with a batched fast path, plus the workload
+// generators the paper's worst-case analysis must survive — most
+// importantly the §3 adversarial round-robin drain — and uniform,
+// bursty on/off, hotspot and single-queue patterns for the average
+// case.
+//
+// It is a thin, allocation-free layer over the internal driver,
+// expressed entirely in the public pktbuf types: a Runner drives a
+// *pktbuf.Buffer with an ArrivalProcess and a RequestPolicy, one slot
+// at a time. Generators are deterministic given their seed, so every
+// experiment is reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/facade"
+	isim "repro/internal/sim"
+	"repro/pktbuf"
+)
+
+// View is the read-only buffer state a request policy may consult.
+// Requesting a queue with zero Requestable cells is forbidden by the
+// system model (§2), so every policy filters through this view.
+// *pktbuf.Buffer implements View.
+type View interface {
+	// Requestable returns how many cells of q may still be requested.
+	Requestable(q pktbuf.Queue) int
+	// Len returns the number of cells of q in the buffer.
+	Len(q pktbuf.Queue) int
+}
+
+// ArrivalProcess produces at most one arriving cell per slot.
+type ArrivalProcess interface {
+	// Next returns the queue of the cell arriving at slot, or
+	// pktbuf.None for an idle slot.
+	Next(slot uint64) pktbuf.Queue
+}
+
+// BatchArrivalProcess is the optional fast path Runner.RunBatch uses
+// to hoist the per-slot interface dispatch out of the inner loop: one
+// NextBatch call generates the arrivals for len(out) consecutive
+// slots starting at start. Implementations must be equivalent to
+// calling Next once per slot in order. Every generator constructed by
+// this package implements it.
+type BatchArrivalProcess interface {
+	ArrivalProcess
+	NextBatch(start uint64, out []pktbuf.Queue)
+}
+
+// RequestPolicy produces at most one scheduler request per slot.
+type RequestPolicy interface {
+	// Next returns the queue to request at slot, or pktbuf.None. The
+	// returned queue must have Requestable > 0.
+	Next(slot uint64, v View) pktbuf.Queue
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Slots is the number of slots simulated.
+	Slots uint64
+	// Stats is the buffer's final statistics snapshot.
+	Stats pktbuf.Stats
+	// DropsAllowed reports whether ErrBufferFull was tolerated.
+	DropsAllowed bool
+}
+
+// Clean reports whether the run upheld every worst-case guarantee
+// (drops excluded when they were explicitly allowed).
+func (r Result) Clean() bool {
+	s := r.Stats
+	if r.DropsAllowed {
+		s.Drops = 0
+	}
+	return s.Clean()
+}
+
+// Runner drives a pktbuf.Buffer with an arrival process and a request
+// policy, one slot at a time.
+//
+// The slot loop deliberately mirrors internal/sim.Runner rather than
+// delegating to it: the public hot path must call pktbuf.Buffer.Tick
+// directly (an adapter layer between the two runners would pay
+// interface dispatch per slot and break the 0 allocs/op gate).
+// Behavioural changes to either loop must be applied to both;
+// TestRunBatchMatchesRun and the façade benchmarks guard the pairing.
+type Runner struct {
+	// Buffer is the system under test.
+	Buffer *pktbuf.Buffer
+	// Arrivals feeds the ingress; Requests models the fabric scheduler.
+	Arrivals ArrivalProcess
+	Requests RequestPolicy
+	// AllowDrops tolerates ErrBufferFull (bounded-DRAM experiments);
+	// any other error aborts the run.
+	AllowDrops bool
+	// OnDeliver, when set, observes every delivered cell.
+	OnDeliver func(c pktbuf.Cell, bypassed bool)
+
+	// arrScratch is the reused arrival batch buffer, so repeated
+	// RunBatch calls allocate nothing.
+	arrScratch []pktbuf.Queue
+}
+
+// Run simulates the given number of slots.
+func (r *Runner) Run(slots uint64) (Result, error) {
+	return r.RunBatch(slots, 1)
+}
+
+// defaultBatch is the RunBatch chunk size when the caller passes 0.
+const defaultBatch = 4096
+
+// RunBatch simulates the given number of slots in chunks of batch
+// (0 selects a default). It is the fast path for long steady-state
+// runs: arrivals are generated a whole chunk at a time for
+// BatchArrivalProcess implementations, the delivery-callback and
+// drop-tolerance branches are resolved per batch, and the Stats
+// snapshot is taken once at the end of the run.
+func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
+	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
+		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
+	}
+	if batch == 0 {
+		batch = defaultBatch
+	}
+	res := Result{DropsAllowed: r.AllowDrops}
+	buf := r.Buffer
+	onDeliver := r.OnDeliver
+	// Policies re-exported by this package can probe the core buffer
+	// directly: the view they would otherwise see through the public
+	// adapter is the buffer itself, so the adapter stack is pure
+	// overhead on the per-slot path.
+	reqAdapter, direct := r.Requests.(*requests)
+	var coreView isim.View
+	if direct {
+		coreView = facade.CoreOf(buf)
+	}
+	batchArr, batched := r.Arrivals.(BatchArrivalProcess)
+	if batched && batch > 1 {
+		if uint64(cap(r.arrScratch)) < batch {
+			r.arrScratch = make([]pktbuf.Queue, batch)
+		}
+	} else {
+		batched = false
+	}
+	for done := uint64(0); done < slots; {
+		n := batch
+		if left := slots - done; left < n {
+			n = left
+		}
+		if batched {
+			batchArr.NextBatch(buf.Now(), r.arrScratch[:n])
+		}
+		for i := uint64(0); i < n; i++ {
+			var in pktbuf.Input
+			if batched {
+				in.Arrival = r.arrScratch[i]
+			} else {
+				in.Arrival = r.Arrivals.Next(buf.Now())
+			}
+			if direct {
+				in.Request = reqAdapter.nextDirect(buf.Now(), coreView)
+			} else {
+				in.Request = r.Requests.Next(buf.Now(), buf)
+			}
+			out, err := buf.Tick(in)
+			if err != nil && !(r.AllowDrops && errors.Is(err, pktbuf.ErrBufferFull)) {
+				res.Slots = done + i + 1
+				res.Stats = buf.Stats()
+				return res, fmt.Errorf("sim: slot %d: %w", done+i, err)
+			}
+			if out.Ok && onDeliver != nil {
+				onDeliver(out.Delivered, out.Bypassed)
+			}
+		}
+		done += n
+	}
+	res.Slots = slots
+	res.Stats = buf.Stats()
+	return res, nil
+}
+
+// Drain keeps requesting until the buffer empties or maxSlots pass,
+// with no further arrivals. It returns the number of cells delivered.
+func (r *Runner) Drain(maxSlots uint64) (uint64, error) {
+	delivered := uint64(0)
+	for s := uint64(0); s < maxSlots; s++ {
+		in := pktbuf.Input{
+			Arrival: pktbuf.None,
+			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+		}
+		out, err := r.Buffer.Tick(in)
+		if err != nil {
+			return delivered, fmt.Errorf("sim: drain slot %d: %w", s, err)
+		}
+		if out.Ok {
+			delivered++
+			if r.OnDeliver != nil {
+				r.OnDeliver(out.Delivered, out.Bypassed)
+			}
+		}
+		// Terminate as soon as the pipeline is demonstrably drained: no
+		// request issued this slot and none in flight.
+		if in.Request == pktbuf.None && r.Buffer.PendingRequests() == 0 {
+			break
+		}
+	}
+	return delivered, nil
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"repro/internal/cell"
+	isim "repro/internal/sim"
+	"repro/pktbuf"
+)
+
+// The generators below re-export the internal workload suite through
+// the public types. Each adapter is allocation-free per slot: queue
+// ids convert by value, batch generation reuses a scratch buffer, and
+// the request-side view adapter is cached on the policy.
+
+// arrivals adapts an internal arrival process. It always implements
+// BatchArrivalProcess, falling back to a per-slot loop when the inner
+// process has no batch path.
+type arrivals struct {
+	inner   isim.ArrivalProcess
+	batch   isim.BatchArrivalProcess // nil when inner is per-slot only
+	scratch []cell.QueueID
+}
+
+func newArrivals(inner isim.ArrivalProcess) *arrivals {
+	a := &arrivals{inner: inner}
+	if b, ok := inner.(isim.BatchArrivalProcess); ok {
+		a.batch = b
+	}
+	return a
+}
+
+// Next implements ArrivalProcess.
+func (a *arrivals) Next(slot uint64) pktbuf.Queue {
+	return pktbuf.Queue(a.inner.Next(cell.Slot(slot)))
+}
+
+// NextBatch implements BatchArrivalProcess.
+func (a *arrivals) NextBatch(start uint64, out []pktbuf.Queue) {
+	if a.batch == nil {
+		for i := range out {
+			out[i] = pktbuf.Queue(a.inner.Next(cell.Slot(start) + cell.Slot(i)))
+		}
+		return
+	}
+	if cap(a.scratch) < len(out) {
+		a.scratch = make([]cell.QueueID, len(out))
+	}
+	s := a.scratch[:len(out)]
+	a.batch.NextBatch(cell.Slot(start), s)
+	for i, q := range s {
+		out[i] = pktbuf.Queue(q)
+	}
+}
+
+// viewAdapter presents a public View to an internal request policy.
+type viewAdapter struct{ v View }
+
+func (w *viewAdapter) Requestable(q cell.QueueID) int { return w.v.Requestable(pktbuf.Queue(q)) }
+func (w *viewAdapter) Len(q cell.QueueID) int         { return w.v.Len(pktbuf.Queue(q)) }
+
+// requests adapts an internal request policy.
+type requests struct {
+	inner isim.RequestPolicy
+	view  viewAdapter
+}
+
+// Next implements RequestPolicy.
+func (r *requests) Next(slot uint64, v View) pktbuf.Queue {
+	r.view.v = v
+	return pktbuf.Queue(r.inner.Next(cell.Slot(slot), &r.view))
+}
+
+// nextDirect is the Runner's fast path: when the view is the buffer
+// itself, the internal policy probes the core buffer directly instead
+// of going through the public-view adapter stack.
+func (r *requests) nextDirect(slot uint64, v isim.View) pktbuf.Queue {
+	return pktbuf.Queue(r.inner.Next(cell.Slot(slot), v))
+}
+
+// ---------------------------------------------------------------- arrivals
+
+// NewUniformArrivals returns an arrival process with the given offered
+// load (cells per slot, 0..1) spread uniformly over q queues.
+func NewUniformArrivals(q int, load float64, seed int64) (ArrivalProcess, error) {
+	inner, err := isim.NewUniformArrivals(q, load, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newArrivals(inner), nil
+}
+
+// NewRoundRobinArrivals returns a deterministic round-robin arrival
+// process at the given load.
+func NewRoundRobinArrivals(q int, load float64) (ArrivalProcess, error) {
+	inner, err := isim.NewRoundRobinArrivals(q, load)
+	if err != nil {
+		return nil, err
+	}
+	return newArrivals(inner), nil
+}
+
+// NewHotspotArrivals returns a skewed arrival process: fraction
+// hotFrac of cells target queue 0, the rest spread uniformly.
+func NewHotspotArrivals(q int, load, hotFrac float64, seed int64) (ArrivalProcess, error) {
+	inner, err := isim.NewHotspotArrivals(q, load, hotFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newArrivals(inner), nil
+}
+
+// NewBurstyArrivals returns an on/off burst process with geometric
+// burst and gap lengths (means meanOn and meanOff slots). The offered
+// load is meanOn/(meanOn+meanOff).
+func NewBurstyArrivals(q int, meanOn, meanOff float64, seed int64) (ArrivalProcess, error) {
+	inner, err := isim.NewBurstyArrivals(q, meanOn, meanOff, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newArrivals(inner), nil
+}
+
+// NewSingleQueueArrivals floods queue q with one cell per slot.
+func NewSingleQueueArrivals(q pktbuf.Queue) ArrivalProcess {
+	return newArrivals(isim.NewSingleQueueArrivals(cell.QueueID(q)))
+}
+
+// ---------------------------------------------------------------- requests
+
+// NewRoundRobinDrain returns the §3 adversarial request policy: one
+// cell per queue, cycling, skipping queues with nothing requestable.
+func NewRoundRobinDrain(q int) (RequestPolicy, error) {
+	inner, err := isim.NewRoundRobinDrain(q)
+	if err != nil {
+		return nil, err
+	}
+	return &requests{inner: inner}, nil
+}
+
+// NewUniformRequests returns a random request policy issuing requests
+// at the given rate.
+func NewUniformRequests(q int, rate float64, seed int64) (RequestPolicy, error) {
+	inner, err := isim.NewUniformRequests(q, rate, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &requests{inner: inner}, nil
+}
+
+// NewLongestFirst returns a policy that requests the queue with the
+// most requestable cells — the opposite extreme of round-robin.
+func NewLongestFirst(q int) (RequestPolicy, error) {
+	inner, err := isim.NewLongestFirst(q)
+	if err != nil {
+		return nil, err
+	}
+	return &requests{inner: inner}, nil
+}
+
+// NewPermutationDrain cycles over the given queue permutation, one
+// cell per visit — a rotated variant of the adversarial pattern.
+func NewPermutationDrain(perm []pktbuf.Queue) (RequestPolicy, error) {
+	p := make([]cell.QueueID, len(perm))
+	for i, q := range perm {
+		p[i] = cell.QueueID(q)
+	}
+	inner, err := isim.NewPermutationDrain(p)
+	if err != nil {
+		return nil, err
+	}
+	return &requests{inner: inner}, nil
+}
+
+// NewIdleRequests returns a policy that never issues requests
+// (fill-only phases).
+func NewIdleRequests() RequestPolicy {
+	return &requests{inner: isim.NewIdleRequests()}
+}

@@ -1,6 +1,8 @@
 package pktbuf
 
 import (
+	"fmt"
+
 	"repro/internal/cacti"
 	"repro/internal/cell"
 	"repro/internal/dimension"
@@ -26,19 +28,27 @@ type TechEstimate struct {
 // technology model: can the SRAMs of this design point actually cycle
 // at the line rate, and what would they cost in silicon?
 func EstimateTechnology(cfg Config) (TechEstimate, error) {
+	rate, err := cfg.LineRate.internal()
+	if err != nil {
+		return TechEstimate{}, err
+	}
 	s, err := DimensionFor(cfg)
 	if err != nil {
 		return TechEstimate{}, err
 	}
-	org := cacti.OrgCAM
-	if cfg.Organization == UnifiedLinkedList {
+	var org cacti.Org
+	switch cfg.Organization {
+	case GlobalCAM:
+		org = cacti.OrgCAM
+	case UnifiedLinkedList:
 		org = cacti.OrgLinkedList
+	default:
+		return TechEstimate{}, fmt.Errorf("%w: unknown Organization(%d)", ErrBadConfig, int(cfg.Organization))
 	}
 	larger := s.HeadSRAMCells
 	if s.TailSRAMCells > larger {
 		larger = s.TailSRAMCells
 	}
-	rate := cfg.LineRate.internal()
 	est := TechEstimate{
 		HeadSRAMCells: s.HeadSRAMCells,
 		TailSRAMCells: s.TailSRAMCells,
@@ -56,7 +66,11 @@ func EstimateTechnology(cfg Config) (TechEstimate, error) {
 // meet the line-rate budget. It returns 0 if no granularity is
 // feasible (the §7.2 RADS-at-OC-3072 situation).
 func OptimalGranularity(queues int, rate LineRate, org Organization) int {
-	bigB := rate.internal().Granularity(cell.DefaultDRAMAccessNS)
+	irate, err := rate.internal()
+	if err != nil {
+		return 0
+	}
+	bigB := irate.Granularity(cell.DefaultDRAMAccessNS)
 	best, bestDelay := 0, 0
 	for b := 1; b <= bigB; b *= 2 {
 		cfg := Config{Queues: queues, LineRate: rate, Granularity: b, Organization: org}

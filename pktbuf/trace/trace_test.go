@@ -1,0 +1,124 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pktbuf"
+	"repro/pktbuf/sim"
+	"repro/pktbuf/trace"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := &trace.Trace{Events: []trace.Event{
+		{Arrival: 3, Request: 7},
+		{Arrival: 0, Request: pktbuf.None},
+		{Arrival: pktbuf.None, Request: 2},
+		{Arrival: pktbuf.None, Request: pktbuf.None},
+	}}
+	var buf bytes.Buffer
+	if err := in.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Events) != len(in.Events) {
+		t.Fatalf("round trip: %d events, want %d", len(out.Events), len(in.Events))
+	}
+	for i := range in.Events {
+		if out.Events[i] != in.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, out.Events[i], in.Events[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	for _, text := range []string{"x3\n", "a\n", "a-2\n", "abc def\n"} {
+		if _, err := trace.Read(strings.NewReader(text)); !errors.Is(err, trace.ErrFormat) {
+			t.Errorf("Read(%q) err = %v, want ErrFormat", text, err)
+		}
+	}
+}
+
+func newBuffer(t testing.TB) *pktbuf.Buffer {
+	t.Helper()
+	buf, err := pktbuf.New(pktbuf.Config{
+		Queues: 8, LineRate: pktbuf.OC768, Granularity: 2, Banks: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestRecordReplay records a live run from slot 0 and replays it
+// against a fresh identical buffer: the statistics must match
+// exactly.
+func TestRecordReplay(t *testing.T) {
+	const slots = 20000
+	arr, _ := sim.NewUniformArrivals(8, 0.7, 5)
+	req, _ := sim.NewRoundRobinDrain(8)
+	rec := &trace.Recorder{Arr: arr, Req: req}
+	recArr, recReq := rec.Halves()
+	orig := newBuffer(t)
+	r := &sim.Runner{Buffer: orig, Arrivals: recArr, Requests: recReq}
+	want, err := r.Run(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Trace().Events); got != slots {
+		t.Fatalf("recorded %d events, want %d", got, slots)
+	}
+
+	var wire bytes.Buffer
+	if err := rec.Trace().Write(&wire); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repArr, repReq := trace.NewReplayer(tr).Halves()
+	replayed := newBuffer(t)
+	r2 := &sim.Runner{Buffer: replayed, Arrivals: repArr, Requests: repReq}
+	got, err := r2.Run(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("replayed run diverges:\nwant %+v\ngot  %+v", want, got)
+	}
+}
+
+// TestReplayerExhausted: past the end of the trace the replayer goes
+// idle instead of repeating.
+func TestReplayerExhausted(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{{Arrival: 1, Request: pktbuf.None}}}
+	arr, req := trace.NewReplayer(tr).Halves()
+	buf := newBuffer(t)
+	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	res, err := r.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Arrivals != 1 || res.Stats.Requests != 0 {
+		t.Errorf("stats = %+v, want exactly one arrival", res.Stats)
+	}
+}
+
+func TestCapture(t *testing.T) {
+	arr, _ := sim.NewRoundRobinArrivals(4, 1.0)
+	tr := trace.Capture(arr, sim.NewIdleRequests(), newBuffer(t), 16)
+	if len(tr.Events) != 16 {
+		t.Fatalf("captured %d events, want 16", len(tr.Events))
+	}
+	for i, e := range tr.Events {
+		if e.Arrival != pktbuf.Queue(i%4) || e.Request != pktbuf.None {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+}
