@@ -17,7 +17,7 @@ import (
 
 // publicPackages is the supported API surface: everything importable
 // outside the module. A change here is a compatibility event.
-var publicPackages = []string{"pktbuf", "pktbuf/sim", "pktbuf/trace"}
+var publicPackages = []string{"pktbuf", "pktbuf/packet", "pktbuf/router", "pktbuf/sim", "pktbuf/trace"}
 
 // publicAPISurface renders the exported declarations (signatures
 // only, no bodies, no comments) of every public package into a
@@ -118,12 +118,19 @@ func surfaceDiff(want, got string) string {
 
 // TestExamplesUsePublicAPIOnly enforces the façade boundary: example
 // code is user-facing documentation and must not reach into
-// repro/internal.
+// repro/internal. cmd/pktbufsim is held to the same rule — it is the
+// reference harness for the public surface, including the router
+// engine mode.
 func TestExamplesUsePublicAPIOnly(t *testing.T) {
 	files, err := filepath.Glob("examples/*/*.go")
 	if err != nil {
 		t.Fatal(err)
 	}
+	simFiles, err := filepath.Glob("cmd/pktbufsim/*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, simFiles...)
 	if len(files) == 0 {
 		t.Fatal("no example files found")
 	}

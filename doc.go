@@ -4,10 +4,12 @@
 //
 // The public API is the repro/pktbuf tree: repro/pktbuf (the buffer:
 // Tick/TickBatch, typed sentinel errors, sizing and the technology
-// model), repro/pktbuf/sim (the batched simulation driver and the
-// workload generators) and repro/pktbuf/trace (slot-trace record and
-// replay). The substrates (DRAM banking, shared SRAM organizations,
-// MMAs, the DRAM Scheduler Subsystem, queue renaming, the CACTI-style
+// model), repro/pktbuf/packet (cell segmentation and reassembly),
+// repro/pktbuf/router (the sharded Figure-1 router engine),
+// repro/pktbuf/sim (the batched simulation driver and the workload
+// generators) and repro/pktbuf/trace (slot-trace record and replay).
+// The substrates (DRAM banking, shared SRAM organizations, MMAs, the
+// DRAM Scheduler Subsystem, queue renaming, the CACTI-style
 // technology model and the experiment generators) live under
 // repro/internal and are implementation detail; examples and the
 // pktbufsim harness consume only the public surface, and
@@ -44,4 +46,22 @@
 // buffer through the façade at internal speed (BenchmarkPktbuf* in
 // facade_bench_test.go holds them within ~1% of the internal suite at
 // zero allocations per slot).
+//
+// # Sharded router engine
+//
+// repro/pktbuf/router promotes the paper's system context (Figure 1)
+// to the public surface as a concurrent engine: one VOQ buffer shard
+// per input port, each advanced by a dedicated worker goroutine, with
+// the iSLIP request-grant-accept exchange as the only per-slot
+// synchronization barrier. Port ticks touch only port-local state
+// (dense per-VOQ metadata deques, matching the core's arena
+// discipline), the scheduler consumes only the request vectors the
+// ports published after their previous ticks, and egress is collected
+// in input-port order into a per-batch payload arena — so the sharded
+// engine is deterministic, bit-identical to the serial Workers: 1
+// path (pinned by golden-equivalence tests at both the internal and
+// public layers), race-clean under go test -race, and 0 allocs/op at
+// steady state. cmd/pktbufsim -router -ports N drives it from the
+// CLI; BENCH_baseline.json's router_pr3 section records the scaling
+// baselines.
 package repro

@@ -1,11 +1,13 @@
-// Packet router: drives the full system of the paper's Figure 1 built
-// entirely on the public API — variable-length packets segmented into
-// 64-byte cells, buffered in per-input VOQ packet buffers (CFDS),
-// switched by a round-robin fabric matching, and reassembled at the
-// output ports. The buffer transports (queue, seq) identities; the
-// line card keeps each cell's payload chunk keyed by that identity,
-// so the final byte-for-byte comparison verifies that every cell of
-// every packet crossed the router exactly once and strictly in order.
+// Packet router: drives the full system of the paper's Figure 1 —
+// variable-length packets segmented into 64-byte cells, buffered in
+// per-input VOQ packet buffers (CFDS), switched by an iSLIP fabric
+// matching, and reassembled at the output ports — entirely through
+// the public router engine, and byte-verifies every packet.
+//
+// The engine guarantees per-(input, flow) FIFO delivery, so the
+// harness keeps each stream's offered payloads in a FIFO and compares
+// the egress byte-for-byte: a single misordered, duplicated or lost
+// cell anywhere in the fabric surfaces as a mismatch here.
 //
 // Run with: go run ./examples/packetrouter
 package main
@@ -17,175 +19,63 @@ import (
 	"math/rand"
 
 	"repro/pktbuf"
+	"repro/pktbuf/packet"
+	"repro/pktbuf/router"
 )
 
 const (
 	ports   = 4
 	classes = 2
-	// voqs is the number of logical queues per input buffer: one per
-	// (output port, service class).
-	voqs  = ports * classes
-	slots = 60000
+	voqs    = ports * classes
+	slots   = 60000
 )
-
-// voq maps an (output, class) pair to a logical queue id.
-func voq(output, class int) pktbuf.Queue {
-	return pktbuf.Queue(output*classes + class)
-}
-
-// packet is one in-flight packet at an input port's VOQ: the payload
-// it must reassemble to, and the reassembly progress.
-type packet struct {
-	expect []byte
-	got    []byte
-}
-
-// voqState is the line-card bookkeeping for one VOQ of one input: the
-// payload chunk of every cell pushed into the buffer, in seq order,
-// and the FIFO of packets those cells belong to.
-type voqState struct {
-	// chunks[i] is the 64-byte payload of the cell with seq
-	// nextDeliverSeq+i (cells deliver strictly in seq order).
-	chunks         [][]byte
-	nextDeliverSeq uint64
-	packets        []*packet
-}
-
-// port is one input line card: its VOQ buffer, the per-slot cell
-// injection queue, and per-VOQ reassembly state.
-type port struct {
-	id  int
-	buf *pktbuf.Buffer
-	// pending is the FIFO of cells waiting to enter the buffer (one
-	// arrival per slot, the line rate).
-	pending []pktbuf.Queue
-	vq      [voqs]voqState
-}
-
-func newPort(id int) (*port, error) {
-	buf, err := pktbuf.New(pktbuf.Config{
-		Queues:      voqs,
-		LineRate:    pktbuf.OC3072,
-		Granularity: 4,
-		Banks:       256,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &port{id: id, buf: buf}, nil
-}
-
-// offer segments a packet into cells and queues them for injection.
-func (p *port) offer(q pktbuf.Queue, payload []byte) {
-	st := &p.vq[q]
-	st.packets = append(st.packets, &packet{expect: payload})
-	for off := 0; off < len(payload); off += pktbuf.CellSize {
-		end := off + pktbuf.CellSize
-		if end > len(payload) {
-			end = len(payload)
-		}
-		st.chunks = append(st.chunks, payload[off:end])
-		p.pending = append(p.pending, q)
-	}
-}
-
-// arrival pops the next cell to inject this slot, or None.
-func (p *port) arrival() pktbuf.Queue {
-	if len(p.pending) == 0 {
-		return pktbuf.None
-	}
-	q := p.pending[0]
-	p.pending = p.pending[1:]
-	return q
-}
-
-// requestFor returns a requestable VOQ of p addressed to output,
-// class priority first, or None.
-func (p *port) requestFor(output int) pktbuf.Queue {
-	for class := 0; class < classes; class++ {
-		if q := voq(output, class); p.buf.Requestable(q) > 0 {
-			return q
-		}
-	}
-	return pktbuf.None
-}
-
-// deliver routes a delivered cell to its packet's reassembly buffer
-// and returns the reassembled packet when it completes.
-func (p *port) deliver(c pktbuf.Cell) (*packet, error) {
-	st := &p.vq[c.Queue]
-	if c.Seq != st.nextDeliverSeq || len(st.chunks) == 0 || len(st.packets) == 0 {
-		return nil, fmt.Errorf("input %d queue %d: unexpected cell seq %d (want %d)",
-			p.id, c.Queue, c.Seq, st.nextDeliverSeq)
-	}
-	st.nextDeliverSeq++
-	chunk := st.chunks[0]
-	st.chunks = st.chunks[1:]
-	pk := st.packets[0]
-	pk.got = append(pk.got, chunk...)
-	if len(pk.got) < len(pk.expect) {
-		return nil, nil
-	}
-	st.packets = st.packets[1:]
-	return pk, nil
-}
 
 func main() {
 	log.SetFlags(0)
 
-	inputs := make([]*port, ports)
-	for i := range inputs {
-		p, err := newPort(i)
+	eng, err := router.New(router.Config{
+		Ports:   ports,
+		Classes: classes,
+		Buffer: pktbuf.Config{
+			LineRate:    pktbuf.OC3072,
+			Granularity: 4,
+			Banks:       256,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	rng := rand.New(rand.NewSource(2003))
+	// expected[input][flow] is the FIFO of payloads in flight on one
+	// (input, VOQ) stream.
+	var expected [ports][voqs][][]byte
+	offered, bytesIn, verified := 0, 0, 0
+
+	verify := func(eg []router.Egress) {
+		for _, e := range eg {
+			q := expected[e.Input][e.Packet.Flow]
+			if len(q) == 0 {
+				log.Fatalf("unexpected packet at output %d from input %d", e.Output, e.Input)
+			}
+			if !bytes.Equal(q[0], e.Packet.Payload) {
+				log.Fatalf("corrupted packet from input %d flow %d (%d bytes)",
+					e.Input, e.Packet.Flow, len(q[0]))
+			}
+			expected[e.Input][e.Packet.Flow] = q[1:]
+			verified++
+		}
+	}
+
+	out := make([]router.Egress, 0, 64)
+	step := func(n int) {
+		var err error
+		out, err = eng.StepBatch(n, out[:0])
 		if err != nil {
 			log.Fatal(err)
 		}
-		inputs[i] = p
-	}
-
-	rng := rand.New(rand.NewSource(2003))
-	offered, bytesIn, verified, switched := 0, 0, 0, 0
-
-	step := func(slot int) {
-		// Round-robin matching: each output granted to at most one
-		// input; each input requests at most one cell.
-		granted := [ports]bool{}
-		request := [ports]pktbuf.Queue{}
-		for i, p := range inputs {
-			request[i] = pktbuf.None
-			for k := 0; k < ports; k++ {
-				output := (i + slot + k) % ports
-				if granted[output] {
-					continue
-				}
-				if q := p.requestFor(output); q != pktbuf.None {
-					granted[output] = true
-					request[i] = q
-					break
-				}
-			}
-		}
-		// Advance every input buffer one slot.
-		for i, p := range inputs {
-			in := pktbuf.Input{Arrival: p.arrival(), Request: request[i]}
-			out, err := p.buf.Tick(in)
-			if err != nil {
-				log.Fatalf("port %d slot %d: %v", i, slot, err)
-			}
-			if !out.Ok {
-				continue
-			}
-			switched++
-			pk, err := p.deliver(out.Delivered)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if pk != nil {
-				if !bytes.Equal(pk.got, pk.expect) {
-					log.Fatalf("corrupted packet from input %d (%d bytes)", i, len(pk.expect))
-				}
-				verified++
-			}
-		}
+		verify(out)
 	}
 
 	for slot := 0; slot < slots; slot++ {
@@ -193,8 +83,7 @@ func main() {
 		// 60% offered load in cells with the trimodal size mix below.
 		if rng.Float64() < 0.05 {
 			in := rng.Intn(ports)
-			out := rng.Intn(ports)
-			class := rng.Intn(classes)
+			flow := eng.VOQ(rng.Intn(ports), rng.Intn(classes))
 			// Internet-ish trimodal sizes: 40 B acks, 576 B, 1500 B MTU.
 			var size int
 			switch rng.Intn(3) {
@@ -207,26 +96,30 @@ func main() {
 			}
 			payload := make([]byte, size)
 			rng.Read(payload)
-			inputs[in].offer(voq(out, class), payload)
+			if err := eng.Offer(in, packet.Packet{Flow: flow, Payload: payload}); err != nil {
+				log.Fatalf("offer: %v", err)
+			}
+			expected[in][flow] = append(expected[in][flow], payload)
 			offered++
 			bytesIn += size
 		}
-		step(slot)
+		step(1)
 	}
 	// Drain what remains.
-	for slot := slots; slot < 11*slots && verified < offered; slot++ {
-		step(slot)
+	for slot := 0; slot < 10*slots && verified < offered; slot += 64 {
+		step(64)
 	}
 
+	st := eng.Stats()
 	fmt.Printf("offered packets:   %d (%d bytes)\n", offered, bytesIn)
 	fmt.Printf("delivered packets: %d (byte-verified)\n", verified)
-	fmt.Printf("switched cells:    %d (%.2f cells/slot)\n",
-		switched, float64(switched)/float64(slots))
+	fmt.Printf("switched cells:    %d (%.2f cells/slot, %d workers)\n",
+		st.SwitchedCells, float64(st.SwitchedCells)/float64(slots), eng.Workers())
 	clean := true
-	for _, p := range inputs {
-		if st := p.buf.Stats(); !st.Clean() {
+	for p := 0; p < ports; p++ {
+		if bs := eng.BufferStats(p); !bs.Clean() {
 			clean = false
-			fmt.Printf("input %d buffer NOT clean: %+v\n", p.id, st)
+			fmt.Printf("input %d buffer NOT clean: %+v\n", p, bs)
 		}
 	}
 	if verified == offered && clean {

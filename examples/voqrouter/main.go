@@ -1,8 +1,9 @@
-// VOQ router: an input-queued router line card (Figure 1 of the
-// paper) built on the packet buffer. Four input ports each hold a VOQ
-// buffer with one logical queue per (output port, service class); a
-// round-robin fabric scheduler matches inputs to outputs every slot
-// and pulls cells through the buffers.
+// VOQ router: the input-queued router of the paper's Figure 1, built
+// on the public router engine. Four input ports each hold a VOQ
+// packet buffer with one logical queue per (output port, service
+// class); the engine's iSLIP fabric scheduler matches inputs to
+// outputs every slot and pulls cells through the buffers, one worker
+// goroutine per port.
 //
 // The example forwards a bursty traffic mix for 50k slots and reports
 // per-port throughput and the buffers' invariant verdicts.
@@ -16,137 +17,92 @@ import (
 	"math/rand"
 
 	"repro/pktbuf"
+	"repro/pktbuf/packet"
+	"repro/pktbuf/router"
 )
 
 const (
 	ports   = 4
 	classes = 2
-	// voqs is the number of logical queues per input buffer: one per
-	// (output, class).
-	voqs  = ports * classes
-	slots = 50000
+	slots   = 50000
 )
 
-// voq maps an (output, class) pair to a logical queue id.
-func voq(output, class int) pktbuf.Queue {
-	return pktbuf.Queue(output*classes + class)
-}
-
-// port is one input line card: its VOQ buffer plus arrival state.
-type port struct {
-	id  int
-	buf *pktbuf.Buffer
-	rng *rand.Rand
-	// forwarded counts cells handed to the switch fabric per output.
-	forwarded [ports]int
-}
-
-func newPort(id int) (*port, error) {
-	buf, err := pktbuf.New(pktbuf.Config{
-		Queues:      voqs,
-		LineRate:    pktbuf.OC3072,
-		Granularity: 4,
-		Banks:       256,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &port{id: id, buf: buf, rng: rand.New(rand.NewSource(int64(1000 + id)))}, nil
-}
-
-// arrival draws this slot's arriving cell: bursty toward a "hot"
-// output that rotates per port, mixed over two service classes.
-func (p *port) arrival(slot int) pktbuf.Queue {
-	if p.rng.Float64() > 0.85 { // 85% offered load
-		return pktbuf.None
-	}
+// arrival draws one port's packet for this burst: bursty toward a
+// "hot" output that rotates per port, mixed over two service classes.
+func arrival(e *router.Engine, rng *rand.Rand, port, slot int) packet.Packet {
 	var output int
-	if p.rng.Float64() < 0.5 {
-		output = (p.id + slot/2048) % ports // rotating hotspot
+	if rng.Float64() < 0.5 {
+		output = (port + slot/2048) % ports // rotating hotspot
 	} else {
-		output = p.rng.Intn(ports)
+		output = rng.Intn(ports)
 	}
 	class := 0
-	if p.rng.Float64() < 0.3 {
+	if rng.Float64() < 0.3 {
 		class = 1
 	}
-	return voq(output, class)
-}
-
-// requestFor returns a requestable VOQ of p addressed to output, class
-// priority first, or None.
-func (p *port) requestFor(output int) pktbuf.Queue {
-	for class := 0; class < classes; class++ {
-		if q := voq(output, class); p.buf.Requestable(q) > 0 {
-			return q
-		}
-	}
-	return pktbuf.None
+	// ~2.4 cells mean packet size at 85% offered load per port.
+	payload := make([]byte, rng.Intn(4*packet.CellPayload))
+	rng.Read(payload)
+	return packet.Packet{Flow: e.VOQ(output, class), Payload: payload}
 }
 
 func main() {
 	log.SetFlags(0)
 
-	inputs := make([]*port, ports)
-	for i := range inputs {
-		p, err := newPort(i)
-		if err != nil {
-			log.Fatal(err)
-		}
-		inputs[i] = p
+	eng, err := router.New(router.Config{
+		Ports:   ports,
+		Classes: classes,
+		Buffer: pktbuf.Config{
+			LineRate:    pktbuf.OC3072,
+			Granularity: 4,
+			Banks:       256,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer eng.Close()
 
-	// Round-robin matcher state: the output each input starts probing
-	// from, rotated every slot (a simple desynchronized round-robin
-	// fabric schedule).
+	rng := rand.New(rand.NewSource(1000))
+	// forwarded[input][output] counts packets switched per pair.
+	var forwarded [ports][ports]int
+	out := make([]router.Egress, 0, 64)
 	for slot := 0; slot < slots; slot++ {
-		// Compute a matching: each output is granted to at most one
-		// input; each input requests at most one output.
-		granted := [ports]int{} // output -> input+1 (0 = free)
-		request := [ports]pktbuf.Queue{}
-		for i, p := range inputs {
-			request[i] = pktbuf.None
-			for k := 0; k < ports; k++ {
-				output := (i + slot + k) % ports
-				if granted[output] != 0 {
-					continue
-				}
-				if q := p.requestFor(output); q != pktbuf.None {
-					granted[output] = i + 1
-					request[i] = q
-					break
+		for port := 0; port < ports; port++ {
+			// One packet per port per ~2.8 slots ≈ 85% offered load in
+			// cells.
+			if rng.Float64() < 0.35 {
+				p := arrival(eng, rng, port, slot)
+				if err := eng.Offer(port, p); err != nil {
+					log.Fatalf("port %d slot %d: %v", port, slot, err)
 				}
 			}
 		}
-		// Advance every input buffer one slot.
-		for i, p := range inputs {
-			in := pktbuf.Input{Arrival: p.arrival(slot), Request: request[i]}
-			out, err := p.buf.Tick(in)
-			if err != nil {
-				log.Fatalf("port %d slot %d: %v", i, slot, err)
-			}
-			if out.Ok {
-				output := int(out.Delivered.Queue) / classes
-				p.forwarded[output]++
-			}
+		out, err = eng.StepBatch(1, out[:0])
+		if err != nil {
+			log.Fatalf("slot %d: %v", slot, err)
+		}
+		for _, e := range out {
+			forwarded[e.Input][e.Output]++
 		}
 	}
 
-	fmt.Printf("%-8s %12s %12s %10s %s\n", "port", "arrivals", "forwarded", "misses", "per-output")
-	totalForwarded := 0
+	fmt.Printf("%-8s %12s %12s %10s %s\n", "port", "arrivals", "switched", "misses", "per-output")
+	st := eng.Stats()
 	allClean := true
-	for _, p := range inputs {
-		st := p.buf.Stats()
+	for p := 0; p < ports; p++ {
+		bs := eng.BufferStats(p)
 		sum := 0
-		for _, n := range p.forwarded {
+		for _, n := range forwarded[p] {
 			sum += n
 		}
-		totalForwarded += sum
-		allClean = allClean && st.Clean()
-		fmt.Printf("in[%d]    %12d %12d %10d %v\n", p.id, st.Arrivals, sum, st.Misses, p.forwarded)
+		allClean = allClean && bs.Clean()
+		fmt.Printf("in[%d]    %12d %12d %10d %v\n", p, bs.Arrivals, sum, bs.Misses, forwarded[p])
 	}
-	fmt.Printf("\nfabric throughput: %.2f cells/slot across %d ports\n",
-		float64(totalForwarded)/float64(slots), ports)
+	fmt.Printf("\nfabric: %.2f cells/slot switched, %.2f matches/slot across %d ports (%d workers)\n",
+		float64(st.SwitchedCells)/float64(st.Slots),
+		float64(st.Matches)/float64(st.Slots), ports, eng.Workers())
+	fmt.Printf("packets: %d offered, %d delivered\n", st.OfferedPackets, st.DeliveredPackets)
 	if allClean {
 		fmt.Println("OK: all port buffers clean (zero misses, zero conflicts)")
 	} else {

@@ -1,10 +1,13 @@
 // Package facade bridges the public pktbuf façade to its sibling
-// public driver packages: it lets pktbuf/sim unwrap a *pktbuf.Buffer
-// to the *core.Buffer behind it, so re-exported request policies can
-// consult the buffer state directly instead of through two stacked
-// interface adapters per probe. The hook is installed by package
-// pktbuf at init time; the argument is typed any because pktbuf
-// cannot be imported from here without a cycle.
+// public packages: it lets pktbuf/sim unwrap a *pktbuf.Buffer to the
+// *core.Buffer behind it (so re-exported request policies consult the
+// buffer state directly instead of through two stacked interface
+// adapters per probe), and it lets pktbuf/router translate the public
+// buffer configuration and statistics without duplicating the
+// façade's mapping logic. The hooks are installed by package pktbuf
+// at init time; arguments and results are typed any where pktbuf
+// types are involved, because pktbuf cannot be imported from here
+// without a cycle.
 package facade
 
 import "repro/internal/core"
@@ -13,3 +16,12 @@ import "repro/internal/core"
 // by package pktbuf's init and is therefore non-nil in any program
 // that links the façade.
 var CoreOf func(buffer any) *core.Buffer
+
+// CoreConfig translates a pktbuf.Config (passed as any) into the
+// core.Config it dimensions, applying the same defaulting and
+// validation as pktbuf.New. Set by package pktbuf's init.
+var CoreConfig func(config any) (core.Config, error)
+
+// PublicStats translates a core.Stats into the pktbuf.Stats (returned
+// as any) the façade reports for it. Set by package pktbuf's init.
+var PublicStats func(s core.Stats) any

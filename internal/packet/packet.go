@@ -32,10 +32,11 @@ type Packet struct {
 	Payload []byte
 }
 
-// Errors returned by the reassembler.
+// Errors returned by the reassemblers.
 var (
 	ErrInterleaved = errors.New("packet: cells of two packets interleaved within one flow")
 	ErrOrphanCell  = errors.New("packet: continuation cell without a packet head")
+	ErrFlowRange   = errors.New("packet: flow id outside the reassembler's dense range")
 )
 
 // SegCell is one segmented unit: the cell-level identity used by the
@@ -60,18 +61,22 @@ type Segmenter struct {
 // Segment fragments p into ceil(len/CellPayload) cells (at least one:
 // zero-length packets still occupy a head cell, as on real hardware).
 func (s *Segmenter) Segment(p Packet) []SegCell {
-	n := (len(p.Payload) + CellPayload - 1) / CellPayload
-	if n == 0 {
-		n = 1
-	}
-	cells := make([]SegCell, 0, n)
+	return s.SegmentAppend(make([]SegCell, 0, CellCount(len(p.Payload))), p)
+}
+
+// SegmentAppend fragments p like Segment but appends the cells to dst
+// and returns the extended slice. It allocates only when dst lacks
+// capacity, so a caller reusing its backing array segments packets
+// with zero steady-state allocation. Cell payloads alias p.Payload.
+func (s *Segmenter) SegmentAppend(dst []SegCell, p Packet) []SegCell {
+	n := CellCount(len(p.Payload))
 	for i := 0; i < n; i++ {
 		lo := i * CellPayload
 		hi := lo + CellPayload
 		if hi > len(p.Payload) {
 			hi = len(p.Payload)
 		}
-		cells = append(cells, SegCell{
+		dst = append(dst, SegCell{
 			Flow:    p.Flow,
 			Head:    i == 0,
 			Cells:   n,
@@ -79,7 +84,7 @@ func (s *Segmenter) Segment(p Packet) []SegCell {
 		})
 	}
 	s.segmented += uint64(n)
-	return cells
+	return dst
 }
 
 // Segmented returns the number of cells produced so far.
@@ -143,3 +148,69 @@ func (r *Reassembler) Pending() int { return len(r.flows) }
 
 // Completed returns the number of packets emitted.
 func (r *Reassembler) Completed() uint64 { return r.done }
+
+// denseFlow is one flow's slot in the dense reassembly arena. The
+// payload buffer is retained across packets so steady-state reassembly
+// performs no allocation once every flow has seen its largest packet.
+type denseFlow struct {
+	want, have int
+	active     bool
+	payload    []byte
+}
+
+// DenseReassembler is the arena variant of Reassembler for callers —
+// such as the router — whose flow ids are ordinals in [0, flows). It
+// replaces the per-flow map and per-packet allocations with a dense
+// slice of reusable flow states, matching the dense-arena discipline
+// of the core buffer.
+type DenseReassembler struct {
+	flows   []denseFlow
+	pending int
+	done    uint64
+}
+
+// NewDenseReassembler returns a reassembler for flow ids in
+// [0, flows).
+func NewDenseReassembler(flows int) *DenseReassembler {
+	return &DenseReassembler{flows: make([]denseFlow, flows)}
+}
+
+// Push accepts the next cell of a flow. When the cell completes a
+// packet it returns the packet and ok=true. The returned payload
+// aliases the flow's reused buffer: it is valid until the next packet
+// of the same flow completes, so callers that retain it must copy.
+func (r *DenseReassembler) Push(c SegCell) (Packet, bool, error) {
+	if c.Flow < 0 || int(c.Flow) >= len(r.flows) {
+		return Packet{}, false, fmt.Errorf("%w: %d (dense range [0, %d))", ErrFlowRange, c.Flow, len(r.flows))
+	}
+	st := &r.flows[c.Flow]
+	if c.Head {
+		if st.active {
+			return Packet{}, false, fmt.Errorf("%w: flow %d (packet of %d cells had %d/%d)",
+				ErrInterleaved, c.Flow, c.Cells, st.have, st.want)
+		}
+		st.active = true
+		st.want = c.Cells
+		st.have = 0
+		st.payload = st.payload[:0]
+		r.pending++
+	} else if !st.active {
+		return Packet{}, false, fmt.Errorf("%w: flow %d", ErrOrphanCell, c.Flow)
+	}
+	st.payload = append(st.payload, c.Payload...)
+	st.have++
+	if st.have < st.want {
+		return Packet{}, false, nil
+	}
+	st.active = false
+	r.pending--
+	r.done++
+	return Packet{Flow: c.Flow, Payload: st.payload}, true, nil
+}
+
+// Pending returns the number of flows with a partially reassembled
+// packet.
+func (r *DenseReassembler) Pending() int { return r.pending }
+
+// Completed returns the number of packets emitted.
+func (r *DenseReassembler) Completed() uint64 { return r.done }

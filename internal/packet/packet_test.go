@@ -130,6 +130,91 @@ func TestReassembleErrors(t *testing.T) {
 	}
 }
 
+func TestSegmentAppendReusesBacking(t *testing.T) {
+	var s Segmenter
+	payload := bytes.Repeat([]byte{7}, 4*CellPayload)
+	dst := make([]SegCell, 0, 16)
+	dst = s.SegmentAppend(dst, Packet{Flow: 1, Payload: payload})
+	if len(dst) != 4 {
+		t.Fatalf("got %d cells", len(dst))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = s.SegmentAppend(dst[:0], Packet{Flow: 1, Payload: payload})
+	})
+	if allocs != 0 {
+		t.Errorf("SegmentAppend into capacity allocated %.1f/op", allocs)
+	}
+	var joined []byte
+	for _, c := range dst {
+		joined = append(joined, c.Payload...)
+	}
+	if !bytes.Equal(joined, payload) {
+		t.Error("payload mangled")
+	}
+}
+
+func TestDenseReassemblerRoundTrip(t *testing.T) {
+	var s Segmenter
+	r := NewDenseReassembler(4)
+	payload := bytes.Repeat([]byte{0xC3}, 3*CellPayload+5)
+	cells := s.Segment(Packet{Flow: 2, Payload: payload})
+	for i, c := range cells {
+		p, ok, err := r.Push(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (i == len(cells)-1) {
+			t.Fatalf("cell %d: ok=%v", i, ok)
+		}
+		if ok && (p.Flow != 2 || !bytes.Equal(p.Payload, payload)) {
+			t.Errorf("reassembled %+v", p)
+		}
+	}
+	if r.Pending() != 0 || r.Completed() != 1 {
+		t.Errorf("Pending=%d Completed=%d", r.Pending(), r.Completed())
+	}
+}
+
+func TestDenseReassemblerErrors(t *testing.T) {
+	r := NewDenseReassembler(2)
+	if _, _, err := r.Push(SegCell{Flow: 5, Head: true, Cells: 1}); !errors.Is(err, ErrFlowRange) {
+		t.Errorf("err = %v, want ErrFlowRange", err)
+	}
+	if _, _, err := r.Push(SegCell{Flow: -1, Head: true, Cells: 1}); !errors.Is(err, ErrFlowRange) {
+		t.Errorf("err = %v, want ErrFlowRange", err)
+	}
+	if _, _, err := r.Push(SegCell{Flow: 0}); !errors.Is(err, ErrOrphanCell) {
+		t.Errorf("err = %v, want ErrOrphanCell", err)
+	}
+	if _, _, err := r.Push(SegCell{Flow: 0, Head: true, Cells: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Push(SegCell{Flow: 0, Head: true, Cells: 2}); !errors.Is(err, ErrInterleaved) {
+		t.Errorf("err = %v, want ErrInterleaved", err)
+	}
+}
+
+// TestDenseReassemblerZeroAllocSteadyState: once a flow has seen its
+// largest packet, reassembling further packets allocates nothing.
+func TestDenseReassemblerZeroAllocSteadyState(t *testing.T) {
+	var s Segmenter
+	r := NewDenseReassembler(2)
+	payload := bytes.Repeat([]byte{9}, 5*CellPayload)
+	cells := make([]SegCell, 0, 8)
+	push := func() {
+		cells = s.SegmentAppend(cells[:0], Packet{Flow: 1, Payload: payload})
+		for _, c := range cells {
+			if _, _, err := r.Push(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	push() // warm the flow's payload buffer
+	if allocs := testing.AllocsPerRun(50, push); allocs != 0 {
+		t.Errorf("steady-state dense reassembly allocated %.1f/op", allocs)
+	}
+}
+
 // TestPropertySegmentReassembleIdentity: segmenting then reassembling
 // any packet mix (interleaved across flows, in-order within flows) is
 // the identity.

@@ -1,0 +1,210 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// Engine is the sharded router: each input port's buffer shard is
+// advanced by a dedicated worker goroutine, and the iSLIP
+// request-grant-accept exchange (schedule) plus the in-order egress
+// collection are the only per-slot serialization points. Because
+// tickPort touches only port-local state, schedule reads only the
+// request vectors published by the previous ticks, and collect
+// consumes deliveries in input-port order, the engine's output is
+// bit-identical to Router.Step on the same offered workload —
+// TestEngineMatchesSerialRouter pins that equivalence.
+//
+// The engine is single-driver: Offer, Step, StepBatch and Close must
+// be called from one goroutine (the workers never touch router state
+// outside a Step). With workers ≤ 1 the engine runs the serial path
+// in place, with no goroutines — useful as the reference and for
+// GOMAXPROCS=1 hosts where the barrier overhead buys nothing.
+type Engine struct {
+	r       *Router
+	workers int
+	cmd     []chan struct{} // per-worker slot-start signal
+	done    chan struct{}   // fan-in: one token per worker per slot
+	closed  bool
+}
+
+// NewEngine builds a sharded router over cfg. workers ≤ 0 selects one
+// worker per port (the goroutine-per-port sharding of the paper's
+// Figure 1, one line card per goroutine); workers between 2 and
+// Ports-1 stripes the ports across that many workers; workers == 1
+// runs serially in place.
+func NewEngine(cfg Config, workers int) (*Engine, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newEngine(r, workers), nil
+}
+
+// newEngine wraps an existing router. The router must not be stepped
+// directly while the engine owns it.
+func newEngine(r *Router, workers int) *Engine {
+	ports := r.cfg.Ports
+	if workers <= 0 || workers > ports {
+		workers = ports
+	}
+	e := &Engine{r: r, workers: workers}
+	if workers > 1 {
+		e.cmd = make([]chan struct{}, workers)
+		e.done = make(chan struct{}, workers)
+		for w := 0; w < workers; w++ {
+			e.cmd[w] = make(chan struct{}, 1)
+			go e.worker(w)
+		}
+	}
+	return e
+}
+
+// worker advances the ports striped onto worker w (ports w, w+W,
+// w+2W, …) each time the coordinator signals a slot, then reports
+// completion. Writes to r.deliveries land in per-port slots and are
+// published to the coordinator by the done send.
+func (e *Engine) worker(w int) {
+	r := e.r
+	ports := r.cfg.Ports
+	for range e.cmd[w] {
+		for i := w; i < ports; i += e.workers {
+			r.deliveries[i] = r.tickPort(i, r.matched[i])
+		}
+		e.done <- struct{}{}
+	}
+}
+
+// Workers returns the number of worker goroutines (1 = serial).
+func (e *Engine) Workers() int { return e.workers }
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.r.cfg }
+
+// VOQ maps (output, class) to the logical queue id used inside each
+// input buffer.
+func (e *Engine) VOQ(output, class int) int { return int(e.r.VOQ(output, class)) }
+
+// Offer enqueues a packet at an input port (see Router.Offer).
+func (e *Engine) Offer(port int, p packet.Packet) error {
+	if e.closed {
+		return ErrClosed
+	}
+	return e.r.Offer(port, p)
+}
+
+// OfferBatch enqueues packets at an input port until one is rejected,
+// returning the number accepted and the first error (ErrIngressFull
+// when the backlog fills; the remaining packets are not offered).
+func (e *Engine) OfferBatch(port int, ps []packet.Packet) (int, error) {
+	if e.closed {
+		return 0, ErrClosed
+	}
+	for k := range ps {
+		if err := e.r.Offer(port, ps[k]); err != nil {
+			return k, err
+		}
+	}
+	return len(ps), nil
+}
+
+// IngressBacklog returns the number of cells waiting to enter port's
+// buffer.
+func (e *Engine) IngressBacklog(port int) int { return e.r.IngressBacklog(port) }
+
+// BufferStats exposes an input buffer's statistics.
+func (e *Engine) BufferStats(port int) core.Stats { return e.r.BufferStats(port) }
+
+// Router returns the underlying serial router (for stats and VOQ
+// mapping; do not Step it while the engine owns it).
+func (e *Engine) Router() *Router { return e.r }
+
+// Stats returns the router-level counters.
+func (e *Engine) Stats() Stats { return e.r.stats }
+
+// Step advances the engine one slot and returns the packets completed
+// this slot; the slice and payloads are scratch reused by the next
+// Step (see Egress).
+func (e *Engine) Step() ([]Egress, error) {
+	out, err := e.StepAppend(e.r.egScratch[:0])
+	e.r.egScratch = out
+	return out, err
+}
+
+// StepAppend advances one slot, appending the slot's egress to out.
+// Egress payloads are valid until the next step call.
+func (e *Engine) StepAppend(out []Egress) ([]Egress, error) {
+	if e.closed {
+		return out, ErrClosed
+	}
+	e.r.egArena = e.r.egArena[:0]
+	return e.stepSlot(out)
+}
+
+// stepSlot advances one slot without resetting the egress arena.
+func (e *Engine) stepSlot(out []Egress) ([]Egress, error) {
+	r := e.r
+	// Serialize: the request-grant-accept exchange over the request
+	// vectors the ports published after their previous ticks.
+	r.schedule(r.matched)
+	// Fan out: every port shard ticks concurrently.
+	if e.workers <= 1 {
+		for i := range r.inputs {
+			r.deliveries[i] = r.tickPort(i, r.matched[i])
+		}
+	} else {
+		for w := 0; w < e.workers; w++ {
+			e.cmd[w] <- struct{}{}
+		}
+		for w := 0; w < e.workers; w++ {
+			<-e.done
+		}
+	}
+	// Serialize: collect deliveries in input-port order.
+	var firstErr error
+	for i := range r.inputs {
+		var err error
+		out, err = r.collect(i, r.deliveries[i], out)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	r.stats.Slots++
+	return out, firstErr
+}
+
+// StepBatch advances up to slots slots, appending all egress to out.
+// Egress payloads from the whole batch stay valid until the next step
+// call. On a slot error it stops after the offending slot (whose
+// egress is already appended) and returns the error. The returned
+// slice extends out; with enough capacity the batch path allocates
+// nothing.
+func (e *Engine) StepBatch(slots int, out []Egress) ([]Egress, error) {
+	if e.closed {
+		return out, ErrClosed
+	}
+	e.r.egArena = e.r.egArena[:0]
+	for s := 0; s < slots; s++ {
+		var err error
+		out, err = e.stepSlot(out)
+		if err != nil {
+			return out, fmt.Errorf("slot %d of batch: %w", s, err)
+		}
+	}
+	return out, nil
+}
+
+// Close stops the worker goroutines. A closed engine rejects further
+// Offer and Step calls with ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	for _, c := range e.cmd {
+		close(c)
+	}
+	return nil
+}

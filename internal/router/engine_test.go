@@ -1,0 +1,263 @@
+package router
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/packet"
+)
+
+// slotRecord is a comparable snapshot of one slot's egress (payloads
+// copied, since Egress payloads alias reassembler scratch).
+type slotRecord struct {
+	output, input int
+	flow          int
+	payload       []byte
+}
+
+// TestEngineMatchesSerialRouter pins the tentpole determinism claim:
+// the sharded engine's egress stream, stats and buffer verdicts are
+// bit-identical to the serial Router.Step path on the same offered
+// workload, for every worker striping.
+func TestEngineMatchesSerialRouter(t *testing.T) {
+	const ports, classes, slots = 4, 2, 8000
+	bufCfg := core.Config{B: 8, Bsmall: 2, Banks: 16}
+	for _, workers := range []int{0, 2, 3} {
+		serial, err := New(Config{Ports: ports, Classes: classes, Buffer: bufCfg, SchedulerIterations: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(Config{Ports: ports, Classes: classes, Buffer: bufCfg, SchedulerIterations: 2}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rngA := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		for slot := 0; slot < slots; slot++ {
+			a := driveWorkload(t, rngA, serial.Offer, serial.Step, serial, ports, classes)
+			b := driveWorkload(t, rngB, eng.Offer, eng.Step, serial, ports, classes)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d slot %d: serial %d egress, sharded %d", workers, slot, len(a), len(b))
+			}
+			for k := range a {
+				if a[k].output != b[k].output || a[k].input != b[k].input ||
+					a[k].flow != b[k].flow || !bytes.Equal(a[k].payload, b[k].payload) {
+					t.Fatalf("workers=%d slot %d egress %d: serial %+v, sharded %+v",
+						workers, slot, k, a[k], b[k])
+				}
+			}
+		}
+		if serial.Stats() != eng.Stats() {
+			t.Errorf("workers=%d: stats diverged: serial %+v, sharded %+v", workers, serial.Stats(), eng.Stats())
+		}
+		for p := 0; p < ports; p++ {
+			if serial.BufferStats(p) != eng.BufferStats(p) {
+				t.Errorf("workers=%d port %d: buffer stats diverged", workers, p)
+			}
+			if !eng.BufferStats(p).Clean() {
+				t.Errorf("workers=%d port %d: buffer not clean: %+v", workers, p, eng.BufferStats(p))
+			}
+		}
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// driveWorkload offers a seeded slot workload and steps once; rv maps
+// VOQ ids through the serial router so both sides use one mapping.
+func driveWorkload(t *testing.T, rng *rand.Rand, offer func(int, packet.Packet) error,
+	step func() ([]Egress, error), rv *Router, ports, classes int) []slotRecord {
+	t.Helper()
+	if rng.Intn(3) == 0 {
+		in := rng.Intn(ports)
+		out := rng.Intn(ports)
+		class := rng.Intn(classes)
+		payload := make([]byte, rng.Intn(4*packet.CellPayload))
+		rng.Read(payload)
+		err := offer(in, packet.Packet{Flow: rv.VOQ(out, class), Payload: payload})
+		if err != nil && !errors.Is(err, ErrIngressFull) {
+			t.Fatal(err)
+		}
+	}
+	eg, err := step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]slotRecord, 0, len(eg))
+	for _, e := range eg {
+		recs = append(recs, slotRecord{
+			output: e.Output, input: e.Input, flow: int(e.Packet.Flow),
+			payload: append([]byte(nil), e.Packet.Payload...),
+		})
+	}
+	return recs
+}
+
+// TestEngineStepBatch: StepBatch(slots) is slot-for-slot identical to
+// repeated Step, and appends into the caller's slice.
+func TestEngineStepBatch(t *testing.T) {
+	bufCfg := core.Config{B: 8, Bsmall: 2, Banks: 16}
+	a, err := NewEngine(Config{Ports: 2, Classes: 1, Buffer: bufCfg}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(Config{Ports: 2, Classes: 1, Buffer: bufCfg}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	payload := bytes.Repeat([]byte{3}, 2*packet.CellPayload)
+	for port := 0; port < 2; port++ {
+		for k := 0; k < 5; k++ {
+			if err := a.Offer(port, packet.Packet{Flow: a.Router().VOQ(1-port, 0), Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Offer(port, packet.Packet{Flow: b.Router().VOQ(1-port, 0), Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const slots = 3000
+	var fromStep []Egress
+	for s := 0; s < slots; s++ {
+		eg, err := a.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range eg {
+			e.Packet.Payload = append([]byte(nil), e.Packet.Payload...)
+			fromStep = append(fromStep, e)
+		}
+	}
+	fromBatch, err := b.StepBatch(slots, make([]Egress, 0, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromStep) != len(fromBatch) {
+		t.Fatalf("step delivered %d, batch %d", len(fromStep), len(fromBatch))
+	}
+	for k := range fromStep {
+		if fromStep[k].Output != fromBatch[k].Output || fromStep[k].Input != fromBatch[k].Input ||
+			!bytes.Equal(fromStep[k].Packet.Payload, fromBatch[k].Packet.Payload) {
+			t.Fatalf("egress %d diverged", k)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestEngineOfferBatch: partial acceptance stops at ErrIngressFull.
+func TestEngineOfferBatch(t *testing.T) {
+	e, err := NewEngine(Config{
+		Ports: 2, Classes: 1,
+		Buffer:     core.Config{B: 8, Bsmall: 2, Banks: 16},
+		IngressCap: 4,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]packet.Packet, 3)
+	for k := range ps {
+		ps[k] = packet.Packet{Flow: 0, Payload: bytes.Repeat([]byte{1}, 2*packet.CellPayload)}
+	}
+	n, err := e.OfferBatch(0, ps)
+	if n != 2 || !errors.Is(err, ErrIngressFull) {
+		t.Errorf("OfferBatch = %d, %v; want 2, ErrIngressFull", n, err)
+	}
+	if got := e.IngressBacklog(0); got != 4 {
+		t.Errorf("backlog = %d", got)
+	}
+	if n, err := e.OfferBatch(5, ps); n != 0 || !errors.Is(err, ErrBadPort) {
+		t.Errorf("OfferBatch bad port = %d, %v", n, err)
+	}
+}
+
+// TestEngineClose: a closed engine rejects further use and Close is
+// idempotent.
+func TestEngineClose(t *testing.T) {
+	e, err := NewEngine(Config{Ports: 2, Classes: 1, Buffer: core.Config{B: 8, Bsmall: 2, Banks: 16}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Step after Close: %v", err)
+	}
+	if err := e.Offer(0, packet.Packet{Flow: 0}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Offer after Close: %v", err)
+	}
+	if _, err := e.OfferBatch(0, []packet.Packet{{Flow: 0}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("OfferBatch after Close: %v", err)
+	}
+}
+
+// TestConfigErrorsWrapBadConfig: router config rejections fold into
+// the core typed taxonomy.
+func TestConfigErrorsWrapBadConfig(t *testing.T) {
+	cases := []Config{
+		{Ports: 0},
+		{Ports: -3},
+		{Ports: 2, Classes: -1},
+		{Ports: 2, Buffer: core.Config{B: 8, Bsmall: 3, Banks: 16}}, // b does not divide B
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, core.ErrBadConfig) {
+			t.Errorf("case %d: New err = %v, want ErrBadConfig", i, err)
+		}
+		if _, err := NewEngine(cfg, 0); !errors.Is(err, core.ErrBadConfig) {
+			t.Errorf("case %d: NewEngine err = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+// TestEngineZeroAllocSteadyState: once rings and reassembly buffers
+// are warm, the serial engine's slot loop allocates nothing. (The
+// sharded path is asserted by BenchmarkRouterParallel's ReportAllocs.)
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e, err := NewEngine(Config{
+		Ports: 4, Classes: 2,
+		Buffer: core.Config{B: 8, Bsmall: 2, Banks: 64},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic sub-saturation workload (one 6-cell packet per 5
+	// slots, destinations round-robin) so every ring and buffer
+	// occupancy plateaus during warmup.
+	payload := make([]byte, 300)
+	out := make([]Egress, 0, 256)
+	slot := 0
+	drive := func(slots int) {
+		for s := 0; s < slots; s, slot = s+1, slot+1 {
+			if slot%5 == 0 {
+				k := slot / 5
+				_ = e.Offer(k%4, packet.Packet{
+					Flow:    e.Router().VOQ((k/4)%4, k%2),
+					Payload: payload,
+				})
+			}
+			var err error
+			out, err = e.StepAppend(out[:0])
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drive(8000) // warm every ring, arena and reassembly buffer
+	if allocs := testing.AllocsPerRun(10, func() { drive(100) }); allocs != 0 {
+		t.Errorf("steady-state engine slots allocated %.2f per 100-slot run", allocs)
+	}
+}

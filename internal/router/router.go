@@ -9,6 +9,20 @@
 // scheduler's per-slot requests form exactly the adversarial patterns
 // (§3) the buffer must absorb, and any miss, conflict or reorder
 // surfaces as a corrupted packet at an output port.
+//
+// A slot decomposes into three building blocks — schedule (the iSLIP
+// request-grant-accept exchange), tickPort (one port's ingress, buffer
+// tick and metadata bookkeeping) and collect (fabric crossing and
+// output reassembly). Router.Step runs them serially; Engine runs
+// tickPort on one worker goroutine per port shard with schedule and
+// collect as the only per-slot serialization points, producing
+// bit-identical results (tickPort touches only port-local state, and
+// collect consumes deliveries in input-port order either way).
+//
+// All per-cell metadata lives in dense slice-indexed arenas: per-VOQ
+// compacting deques keyed by the delivery sequence order the buffer
+// guarantees, so the steady-state Step path performs no hashing and no
+// allocation.
 package router
 
 import (
@@ -39,11 +53,14 @@ type Config struct {
 	IngressCap int
 }
 
-// Errors returned by the router.
+// Errors returned by the router. Config rejections wrap
+// core.ErrBadConfig so callers (and the public façade) dispatch on one
+// taxonomy with errors.Is.
 var (
 	ErrIngressFull = errors.New("router: ingress backlog full")
 	ErrBadPort     = errors.New("router: port out of range")
 	ErrBadFlow     = errors.New("router: packet flow out of range")
+	ErrClosed      = errors.New("router: engine closed")
 )
 
 // Egress is one packet leaving the router.
@@ -53,27 +70,94 @@ type Egress struct {
 	// Input is the port the packet entered on.
 	Input int
 	// Packet is the reassembled packet (Flow = output×classes+class,
-	// as offered).
+	// as offered). Its payload lives in the router's egress arena: it
+	// is valid until the next Step / StepAppend / StepBatch call, so
+	// callers that retain egress across steps must copy.
 	Packet packet.Packet
 }
 
-// metaKey identifies one cell inside one input buffer.
-type metaKey struct {
-	voq cell.QueueID
-	seq uint64
+// segRing is a compacting deque of segmented cells: push appends,
+// popFront advances a start cursor, and the backing array is compacted
+// in place when it fills, so steady-state operation does not allocate.
+type segRing struct {
+	cells []packet.SegCell
+	start int
 }
 
-// input is one ingress line card.
-type input struct {
+func (q *segRing) len() int { return len(q.cells) - q.start }
+
+// ensure compacts so that n appends fit without growing, when the
+// slack at the front allows it.
+func (q *segRing) ensure(n int) {
+	if q.start > 0 && len(q.cells)+n > cap(q.cells) {
+		m := copy(q.cells, q.cells[q.start:])
+		q.cells = q.cells[:m]
+		q.start = 0
+	}
+}
+
+func (q *segRing) push(c packet.SegCell) {
+	q.ensure(1)
+	q.cells = append(q.cells, c)
+}
+
+func (q *segRing) front() packet.SegCell { return q.cells[q.start] }
+
+func (q *segRing) popFront() packet.SegCell {
+	c := q.cells[q.start]
+	q.cells[q.start] = packet.SegCell{} // drop the payload reference
+	q.start++
+	if q.start == len(q.cells) {
+		q.cells, q.start = q.cells[:0], 0
+	}
+	return c
+}
+
+// lineCard is one ingress port: its VOQ buffer plus the dense
+// per-VOQ metadata arenas. All lineCard state is port-local — the
+// sharded engine mutates it only from the port's own worker.
+type lineCard struct {
 	buf *core.Buffer
 	seg packet.Segmenter
 	// pending serializes segmented cells onto the line (1 per slot).
-	pending []packet.SegCell
-	// arrivals counts per-VOQ cells admitted, assigning the sequence
-	// numbers the buffer will deliver back.
-	arrivals map[cell.QueueID]uint64
-	// meta recovers a delivered cell's payload and header.
-	meta map[metaKey]packet.SegCell
+	pending segRing
+	// arrivals[voq] counts cells admitted, assigning the sequence
+	// numbers the buffer will deliver back; delivered[voq] counts
+	// deliveries consumed, verifying the buffer's FIFO guarantee.
+	arrivals  []uint64
+	delivered []uint64
+	// meta[voq] holds the admitted cells' payloads and headers in
+	// arrival order; per-VOQ FIFO delivery makes the front cell the
+	// one the buffer hands back next.
+	meta []segRing
+	// reqVec[output] is the highest-priority requestable VOQ addressed
+	// to output, refreshed after every tick (cell.NoQueue = none). The
+	// scheduler reads it at the next slot's request phase.
+	reqVec []cell.QueueID
+}
+
+// computeReqVec refreshes reqVec from the buffer state.
+func (in *lineCard) computeReqVec(classes int) {
+	for o := range in.reqVec {
+		in.reqVec[o] = cell.NoQueue
+		base := o * classes
+		for class := 0; class < classes; class++ {
+			q := cell.QueueID(base + class)
+			if in.buf.Requestable(q) > 0 {
+				in.reqVec[o] = q
+				break
+			}
+		}
+	}
+}
+
+// delivery is one port's tick outcome, handed from tickPort to
+// collect.
+type delivery struct {
+	sc    packet.SegCell
+	queue cell.QueueID
+	ok    bool
+	err   error
 }
 
 // Stats aggregates router-level counters.
@@ -91,21 +175,39 @@ type Stats struct {
 // Router is the composed system.
 type Router struct {
 	cfg     Config
-	inputs  []*input
-	reasm   []*packet.Reassembler // per output port
-	grant   []int                 // iSLIP grant pointers, per output
-	accept  []int                 // iSLIP accept pointers, per input
+	inputs  []*lineCard
+	reasm   []*packet.DenseReassembler // per output port
+	grant   []int                      // iSLIP grant pointers, per output
+	accept  []int                      // iSLIP accept pointers, per input
 	stats   Stats
 	voqs    int
 	flowMul cell.QueueID // reassembly namespace multiplier
+
+	// Scheduler and step scratch, reused every slot.
+	reqMat      []bool // request matrix, [output*Ports+input]
+	grantChoice []int  // per-output granted input this iteration
+	matchedOut  []int  // per-output matched input
+	matched     []int  // per-input matched output
+	deliveries  []delivery
+	egScratch   []Egress
+	// egArena backs the payloads of returned Egress packets. It is
+	// reset at the start of every Step / StepAppend / (engine)
+	// StepBatch call, so egress stays valid for the whole batch: a
+	// mid-batch grow moves new payloads to a fresh block while
+	// already-returned slices keep the old one alive and untouched.
+	egArena []byte
 }
 
-// New builds a router.
+// New builds a router. Rejected configurations return errors matching
+// core.ErrBadConfig.
 func New(cfg Config) (*Router, error) {
 	if cfg.Ports <= 0 {
-		return nil, fmt.Errorf("router: Ports must be positive, got %d", cfg.Ports)
+		return nil, fmt.Errorf("%w: router: Ports must be positive, got %d", core.ErrBadConfig, cfg.Ports)
 	}
-	if cfg.Classes <= 0 {
+	if cfg.Classes < 0 {
+		return nil, fmt.Errorf("%w: router: Classes must not be negative, got %d", core.ErrBadConfig, cfg.Classes)
+	}
+	if cfg.Classes == 0 {
 		cfg.Classes = 1
 	}
 	if cfg.SchedulerIterations <= 0 {
@@ -118,26 +220,46 @@ func New(cfg Config) (*Router, error) {
 	cfg.Buffer.Q = voqs
 
 	r := &Router{
-		cfg:     cfg,
-		grant:   make([]int, cfg.Ports),
-		accept:  make([]int, cfg.Ports),
-		voqs:    voqs,
-		flowMul: cell.QueueID(voqs),
+		cfg:         cfg,
+		grant:       make([]int, cfg.Ports),
+		accept:      make([]int, cfg.Ports),
+		voqs:        voqs,
+		flowMul:     cell.QueueID(voqs),
+		reqMat:      make([]bool, cfg.Ports*cfg.Ports),
+		grantChoice: make([]int, cfg.Ports),
+		matchedOut:  make([]int, cfg.Ports),
+		matched:     make([]int, cfg.Ports),
+		deliveries:  make([]delivery, cfg.Ports),
 	}
 	for i := 0; i < cfg.Ports; i++ {
 		buf, err := core.New(cfg.Buffer)
 		if err != nil {
 			return nil, fmt.Errorf("router: input %d buffer: %w", i, err)
 		}
-		r.inputs = append(r.inputs, &input{
-			buf:      buf,
-			arrivals: make(map[cell.QueueID]uint64),
-			meta:     make(map[metaKey]packet.SegCell),
+		r.inputs = append(r.inputs, &lineCard{
+			buf:       buf,
+			arrivals:  make([]uint64, voqs),
+			delivered: make([]uint64, voqs),
+			meta:      make([]segRing, voqs),
+			reqVec:    newNoQueueVec(cfg.Ports),
 		})
-		r.reasm = append(r.reasm, packet.NewReassembler())
+		// Reassembly streams are namespaced per (input, voq) so
+		// same-flow cells of different inputs never interleave.
+		r.reasm = append(r.reasm, packet.NewDenseReassembler(cfg.Ports*voqs))
 	}
 	return r, nil
 }
+
+func newNoQueueVec(n int) []cell.QueueID {
+	v := make([]cell.QueueID, n)
+	for i := range v {
+		v[i] = cell.NoQueue
+	}
+	return v
+}
+
+// Config returns the normalized configuration.
+func (r *Router) Config() Config { return r.cfg }
 
 // VOQ maps (output, class) to the logical queue id used inside each
 // input buffer.
@@ -146,7 +268,8 @@ func (r *Router) VOQ(output, class int) cell.QueueID {
 }
 
 // Offer enqueues a packet at an input port. The packet's Flow must be
-// a valid VOQ id (use VOQ to build it).
+// a valid VOQ id (use VOQ to build it). The segmented cells alias
+// p.Payload until the packet leaves the router.
 func (r *Router) Offer(port int, p packet.Packet) error {
 	if port < 0 || port >= r.cfg.Ports {
 		return fmt.Errorf("%w: %d", ErrBadPort, port)
@@ -155,18 +278,19 @@ func (r *Router) Offer(port int, p packet.Packet) error {
 		return fmt.Errorf("%w: %d", ErrBadFlow, p.Flow)
 	}
 	in := r.inputs[port]
-	cells := in.seg.Segment(p)
-	if len(in.pending)+len(cells) > r.cfg.IngressCap {
+	n := packet.CellCount(len(p.Payload))
+	if in.pending.len()+n > r.cfg.IngressCap {
 		return fmt.Errorf("%w: port %d", ErrIngressFull, port)
 	}
-	in.pending = append(in.pending, cells...)
+	in.pending.ensure(n)
+	in.pending.cells = in.seg.SegmentAppend(in.pending.cells, p)
 	r.stats.OfferedPackets++
 	return nil
 }
 
 // IngressBacklog returns the number of cells waiting to enter port's
 // buffer.
-func (r *Router) IngressBacklog(port int) int { return len(r.inputs[port].pending) }
+func (r *Router) IngressBacklog(port int) int { return r.inputs[port].pending.len() }
 
 // BufferStats exposes an input buffer's statistics.
 func (r *Router) BufferStats(port int) core.Stats { return r.inputs[port].buf.Stats() }
@@ -175,34 +299,30 @@ func (r *Router) BufferStats(port int) core.Stats { return r.inputs[port].buf.St
 func (r *Router) Stats() Stats { return r.stats }
 
 // schedule computes this slot's input→output matching with iterative
-// round-robin request-grant-accept (iSLIP). matched[i] = output or -1.
-func (r *Router) schedule() []int {
+// round-robin request-grant-accept (iSLIP) over the inputs' request
+// vectors, writing matched[input] = output or -1. It is the single
+// per-slot serialization point of the sharded engine: everything it
+// reads (reqVec) was published by the ports' previous ticks.
+func (r *Router) schedule(matched []int) {
 	P := r.cfg.Ports
-	matchedIn := make([]int, P)  // input -> output
-	matchedOut := make([]int, P) // output -> input
-	for i := range matchedIn {
-		matchedIn[i], matchedOut[i] = -1, -1
+	for i := 0; i < P; i++ {
+		matched[i], r.matchedOut[i] = -1, -1
 	}
 	for iter := 0; iter < r.cfg.SchedulerIterations; iter++ {
-		// Request: unmatched inputs request every output they can
-		// serve a cell to.
-		requests := make([][]bool, P) // [output][input]
+		// Request: unmatched inputs request every unmatched output they
+		// can serve a cell to.
 		any := false
-		for i, in := range r.inputs {
-			if matchedIn[i] >= 0 {
+		for o := 0; o < P; o++ {
+			row := r.reqMat[o*P : o*P+P]
+			if r.matchedOut[o] >= 0 {
+				for i := range row {
+					row[i] = false
+				}
 				continue
 			}
-			for o := 0; o < P; o++ {
-				if matchedOut[o] >= 0 {
-					continue
-				}
-				if r.requestableVOQ(in, o) != cell.NoQueue {
-					if requests[o] == nil {
-						requests[o] = make([]bool, P)
-					}
-					requests[o][i] = true
-					any = true
-				}
+			for i := 0; i < P; i++ {
+				row[i] = matched[i] < 0 && r.inputs[i].reqVec[o] != cell.NoQueue
+				any = any || row[i]
 			}
 		}
 		if !any {
@@ -210,19 +330,16 @@ func (r *Router) schedule() []int {
 		}
 		// Grant: each output picks the requesting input nearest its
 		// grant pointer.
-		grants := make([]int, P) // input -> granting output (last wins replaced by accept step)
-		for i := range grants {
-			grants[i] = -1
-		}
-		grantOf := make([][]int, P) // input -> outputs granting it
 		for o := 0; o < P; o++ {
-			if requests[o] == nil {
+			r.grantChoice[o] = -1
+			if r.matchedOut[o] >= 0 {
 				continue
 			}
+			row := r.reqMat[o*P : o*P+P]
 			for k := 0; k < P; k++ {
 				i := (r.grant[o] + k) % P
-				if requests[o][i] {
-					grantOf[i] = append(grantOf[i], o)
+				if row[i] {
+					r.grantChoice[o] = i
 					break
 				}
 			}
@@ -231,103 +348,156 @@ func (r *Router) schedule() []int {
 		// accept pointer; pointers advance only on first-iteration
 		// accepts (the iSLIP desynchronization rule).
 		for i := 0; i < P; i++ {
-			if len(grantOf[i]) == 0 {
+			if matched[i] >= 0 {
 				continue
 			}
 			best, bestDist := -1, P+1
-			for _, o := range grantOf[i] {
-				d := (o - r.accept[i] + P) % P
-				if d < bestDist {
+			for o := 0; o < P; o++ {
+				if r.grantChoice[o] != i {
+					continue
+				}
+				if d := (o - r.accept[i] + P) % P; d < bestDist {
 					best, bestDist = o, d
 				}
 			}
-			matchedIn[i], matchedOut[best] = best, i
+			if best < 0 {
+				continue
+			}
+			matched[i], r.matchedOut[best] = best, i
+			r.stats.Matches++
 			if iter == 0 {
 				r.accept[i] = (best + 1) % P
 				r.grant[best] = (i + 1) % P
 			}
 		}
 	}
-	return matchedIn
 }
 
-// requestableVOQ returns the highest-priority class VOQ of input in
-// with a requestable cell for output o.
-func (r *Router) requestableVOQ(in *input, o int) cell.QueueID {
-	for class := 0; class < r.cfg.Classes; class++ {
-		q := cell.QueueID(o*r.cfg.Classes + class)
-		if in.buf.Requestable(q) > 0 {
-			return q
+// tickPort advances one port one slot: admit one pending ingress cell,
+// tick the buffer with the fabric request for the matched output, and
+// resolve the delivered cell's metadata. It touches only the port's
+// lineCard, so the engine runs it concurrently across ports.
+func (r *Router) tickPort(i, matchedOut int) delivery {
+	in := r.inputs[i]
+	tick := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+
+	// Ingress: admit one pending cell.
+	admit := false
+	if in.pending.len() > 0 {
+		tick.Arrival = in.pending.front().Flow
+		admit = true
+	}
+	// Fabric request for the matched output; the scheduler only
+	// matches ports whose request vector named a VOQ.
+	if matchedOut >= 0 {
+		tick.Request = in.reqVec[matchedOut]
+	}
+
+	res, err := in.buf.Tick(tick)
+	var d delivery
+	if err != nil {
+		if errors.Is(err, core.ErrBufferFull) {
+			// Keep the cell pending; retry next slot.
+			admit = false
+		} else {
+			d.err = fmt.Errorf("router: input %d: %w", i, err)
+			in.computeReqVec(r.cfg.Classes)
+			return d
 		}
 	}
-	return cell.NoQueue
+	if admit {
+		head := in.pending.popFront()
+		in.arrivals[head.Flow]++
+		in.meta[head.Flow].push(head)
+	}
+
+	// Egress: resolve the delivered cell's payload and header from the
+	// per-VOQ FIFO metadata.
+	if res.Delivered != nil {
+		dc := *res.Delivered
+		mq := &in.meta[dc.Queue]
+		if mq.len() == 0 || in.delivered[dc.Queue] != dc.Seq {
+			d.err = fmt.Errorf("router: input %d delivered unknown cell %v", i, dc)
+			in.computeReqVec(r.cfg.Classes)
+			return d
+		}
+		in.delivered[dc.Queue]++
+		d.sc = mq.popFront()
+		d.queue = dc.Queue
+		d.ok = true
+	}
+	in.computeReqVec(r.cfg.Classes)
+	return d
+}
+
+// collect moves port i's delivered cell across the fabric to its
+// output reassembler, appending any completed packet to out. It runs
+// serially in input-port order so egress order is deterministic.
+func (r *Router) collect(i int, d delivery, out []Egress) ([]Egress, error) {
+	if d.err != nil {
+		return out, d.err
+	}
+	if !d.ok {
+		return out, nil
+	}
+	r.stats.SwitchedCells++
+	output := int(d.queue) / r.cfg.Classes
+	sc := d.sc
+	// Reassemble per (input, voq) stream so same-flow cells of
+	// different inputs never interleave.
+	sc.Flow = cell.QueueID(i)*r.flowMul + d.queue
+	p, ok, err := r.reasm[output].Push(sc)
+	if err != nil {
+		return out, fmt.Errorf("router: output %d: %w", output, err)
+	}
+	if ok {
+		p.Flow %= r.flowMul // restore the offered flow id
+		// Copy the payload out of the reassembler's per-flow buffer
+		// (overwritten by the stream's next packet) into the egress
+		// arena (stable until the next step call).
+		off := len(r.egArena)
+		r.egArena = append(r.egArena, p.Payload...)
+		p.Payload = r.egArena[off:len(r.egArena):len(r.egArena)]
+		out = append(out, Egress{Output: output, Input: i, Packet: p})
+		r.stats.DeliveredPackets++
+	}
+	return out, nil
 }
 
 // Step advances the router one slot: one ingress cell per port, one
 // fabric matching, one buffer tick per port, and output reassembly.
-// It returns the packets completed this slot.
+// It returns the packets completed this slot; the slice (and the
+// packet payloads, see Egress) is scratch reused by the next Step.
 func (r *Router) Step() ([]Egress, error) {
-	matched := r.schedule()
-	var out []Egress
-	for i, in := range r.inputs {
-		tick := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
+	out, err := r.StepAppend(r.egScratch[:0])
+	r.egScratch = out
+	return out, err
+}
 
-		// Ingress: admit one pending cell.
-		var admitted *packet.SegCell
-		if len(in.pending) > 0 {
-			c := in.pending[0]
-			tick.Arrival = c.Flow
-			admitted = &c
-		}
-		// Fabric request for the matched output.
-		if o := matched[i]; o >= 0 {
-			if q := r.requestableVOQ(in, o); q != cell.NoQueue {
-				tick.Request = q
-				r.stats.Matches++
-			}
-		}
+// StepAppend is Step appending the slot's egress to out, for callers
+// that manage their own egress buffer. On a tick error the slot still
+// completes on every port; the first error in input-port order is
+// returned.
+func (r *Router) StepAppend(out []Egress) ([]Egress, error) {
+	r.egArena = r.egArena[:0]
+	return r.stepSlot(out)
+}
 
-		res, err := in.buf.Tick(tick)
-		if err != nil {
-			if errors.Is(err, core.ErrBufferFull) {
-				// Keep the cell pending; retry next slot.
-				admitted = nil
-			} else {
-				return out, fmt.Errorf("router: input %d: %w", i, err)
-			}
-		}
-		if admitted != nil {
-			seq := in.arrivals[admitted.Flow]
-			in.arrivals[admitted.Flow] = seq + 1
-			in.meta[metaKey{voq: admitted.Flow, seq: seq}] = *admitted
-			in.pending = in.pending[1:]
-		}
-
-		// Egress: a delivered cell crosses the fabric to its output.
-		if res.Delivered != nil {
-			d := *res.Delivered
-			k := metaKey{voq: d.Queue, seq: d.Seq}
-			sc, ok := in.meta[k]
-			if !ok {
-				return out, fmt.Errorf("router: input %d delivered unknown cell %v", i, d)
-			}
-			delete(in.meta, k)
-			r.stats.SwitchedCells++
-			output := int(d.Queue) / r.cfg.Classes
-			// Reassemble per (input, voq) stream so same-flow cells of
-			// different inputs never interleave.
-			sc.Flow = cell.QueueID(i)*r.flowMul + d.Queue
-			p, err := r.reasm[output].Push(sc)
-			if err != nil {
-				return out, fmt.Errorf("router: output %d: %w", output, err)
-			}
-			if p != nil {
-				p.Flow %= r.flowMul // restore the offered flow id
-				out = append(out, Egress{Output: output, Input: i, Packet: *p})
-				r.stats.DeliveredPackets++
-			}
+// stepSlot advances one slot without resetting the egress arena (the
+// engine's StepBatch resets it once per batch).
+func (r *Router) stepSlot(out []Egress) ([]Egress, error) {
+	r.schedule(r.matched)
+	for i := range r.inputs {
+		r.deliveries[i] = r.tickPort(i, r.matched[i])
+	}
+	var firstErr error
+	for i := range r.inputs {
+		var err error
+		out, err = r.collect(i, r.deliveries[i], out)
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	r.stats.Slots++
-	return out, nil
+	return out, firstErr
 }

@@ -1,0 +1,144 @@
+// Package packet is the public segmentation and reassembly layer of
+// the paper's §2: "packets in the router are internally fragmented
+// into fixed-length 64 byte units that we call cells. Cells are
+// handled as independent units, although they are reassembled at the
+// output port before packet transmission."
+//
+// A Segmenter slices variable-length packets into cells tagged with
+// the packet's flow (the VOQ); a Reassembler collects in-order cells
+// per flow and emits completed packets. Because the packet buffer
+// guarantees per-VOQ FIFO delivery, reassembly needs no sequence
+// numbers beyond a per-packet cell count carried in the first cell's
+// header — exactly the discipline real line cards use.
+//
+// The package is a thin value-converting façade over the internal
+// implementation the router engine (repro/pktbuf/router) uses, so a
+// caller composing its own fabric gets the same segmentation the
+// engine applies. SegmentAppend is the zero-allocation path; errors
+// are typed sentinels matched with errors.Is.
+package packet
+
+import (
+	"repro/internal/cell"
+	ipacket "repro/internal/packet"
+	"repro/pktbuf"
+)
+
+// CellPayload is the number of packet bytes one 64-byte cell carries
+// after the internal header (flow id, cell count, length). The
+// paper's cell is 64 bytes; the model reserves an 8-byte header.
+const CellPayload = ipacket.CellPayload
+
+// Errors returned by the reassembler, matched with errors.Is.
+var (
+	// ErrInterleaved reports a head cell arriving while the same flow
+	// still had a partially reassembled packet — within one flow,
+	// packets must not interleave.
+	ErrInterleaved = ipacket.ErrInterleaved
+	// ErrOrphanCell reports a continuation cell for a flow with no
+	// packet head in progress.
+	ErrOrphanCell = ipacket.ErrOrphanCell
+)
+
+// Packet is a variable-length unit entering or leaving the router.
+type Packet struct {
+	// Flow identifies the (output port, class) stream — the VOQ.
+	Flow pktbuf.Queue
+	// Payload is the packet body.
+	Payload []byte
+}
+
+// Cell is one segmented 64-byte unit: the flow identity the buffer
+// transports plus the reassembly header fields.
+type Cell struct {
+	// Flow is the VOQ the cell travels in.
+	Flow pktbuf.Queue
+	// Head marks the first cell of a packet; Cells is the packet's
+	// total cell count (valid on the head cell).
+	Head  bool
+	Cells int
+	// Payload is this cell's slice of the packet body (it aliases the
+	// segmented packet's payload).
+	Payload []byte
+}
+
+// CellCount returns how many cells Segment produces for a packet of
+// the given byte length (at least one: zero-length packets still
+// occupy a head cell, as on real hardware).
+func CellCount(bytes int) int { return ipacket.CellCount(bytes) }
+
+// Segmenter slices packets into cells. It applies the same
+// fragmentation rule as the internal layer (same CellPayload, same
+// head-cell header), so cells it produces reassemble interchangeably
+// with the engine's.
+type Segmenter struct {
+	segmented uint64
+}
+
+// Segment fragments p into CellCount(len(p.Payload)) cells. Cell
+// payloads alias p.Payload.
+func (s *Segmenter) Segment(p Packet) []Cell {
+	return s.SegmentAppend(make([]Cell, 0, CellCount(len(p.Payload))), p)
+}
+
+// SegmentAppend fragments p like Segment but appends the cells to dst
+// and returns the extended slice, allocating only when dst lacks
+// capacity — a caller reusing its backing array segments packets with
+// zero steady-state allocation.
+func (s *Segmenter) SegmentAppend(dst []Cell, p Packet) []Cell {
+	n := CellCount(len(p.Payload))
+	for i := 0; i < n; i++ {
+		lo := i * CellPayload
+		hi := lo + CellPayload
+		if hi > len(p.Payload) {
+			hi = len(p.Payload)
+		}
+		dst = append(dst, Cell{
+			Flow:    p.Flow,
+			Head:    i == 0,
+			Cells:   n,
+			Payload: p.Payload[lo:hi],
+		})
+	}
+	s.segmented += uint64(n)
+	return dst
+}
+
+// Segmented returns the number of cells produced so far.
+func (s *Segmenter) Segmented() uint64 { return s.segmented }
+
+// Reassembler rebuilds packets from per-flow in-order cell streams
+// (one Reassembler per output port). Flows may interleave with each
+// other arbitrarily; within a flow, cells must arrive in order — the
+// packet buffer guarantees exactly that.
+type Reassembler struct {
+	inner *ipacket.Reassembler
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{inner: ipacket.NewReassembler()}
+}
+
+// Push accepts the next cell of a flow. When the cell completes a
+// packet it returns the packet and ok=true. The returned payload is
+// freshly assembled and owned by the caller.
+func (r *Reassembler) Push(c Cell) (Packet, bool, error) {
+	p, err := r.inner.Push(ipacket.SegCell{
+		Flow:    cell.QueueID(c.Flow),
+		Head:    c.Head,
+		Cells:   c.Cells,
+		Payload: c.Payload,
+	})
+	if err != nil || p == nil {
+		return Packet{}, false, err
+	}
+	return Packet{Flow: pktbuf.Queue(p.Flow), Payload: p.Payload}, true, nil
+}
+
+// Pending returns the number of flows with a partially reassembled
+// packet.
+func (r *Reassembler) Pending() int { return r.inner.Pending() }
+
+// Completed returns the number of packets emitted.
+func (r *Reassembler) Completed() uint64 { return r.inner.Completed() }

@@ -1,0 +1,142 @@
+package packet_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/pktbuf"
+	"repro/pktbuf/packet"
+)
+
+func TestSegmentReassembleRoundTrip(t *testing.T) {
+	var s packet.Segmenter
+	r := packet.NewReassembler()
+	payload := bytes.Repeat([]byte{0x5A}, 3*packet.CellPayload+11)
+	cells := s.Segment(packet.Packet{Flow: 7, Payload: payload})
+	if len(cells) != packet.CellCount(len(payload)) {
+		t.Fatalf("got %d cells, want %d", len(cells), packet.CellCount(len(payload)))
+	}
+	if !cells[0].Head || cells[0].Cells != len(cells) {
+		t.Errorf("head cell = %+v", cells[0])
+	}
+	for i, c := range cells {
+		p, ok, err := r.Push(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (i == len(cells)-1) {
+			t.Fatalf("cell %d: ok=%v", i, ok)
+		}
+		if ok {
+			if p.Flow != 7 || !bytes.Equal(p.Payload, payload) {
+				t.Errorf("reassembled %+v", p)
+			}
+		}
+	}
+	if s.Segmented() != uint64(len(cells)) || r.Completed() != 1 || r.Pending() != 0 {
+		t.Errorf("counters: segmented=%d completed=%d pending=%d", s.Segmented(), r.Completed(), r.Pending())
+	}
+}
+
+func TestSegmentAppendZeroAlloc(t *testing.T) {
+	var s packet.Segmenter
+	payload := bytes.Repeat([]byte{1}, 6*packet.CellPayload)
+	dst := s.SegmentAppend(make([]packet.Cell, 0, 8), packet.Packet{Flow: 1, Payload: payload})
+	if len(dst) != 6 {
+		t.Fatalf("got %d cells", len(dst))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = s.SegmentAppend(dst[:0], packet.Packet{Flow: 1, Payload: payload})
+	})
+	if allocs != 0 {
+		t.Errorf("SegmentAppend into capacity allocated %.1f/op", allocs)
+	}
+}
+
+func TestReassembleErrors(t *testing.T) {
+	r := packet.NewReassembler()
+	if _, _, err := r.Push(packet.Cell{Flow: 5}); !errors.Is(err, packet.ErrOrphanCell) {
+		t.Errorf("err = %v, want ErrOrphanCell", err)
+	}
+	if _, _, err := r.Push(packet.Cell{Flow: 5, Head: true, Cells: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Push(packet.Cell{Flow: 5, Head: true, Cells: 2}); !errors.Is(err, packet.ErrInterleaved) {
+		t.Errorf("err = %v, want ErrInterleaved", err)
+	}
+}
+
+func TestEmptyPacket(t *testing.T) {
+	var s packet.Segmenter
+	r := packet.NewReassembler()
+	cells := s.Segment(packet.Packet{Flow: 2})
+	if len(cells) != 1 || !cells[0].Head || len(cells[0].Payload) != 0 {
+		t.Fatalf("empty packet cells = %+v", cells)
+	}
+	p, ok, err := r.Push(cells[0])
+	if err != nil || !ok {
+		t.Fatalf("push: ok=%v err=%v", ok, err)
+	}
+	if p.Flow != 2 || len(p.Payload) != 0 {
+		t.Errorf("reassembled %+v", p)
+	}
+}
+
+// FuzzSegmentReassemble round-trips arbitrary payloads through
+// Segmenter→Reassembler and asserts the identity, for any flow id and
+// any interleaving position of a second flow.
+func FuzzSegmentReassemble(f *testing.F) {
+	f.Add([]byte(nil), int32(0), uint8(0))
+	f.Add([]byte("hello"), int32(3), uint8(1))
+	f.Add(bytes.Repeat([]byte{0xAB}, 5*packet.CellPayload+1), int32(200), uint8(3))
+	f.Fuzz(func(t *testing.T, payload []byte, flow int32, interleave uint8) {
+		if flow < 0 {
+			flow = -flow
+		}
+		var s packet.Segmenter
+		r := packet.NewReassembler()
+		cells := s.Segment(packet.Packet{Flow: pktbuf.Queue(flow), Payload: payload})
+		if len(cells) != packet.CellCount(len(payload)) {
+			t.Fatalf("segmented %d cells, want %d", len(cells), packet.CellCount(len(payload)))
+		}
+		// A second flow interleaves its head cell at an arbitrary
+		// position; flows must reassemble independently.
+		other := packet.Packet{Flow: pktbuf.Queue(flow) + 1, Payload: []byte{1, 2, 3}}
+		otherCells := s.Segment(other)
+		pos := int(interleave) % (len(cells) + 1)
+
+		var got packet.Packet
+		var done bool
+		push := func(c packet.Cell) {
+			p, ok, err := r.Push(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok && p.Flow == pktbuf.Queue(flow) {
+				if done {
+					t.Fatal("packet completed twice")
+				}
+				got, done = p, true
+			}
+		}
+		for i, c := range cells {
+			if i == pos {
+				push(otherCells[0])
+			}
+			push(c)
+		}
+		if pos == len(cells) {
+			push(otherCells[0])
+		}
+		if !done {
+			t.Fatal("packet never completed")
+		}
+		if !bytes.Equal(got.Payload, payload) {
+			t.Fatalf("payload mismatch: %d bytes in, %d bytes out", len(payload), len(got.Payload))
+		}
+		if r.Pending() != 0 {
+			t.Fatalf("pending flows = %d", r.Pending())
+		}
+	})
+}

@@ -41,10 +41,12 @@ import (
 )
 
 func init() {
-	// Install the bridge that lets the sibling driver package
-	// (repro/pktbuf/sim) reach the core buffer without widening the
-	// public API surface.
+	// Install the bridges that let the sibling public packages
+	// (repro/pktbuf/sim, repro/pktbuf/router) reach the core layer
+	// without widening the public API surface.
 	facade.CoreOf = func(b any) *core.Buffer { return b.(*Buffer).inner }
+	facade.CoreConfig = func(cfg any) (core.Config, error) { return coreConfig(cfg.(Config)) }
+	facade.PublicStats = func(s core.Stats) any { return statsFromCore(s) }
 }
 
 // CellSize is the fixed cell size in bytes (§2 of the paper: packets
@@ -213,26 +215,26 @@ type Buffer struct {
 	cfg   Config
 }
 
-// New builds a buffer, applying the paper's dimensioning formulas to
-// every parameter the caller leaves zero. Rejected configurations
-// return errors matching ErrBadConfig.
-func New(cfg Config) (*Buffer, error) {
+// coreConfig applies the façade's defaulting and validation to cfg
+// and returns the core configuration it dimensions. It backs both New
+// and the facade.CoreConfig bridge used by pktbuf/router.
+func coreConfig(cfg Config) (core.Config, error) {
 	if cfg.Queues <= 0 {
-		return nil, fmt.Errorf("%w: Queues must be positive, got %d", ErrBadConfig, cfg.Queues)
+		return core.Config{}, fmt.Errorf("%w: Queues must be positive, got %d", ErrBadConfig, cfg.Queues)
 	}
 	rate, err := cfg.LineRate.internal()
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
 	switch cfg.Organization {
 	case GlobalCAM, UnifiedLinkedList:
 	default:
-		return nil, fmt.Errorf("%w: unknown Organization(%d)", ErrBadConfig, int(cfg.Organization))
+		return core.Config{}, fmt.Errorf("%w: unknown Organization(%d)", ErrBadConfig, int(cfg.Organization))
 	}
 	switch cfg.MMA {
 	case ECQF, MDQF:
 	default:
-		return nil, fmt.Errorf("%w: unknown MMA(%d)", ErrBadConfig, int(cfg.MMA))
+		return core.Config{}, fmt.Errorf("%w: unknown MMA(%d)", ErrBadConfig, int(cfg.MMA))
 	}
 	banks := cfg.Banks
 	if banks == 0 {
@@ -243,7 +245,7 @@ func New(cfg Config) (*Buffer, error) {
 	if b == 0 {
 		b = bigB
 	}
-	inner, err := core.New(core.Config{
+	return core.Config{
 		Q:                  cfg.Queues,
 		B:                  bigB,
 		Bsmall:             b,
@@ -253,7 +255,18 @@ func New(cfg Config) (*Buffer, error) {
 		Lookahead:          cfg.Lookahead,
 		Org:                core.SRAMOrg(cfg.Organization),
 		MMA:                core.MMAKind(cfg.MMA),
-	})
+	}, nil
+}
+
+// New builds a buffer, applying the paper's dimensioning formulas to
+// every parameter the caller leaves zero. Rejected configurations
+// return errors matching ErrBadConfig.
+func New(cfg Config) (*Buffer, error) {
+	cc, err := coreConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.New(cc)
 	if err != nil {
 		return nil, err
 	}
@@ -329,8 +342,11 @@ func (b *Buffer) ArrivedSeq(q Queue) uint64 { return b.inner.ArrivedSeq(cell.Que
 func (b *Buffer) Now() uint64 { return uint64(b.inner.Now()) }
 
 // Stats returns a statistics snapshot.
-func (b *Buffer) Stats() Stats {
-	s := b.inner.Stats()
+func (b *Buffer) Stats() Stats { return statsFromCore(b.inner.Stats()) }
+
+// statsFromCore maps the core statistics onto the public snapshot. It
+// also backs the facade.PublicStats bridge used by pktbuf/router.
+func statsFromCore(s core.Stats) Stats {
 	return Stats{
 		Arrivals: s.Arrivals, Requests: s.Requests, Deliveries: s.Deliveries,
 		Bypasses: s.Bypasses, Misses: s.Misses, Drops: s.Drops,

@@ -1,0 +1,287 @@
+package router_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/pktbuf"
+	"repro/pktbuf/packet"
+	"repro/pktbuf/router"
+)
+
+func testConfig(ports, classes, workers int) router.Config {
+	return router.Config{
+		Ports:   ports,
+		Classes: classes,
+		Workers: workers,
+		Buffer: pktbuf.Config{
+			LineRate:    pktbuf.OC768,
+			Granularity: 2,
+			Banks:       16,
+		},
+	}
+}
+
+func mustEngine(t *testing.T, cfg router.Config) *router.Engine {
+	t.Helper()
+	e, err := router.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// TestErrorTaxonomy: every engine error is a typed sentinel reachable
+// with errors.Is, and config rejections wrap pktbuf.ErrBadConfig.
+func TestErrorTaxonomy(t *testing.T) {
+	if _, err := router.New(router.Config{Ports: 0}); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Errorf("Ports=0: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := router.New(router.Config{Ports: 2, Classes: -1}); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Errorf("Classes=-1: err = %v, want ErrBadConfig", err)
+	}
+	// Buffer template rejections propagate the pktbuf taxonomy.
+	bad := testConfig(2, 1, 1)
+	bad.Buffer.LineRate = pktbuf.LineRate(99)
+	if _, err := router.New(bad); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Errorf("bad LineRate: err = %v, want ErrBadConfig", err)
+	}
+	bad = testConfig(2, 1, 1)
+	bad.Buffer.Granularity = 3 // does not divide B
+	if _, err := router.New(bad); !errors.Is(err, pktbuf.ErrBadConfig) {
+		t.Errorf("bad Granularity: err = %v, want ErrBadConfig", err)
+	}
+
+	e := mustEngine(t, testConfig(2, 1, 1))
+	// Out-of-range VOQ arguments map to pktbuf.None, which Offer
+	// rejects — never a silent alias of another output's queue.
+	for _, bad := range [][2]int{{2, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+		if q := e.VOQ(bad[0], bad[1]); q != pktbuf.None {
+			t.Errorf("VOQ(%d,%d) = %d, want None", bad[0], bad[1], q)
+		}
+	}
+	if err := e.Offer(0, packet.Packet{Flow: e.VOQ(2, 0)}); !errors.Is(err, router.ErrBadFlow) {
+		t.Errorf("out-of-range VOQ offer: err = %v, want ErrBadFlow", err)
+	}
+	if err := e.Offer(5, packet.Packet{Flow: 0}); !errors.Is(err, router.ErrBadPort) {
+		t.Errorf("err = %v, want ErrBadPort", err)
+	}
+	if err := e.Offer(0, packet.Packet{Flow: 99}); !errors.Is(err, router.ErrBadFlow) {
+		t.Errorf("err = %v, want ErrBadFlow", err)
+	}
+	if err := e.Offer(0, packet.Packet{Flow: -1}); !errors.Is(err, router.ErrBadFlow) {
+		t.Errorf("err = %v, want ErrBadFlow", err)
+	}
+
+	capped := testConfig(2, 1, 1)
+	capped.IngressCap = 4
+	ec := mustEngine(t, capped)
+	big := packet.Packet{Flow: 0, Payload: make([]byte, 3*packet.CellPayload)}
+	if err := ec.Offer(0, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := ec.Offer(0, big); !errors.Is(err, router.ErrIngressFull) {
+		t.Errorf("err = %v, want ErrIngressFull", err)
+	}
+	if n, err := ec.OfferBatch(0, []packet.Packet{{Flow: 0}, big}); n != 1 || !errors.Is(err, router.ErrIngressFull) {
+		t.Errorf("OfferBatch = %d, %v; want 1, ErrIngressFull", n, err)
+	}
+	if got := ec.IngressBacklog(0); got != 4 {
+		t.Errorf("backlog = %d", got)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); !errors.Is(err, router.ErrClosed) {
+		t.Errorf("Step after Close: err = %v, want ErrClosed", err)
+	}
+	if err := e.Offer(0, packet.Packet{Flow: 0}); !errors.Is(err, router.ErrClosed) {
+		t.Errorf("Offer after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSinglePacketAcrossFabric: one packet crosses the sharded fabric
+// byte-identical.
+func TestSinglePacketAcrossFabric(t *testing.T) {
+	e := mustEngine(t, testConfig(2, 1, 0))
+	payload := bytes.Repeat([]byte{0x5A}, 2*packet.CellPayload+7)
+	if err := e.Offer(0, packet.Packet{Flow: e.VOQ(1, 0), Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	var got []router.Egress
+	for slot := 0; slot < 5000 && len(got) == 0; slot++ {
+		eg, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, eg...)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivered %d packets", len(got))
+	}
+	g := got[0]
+	if g.Output != 1 || g.Input != 0 || g.Packet.Flow != e.VOQ(1, 0) {
+		t.Errorf("routing: %+v", g)
+	}
+	if !bytes.Equal(g.Packet.Payload, payload) {
+		t.Error("payload corrupted in flight")
+	}
+	st := e.Stats()
+	if st.OfferedPackets != 1 || st.DeliveredPackets != 1 || st.SwitchedCells != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+	for p := 0; p < 2; p++ {
+		if bs := e.BufferStats(p); !bs.Clean() {
+			t.Errorf("port %d buffer not clean: %+v", p, bs)
+		}
+	}
+}
+
+// TestShardedMatchesSerial is the public golden-equivalence test: a
+// seeded workload produces a bit-identical egress stream and stats
+// through the serial path (Workers: 1) and the sharded path
+// (Workers: 0), slot for slot.
+func TestShardedMatchesSerial(t *testing.T) {
+	const ports, classes, slots = 4, 2, 6000
+	serial := mustEngine(t, testConfig(ports, classes, 1))
+	sharded := mustEngine(t, testConfig(ports, classes, 0))
+	if serial.Workers() != 1 || sharded.Workers() != ports {
+		t.Fatalf("workers = %d, %d", serial.Workers(), sharded.Workers())
+	}
+
+	type rec struct {
+		output, input int
+		flow          pktbuf.Queue
+		payload       []byte
+	}
+	drive := func(e *router.Engine, rng *rand.Rand) []rec {
+		if rng.Intn(3) == 0 {
+			in := rng.Intn(ports)
+			payload := make([]byte, rng.Intn(4*packet.CellPayload))
+			rng.Read(payload)
+			p := packet.Packet{Flow: e.VOQ(rng.Intn(ports), rng.Intn(classes)), Payload: payload}
+			if err := e.Offer(in, p); err != nil && !errors.Is(err, router.ErrIngressFull) {
+				t.Fatal(err)
+			}
+		}
+		eg, err := e.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := make([]rec, 0, len(eg))
+		for _, g := range eg {
+			recs = append(recs, rec{g.Output, g.Input, g.Packet.Flow,
+				append([]byte(nil), g.Packet.Payload...)})
+		}
+		return recs
+	}
+
+	rngA := rand.New(rand.NewSource(2003))
+	rngB := rand.New(rand.NewSource(2003))
+	for slot := 0; slot < slots; slot++ {
+		a, b := drive(serial, rngA), drive(sharded, rngB)
+		if len(a) != len(b) {
+			t.Fatalf("slot %d: serial %d egress, sharded %d", slot, len(a), len(b))
+		}
+		for k := range a {
+			if a[k].output != b[k].output || a[k].input != b[k].input ||
+				a[k].flow != b[k].flow || !bytes.Equal(a[k].payload, b[k].payload) {
+				t.Fatalf("slot %d egress %d diverged: %+v vs %+v", slot, k, a[k], b[k])
+			}
+		}
+	}
+	if serial.Stats() != sharded.Stats() {
+		t.Errorf("stats diverged: serial %+v, sharded %+v", serial.Stats(), sharded.Stats())
+	}
+	for p := 0; p < ports; p++ {
+		if serial.BufferStats(p) != sharded.BufferStats(p) {
+			t.Errorf("port %d buffer stats diverged", p)
+		}
+	}
+}
+
+// TestConservationSharded pushes random packets through a sharded 4×4
+// engine with StepBatch and checks every one emerges intact, in order
+// per (input, output, class) stream.
+func TestConservationSharded(t *testing.T) {
+	const ports, classes = 4, 2
+	e := mustEngine(t, testConfig(ports, classes, 0))
+	rng := rand.New(rand.NewSource(99))
+
+	type stream struct{ payloads [][]byte }
+	var sent [ports][ports * classes]stream // [input][flow]
+	offered := 0
+	out := make([]router.Egress, 0, 64)
+	verify := func(eg []router.Egress) {
+		for _, g := range eg {
+			q := &sent[g.Input][g.Packet.Flow]
+			if len(q.payloads) == 0 {
+				t.Fatalf("unexpected packet at output %d from input %d", g.Output, g.Input)
+			}
+			if !bytes.Equal(q.payloads[0], g.Packet.Payload) {
+				t.Fatalf("payload mismatch at output %d from input %d flow %d",
+					g.Output, g.Input, g.Packet.Flow)
+			}
+			q.payloads = q.payloads[1:]
+			if want := int(g.Packet.Flow) / classes; g.Output != want {
+				t.Fatalf("packet for flow %d emerged at output %d", g.Packet.Flow, g.Output)
+			}
+		}
+	}
+	for slot := 0; slot < 20000; slot++ {
+		if offered < 500 && rng.Intn(8) == 0 {
+			in := rng.Intn(ports)
+			flow := e.VOQ(rng.Intn(ports), rng.Intn(classes))
+			payload := make([]byte, rng.Intn(5*packet.CellPayload))
+			rng.Read(payload)
+			if err := e.Offer(in, packet.Packet{Flow: flow, Payload: payload}); err == nil {
+				sent[in][flow].payloads = append(sent[in][flow].payloads, payload)
+				offered++
+			}
+		}
+		var err error
+		out, err = e.StepBatch(1, out[:0])
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		verify(out)
+	}
+	for slot := 0; slot < 200000 && e.Stats().DeliveredPackets < uint64(offered); slot += 64 {
+		var err error
+		out, err = e.StepBatch(64, out[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		verify(out)
+	}
+	if got := e.Stats().DeliveredPackets; got != uint64(offered) {
+		t.Fatalf("delivered %d of %d packets", got, offered)
+	}
+	for p := 0; p < ports; p++ {
+		if bs := e.BufferStats(p); !bs.Clean() {
+			t.Errorf("port %d buffer not clean: %+v", p, bs)
+		}
+	}
+}
+
+// TestStepBatchAppends: StepBatch extends the caller's slice without
+// dropping prior contents.
+func TestStepBatchAppends(t *testing.T) {
+	e := mustEngine(t, testConfig(2, 1, 1))
+	if err := e.Offer(0, packet.Packet{Flow: e.VOQ(1, 0), Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]router.Egress, 0, 8)
+	out = append(out, router.Egress{Output: -1})
+	out, err := e.StepBatch(4000, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Output != -1 {
+		t.Fatalf("StepBatch egress = %+v", out)
+	}
+}
