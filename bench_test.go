@@ -307,3 +307,46 @@ func BenchmarkTickOC3072ListSRAM(b *testing.B) {
 func BenchmarkTickOC3072LargeScale(b *testing.B) {
 	benchTickSteadyState(b, core.Config{Q: 512, B: 32, Bsmall: 4, Banks: 256}, 512)
 }
+
+// BenchmarkTickQueueScaling sweeps the queue count across three
+// orders of magnitude for both head MMAs. Per-slot cost must stay
+// near-flat: every selection decision resolves through the
+// hierarchical bitmap indices (O(log₆₄ Q)) rather than scanning the
+// Q occupancy counters or the Q(b−1)+1 lookahead, so queue count no
+// longer prices the hot path. Warmup is deliberately light (the full
+// steady-state soak at Q=64k would dwarf the measurement); the
+// no-miss gate still holds by construction.
+func BenchmarkTickQueueScaling(b *testing.B) {
+	for _, m := range []core.MMAKind{core.ECQF, core.MDQF} {
+		for _, queues := range []int{64, 1024, 16384, 65536} {
+			b.Run(fmt.Sprintf("%s/Q=%d", m, queues), func(b *testing.B) {
+				buf, err := core.New(core.Config{Q: queues, B: 32, Bsmall: 4, Banks: 256, MMA: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				arr, _ := sim.NewRoundRobinArrivals(queues, 1.0)
+				req, _ := sim.NewRoundRobinDrain(queues)
+				warm := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: sim.NewIdleRequests()}
+				if _, err := warm.Run(uint64(queues * 4)); err != nil {
+					b.Fatal(err)
+				}
+				steady := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+				if _, err := steady.Run(uint64(queues * 2)); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					in := core.TickInput{Arrival: arr.Next(buf.Now()), Request: req.Next(buf.Now(), buf)}
+					if _, err := buf.Tick(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if buf.Stats().Misses != 0 {
+					b.Fatalf("misses: %v", buf.Stats())
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,23 @@
 // allocation. BENCH_baseline.json records the gate: the BenchmarkTick*
 // suite must stay ≥2× under the map-keyed seed at 0 allocs/op.
 //
+// # Bitmap selection indices
+//
+// Selection decisions are decoupled from the queue count: instead of
+// scanning Q occupancy counters (TailMMA, MDQF) or re-walking the
+// Q(b−1)+1-slot lookahead (ECQF) every b slots, the MMA layer keeps
+// incrementally maintained hierarchical bitmaps (repro/internal/bitset
+// — multi-level find-first-set indices in the O(1)-scheduler style):
+// ECQF tracks the lookahead slot at which each queue turns critical,
+// the tail and deficit selectors bucket queues by exact occupancy, and
+// the DRAM publishes its per-queue "readable now" eligibility as a
+// dense bitset the selectors consult instead of per-candidate
+// callbacks. Selections are bit-identical to the retained linear-scan
+// references (SelectScan), which seeded differential tests pin over
+// 10⁵-slot random workloads; BenchmarkTickQueueScaling holds per-slot
+// cost near-flat from Q=64 to Q=65536 (BENCH_baseline.json,
+// bitmap_index_pr4).
+//
 // # Batched simulation driver
 //
 // sim.Runner.RunBatch(slots, batch) is the long-run fast path: it

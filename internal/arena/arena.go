@@ -1,0 +1,35 @@
+// Package arena holds the one slice idiom every dense per-queue
+// arena in this repo shares: grow-to-n in a single allocation with
+// geometric capacity, so ordinal-indexed state can expand past its
+// constructed size in amortized O(1) per element, off the
+// steady-state path.
+package arena
+
+// Grown returns s extended to length n (one allocation, capacity at
+// least doubled), or s unchanged if it is already long enough. New
+// elements are zero values.
+func Grown[T any](s []T, n int) []T {
+	if n <= len(s) {
+		return s
+	}
+	if n <= cap(s) {
+		// The capacity tail of an append-grown slice is zeroed, but be
+		// explicit: these arenas must never expose stale state.
+		t := s[:n]
+		var zero T
+		for i := len(s); i < n; i++ {
+			t[i] = zero
+		}
+		return t
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	if c < 8 {
+		c = 8
+	}
+	t := make([]T, n, c)
+	copy(t, s)
+	return t
+}

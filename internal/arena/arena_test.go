@@ -1,0 +1,50 @@
+package arena
+
+import "testing"
+
+func TestGrown(t *testing.T) {
+	s := []int32{1, 2, 3}
+	if got := Grown(s, 2); len(got) != 3 {
+		t.Fatalf("shrink request changed length to %d", len(got))
+	}
+	g := Grown(s, 10)
+	if len(g) != 10 || cap(g) < 10 {
+		t.Fatalf("len/cap = %d/%d, want 10/>=10", len(g), cap(g))
+	}
+	if g[0] != 1 || g[1] != 2 || g[2] != 3 {
+		t.Error("prefix not preserved")
+	}
+	for i := 3; i < 10; i++ {
+		if g[i] != 0 {
+			t.Fatalf("g[%d] = %d, want zero", i, g[i])
+		}
+	}
+	// Growth within capacity must re-zero the exposed tail even if the
+	// backing array held stale values from a previous regime.
+	raw := make([]int32, 8)
+	for i := range raw {
+		raw[i] = 9
+	}
+	s2 := raw[:2]
+	g2 := Grown(s2, 6)
+	if len(g2) != 6 {
+		t.Fatalf("len = %d, want 6", len(g2))
+	}
+	for i := 2; i < 6; i++ {
+		if g2[i] != 0 {
+			t.Fatalf("g2[%d] = %d, want zero (stale tail exposed)", i, g2[i])
+		}
+	}
+	// Geometric: growing by one element repeatedly must not reallocate
+	// every time.
+	var s3 []int
+	allocsBefore := testing.AllocsPerRun(1, func() {
+		s3 = s3[:0]
+		for i := 0; i < 1000; i++ {
+			s3 = Grown(s3, i+1)
+		}
+	})
+	if allocsBefore > 20 {
+		t.Fatalf("1000 one-element growths allocated %.0f times, want amortized O(log n)", allocsBefore)
+	}
+}

@@ -1,0 +1,206 @@
+// Package bitset provides a hierarchical (multi-level summarized)
+// bitmap in the style of an O(1) scheduler runqueue index: level 0
+// holds one bit per element and every level above summarizes 64 words
+// of the level below into one word, so locating the first or last set
+// bit costs O(log₆₄ n) word probes via bits.TrailingZeros64 /
+// bits.Len64 instead of a linear scan.
+//
+// The packet buffer's selection paths use Sets as incrementally
+// maintained indices: the MMA layer keeps critical-queue and occupancy
+// bucket membership here, and the DRAM layer publishes per-queue
+// eligibility ("readable now") bits that selectors AND against at
+// word granularity. All steady-state operations are allocation-free;
+// only Grow allocates.
+package bitset
+
+import "math/bits"
+
+// Set is a fixed-capacity hierarchical bitmap over [0, Len()). The
+// zero value is unusable; construct with New.
+type Set struct {
+	n int
+	// levels[0] is the bit array; levels[l][w] bit k summarizes word
+	// levels[l-1][w*64+k] (set iff that word is non-zero). The top
+	// level is always a single word.
+	levels [][]uint64
+}
+
+// New returns a Set with capacity for n bits, all clear. n may be 0
+// (every query then reports empty).
+func New(n int) *Set {
+	s := &Set{}
+	s.init(n)
+	return s
+}
+
+func (s *Set) init(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.n = n
+	s.levels = s.levels[:0]
+	words := (n + 63) >> 6
+	if words == 0 {
+		words = 1
+	}
+	for {
+		s.levels = append(s.levels, make([]uint64, words))
+		if words == 1 {
+			return
+		}
+		words = (words + 63) >> 6
+	}
+}
+
+// Len returns the bit capacity.
+func (s *Set) Len() int { return s.n }
+
+// Grow extends the capacity to at least n bits, preserving contents.
+// It is the only allocating operation; callers keep it off the
+// steady-state path (arena growth is amortized).
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	old := s.levels[0]
+	s.levels = nil
+	s.init(n)
+	copy(s.levels[0], old)
+	// Rebuild the summaries bottom-up from the preserved leaf words.
+	for l := 1; l < len(s.levels); l++ {
+		below := s.levels[l-1]
+		for w, word := range below {
+			if word != 0 {
+				s.levels[l][w>>6] |= 1 << uint(w&63)
+			}
+		}
+	}
+}
+
+// Has reports whether bit i is set. Out-of-range indices are clear.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.levels[0][i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i. i must be in [0, Len()).
+func (s *Set) Set(i int) {
+	w := i >> 6
+	s.levels[0][w] |= 1 << uint(i&63)
+	for l := 1; l < len(s.levels); l++ {
+		s.levels[l][w>>6] |= 1 << uint(w&63)
+		w >>= 6
+	}
+}
+
+// Clear clears bit i. i must be in [0, Len()).
+func (s *Set) Clear(i int) {
+	w := i >> 6
+	s.levels[0][w] &^= 1 << uint(i&63)
+	for l := 1; l < len(s.levels); l++ {
+		if s.levels[l-1][w] != 0 {
+			return
+		}
+		s.levels[l][w>>6] &^= 1 << uint(w&63)
+		w >>= 6
+	}
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool { return s.levels[len(s.levels)-1][0] == 0 }
+
+// word returns leaf word w, or 0 beyond capacity.
+func (s *Set) word(w int) uint64 {
+	if w >= len(s.levels[0]) {
+		return 0
+	}
+	return s.levels[0][w]
+}
+
+// descend resolves a set bit at (level, bit index within level) down
+// to the leaf bit index.
+func (s *Set) descend(level, idx int) int {
+	for l := level - 1; l >= 0; l-- {
+		idx = idx<<6 + bits.TrailingZeros64(s.levels[l][idx])
+	}
+	return idx
+}
+
+// First returns the lowest set bit, or -1.
+func (s *Set) First() int { return s.NextFrom(0) }
+
+// Last returns the highest set bit, or -1.
+func (s *Set) Last() int { return s.PrevFrom(s.n - 1) }
+
+// NextFrom returns the lowest set bit ≥ i, or -1.
+func (s *Set) NextFrom(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	// pos is a bit index at the current level: at level l it addresses
+	// a word l levels down.
+	pos := i
+	for l := 0; l < len(s.levels); l++ {
+		lv := s.levels[l]
+		w := pos >> 6
+		if w < len(lv) {
+			if word := lv[w] >> uint(pos&63) << uint(pos&63); word != 0 {
+				return s.descend(l, w<<6+bits.TrailingZeros64(word))
+			}
+		}
+		// No hit in this word: resume one level up, one summary bit
+		// past the word we just exhausted.
+		pos = w + 1
+	}
+	return -1
+}
+
+// PrevFrom returns the highest set bit ≤ i, or -1.
+func (s *Set) PrevFrom(i int) int {
+	if i >= s.n {
+		i = s.n - 1
+	}
+	if i < 0 {
+		return -1
+	}
+	pos := i
+	for l := 0; l < len(s.levels); l++ {
+		w := pos >> 6
+		keep := uint(pos&63) + 1
+		if word := s.levels[l][w] << (64 - keep) >> (64 - keep); word != 0 {
+			idx := w<<6 + bits.Len64(word) - 1
+			for m := l - 1; m >= 0; m-- {
+				idx = idx<<6 + bits.Len64(s.levels[m][idx]) - 1
+			}
+			return idx
+		}
+		if w == 0 {
+			return -1
+		}
+		pos = w - 1
+	}
+	return -1
+}
+
+// NextAndFrom returns the lowest bit ≥ i set in both s and mask, or
+// -1. The scan is guided by s's summaries, so its cost is bounded by
+// the set words of s rather than the capacity; mask may have any
+// capacity (bits beyond it read as clear).
+func (s *Set) NextAndFrom(mask *Set, i int) int {
+	for {
+		j := s.NextFrom(i)
+		if j < 0 {
+			return -1
+		}
+		w := j >> 6
+		if word := s.levels[0][w] & (mask.word(w) >> uint(j&63) << uint(j&63)); word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		i = (w + 1) << 6
+	}
+}

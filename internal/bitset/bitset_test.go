@@ -1,0 +1,207 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// reference is a plain boolean-slice model of the Set.
+type reference []bool
+
+func (r reference) nextFrom(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(r); i++ {
+		if r[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r reference) prevFrom(i int) int {
+	if i >= len(r) {
+		i = len(r) - 1
+	}
+	for ; i >= 0; i-- {
+		if r[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSetBasics(t *testing.T) {
+	s := New(200)
+	if !s.Empty() || s.First() != -1 || s.Last() != -1 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(199)
+	for _, i := range []int{0, 63, 64, 199} {
+		if !s.Has(i) {
+			t.Errorf("Has(%d) = false", i)
+		}
+	}
+	if s.Has(-1) || s.Has(200) || s.Has(100) {
+		t.Error("spurious Has")
+	}
+	if s.First() != 0 || s.Last() != 199 {
+		t.Errorf("First/Last = %d/%d", s.First(), s.Last())
+	}
+	if got := s.NextFrom(1); got != 63 {
+		t.Errorf("NextFrom(1) = %d, want 63", got)
+	}
+	if got := s.NextFrom(65); got != 199 {
+		t.Errorf("NextFrom(65) = %d, want 199", got)
+	}
+	if got := s.PrevFrom(198); got != 64 {
+		t.Errorf("PrevFrom(198) = %d, want 64", got)
+	}
+	s.Clear(0)
+	s.Clear(199)
+	if s.First() != 63 || s.Last() != 64 {
+		t.Errorf("after clear First/Last = %d/%d", s.First(), s.Last())
+	}
+	s.Clear(63)
+	s.Clear(64)
+	if !s.Empty() {
+		t.Error("set not empty after clearing all bits")
+	}
+}
+
+func TestSetZeroCapacity(t *testing.T) {
+	s := New(0)
+	if !s.Empty() || s.First() != -1 || s.Last() != -1 || s.Has(0) {
+		t.Error("zero-capacity set misbehaves")
+	}
+	if s.NextFrom(0) != -1 || s.PrevFrom(5) != -1 {
+		t.Error("zero-capacity scan found a bit")
+	}
+}
+
+// TestSetRandomizedAgainstReference drives random ops over sizes that
+// exercise 1-, 2- and 3-level summaries and cross-checks every query
+// against the boolean-slice model.
+func TestSetRandomizedAgainstReference(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 4096, 4097, 300000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := New(n)
+		ref := make(reference, n)
+		ops := 4000
+		if n >= 4096 {
+			ops = 20000
+		}
+		for op := 0; op < ops; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+				ref[i] = true
+			} else {
+				s.Clear(i)
+				ref[i] = false
+			}
+			j := rng.Intn(n)
+			if got, want := s.Has(j), ref[j]; got != want {
+				t.Fatalf("n=%d op=%d: Has(%d) = %v, want %v", n, op, j, got, want)
+			}
+			if got, want := s.NextFrom(j), ref.nextFrom(j); got != want {
+				t.Fatalf("n=%d op=%d: NextFrom(%d) = %d, want %d", n, op, j, got, want)
+			}
+			if got, want := s.PrevFrom(j), ref.prevFrom(j); got != want {
+				t.Fatalf("n=%d op=%d: PrevFrom(%d) = %d, want %d", n, op, j, got, want)
+			}
+		}
+		if got, want := s.First(), ref.nextFrom(0); got != want {
+			t.Fatalf("n=%d: First = %d, want %d", n, got, want)
+		}
+		if got, want := s.Last(), ref.prevFrom(n-1); got != want {
+			t.Fatalf("n=%d: Last = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSetNextAndFrom(t *testing.T) {
+	const n = 10000
+	rng := rand.New(rand.NewSource(7))
+	a, b := New(n), New(n)
+	refA, refB := make(reference, n), make(reference, n)
+	for i := 0; i < 600; i++ {
+		j := rng.Intn(n)
+		a.Set(j)
+		refA[j] = true
+		k := rng.Intn(n)
+		b.Set(k)
+		refB[k] = true
+	}
+	for from := 0; from < n; from += 37 {
+		want := -1
+		for i := from; i < n; i++ {
+			if refA[i] && refB[i] {
+				want = i
+				break
+			}
+		}
+		if got := a.NextAndFrom(b, from); got != want {
+			t.Fatalf("NextAndFrom(%d) = %d, want %d", from, got, want)
+		}
+	}
+	// Mask shorter than the set: bits beyond it read as clear.
+	short := New(100)
+	short.Set(99)
+	a2 := New(n)
+	a2.Set(99)
+	a2.Set(5000)
+	if got := a2.NextAndFrom(short, 0); got != 99 {
+		t.Errorf("short-mask NextAndFrom = %d, want 99", got)
+	}
+	if got := a2.NextAndFrom(short, 100); got != -1 {
+		t.Errorf("short-mask NextAndFrom(100) = %d, want -1", got)
+	}
+}
+
+func TestSetGrow(t *testing.T) {
+	s := New(10)
+	s.Set(3)
+	s.Set(9)
+	s.Grow(5) // no-op
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d after no-op Grow", s.Len())
+	}
+	s.Grow(100000)
+	if s.Len() != 100000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(3) || !s.Has(9) || s.Has(10) {
+		t.Error("contents not preserved across Grow")
+	}
+	s.Set(99999)
+	if s.Last() != 99999 || s.First() != 3 || s.NextFrom(4) != 9 {
+		t.Error("queries wrong after Grow")
+	}
+}
+
+func TestSetSteadyStateZeroAlloc(t *testing.T) {
+	s := New(100000)
+	mask := New(100000)
+	for i := 0; i < 100000; i += 97 {
+		mask.Set(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Set(70000)
+		s.Set(131)
+		_ = s.First()
+		_ = s.Last()
+		_ = s.NextFrom(200)
+		_ = s.PrevFrom(69999)
+		_ = s.NextAndFrom(mask, 0)
+		s.Clear(131)
+		s.Clear(70000)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ops allocated %.1f/op", allocs)
+	}
+}

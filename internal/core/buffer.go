@@ -177,11 +177,15 @@ type Buffer struct {
 	// delivered is the scratch cell TickOutput.Delivered points into.
 	delivered cell.Cell
 
-	// writeEligible / readReady are the MMA selection predicates,
-	// built once at construction: closures created per cycle escape
-	// through the MMA interface call and would allocate every b slots.
+	// writeEligible is the t-MMA selection predicate, built once at
+	// construction (closures created per cycle escape through the MMA
+	// interface call and would allocate every b slots). It is nil when
+	// the write path can never stall — identity mapping over an
+	// unbounded DRAM — so the t-MMA walks its index with no
+	// per-candidate calls at all. The h-MMA predicate needs no closure:
+	// the DRAM publishes its readable-now bits as a dense bitset that
+	// the head selectors consume directly (SetEligibility).
 	writeEligible func(q cell.QueueID) bool
-	readReady     func(p cell.PhysQueueID) bool
 
 	stats Stats
 }
@@ -300,11 +304,19 @@ func New(cfg Config) (*Buffer, error) {
 		qs:       make([]queueState, cfg.Q),
 		compRing: make([][]completion, cfg.accessSlots()+1),
 	}
-	buf.writeEligible = func(q cell.QueueID) bool {
-		_, err := buf.mapr.PeekWriteTarget(q)
-		return err == nil
+	// The head MMA selects against the DRAM's readable-now bitset in
+	// place of per-candidate eligibility calls.
+	hm.SetEligibility(dr.ReadableSet())
+	if cfg.BankCapacityBlocks == 0 && !cfg.Renaming {
+		// Identity mapping over an unbounded DRAM: PeekWriteTarget can
+		// never fail, so the t-MMA runs unmasked.
+		buf.writeEligible = nil
+	} else {
+		buf.writeEligible = func(q cell.QueueID) bool {
+			_, err := buf.mapr.PeekWriteTarget(q)
+			return err == nil
+		}
 	}
-	buf.readReady = buf.dram.ReadableNow
 	return buf, nil
 }
 
@@ -575,7 +587,9 @@ func (b *Buffer) headCycle() error {
 		b.stats.HeadStalls++
 		return nil
 	}
-	p, ok := b.hmma.Select(b.readReady)
+	// Eligibility comes from the DRAM's readable bitset installed at
+	// construction, so no per-candidate closure is passed.
+	p, ok := b.hmma.Select(nil)
 	if !ok {
 		return nil
 	}

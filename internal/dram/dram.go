@@ -24,6 +24,8 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/arena"
+	"repro/internal/bitset"
 	"repro/internal/cell"
 )
 
@@ -115,6 +117,12 @@ type DRAM struct {
 	groupBlk  []int        // per group: blocks reserved-or-stored
 	queues    []queueState // dense arena indexed by physical ordinal
 
+	// readable mirrors ReadableNow per physical queue as a dense
+	// hierarchical bitset, updated by every reservation/issue
+	// transition. The MMA selectors consume it as their eligibility
+	// mask (see ReadableSet), replacing per-candidate map probes.
+	readable *bitset.Set
+
 	// blockPool recycles b-cell block storage between writes and reads
 	// so the steady-state datapath does not allocate.
 	blockPool [][]cell.Cell
@@ -138,6 +146,7 @@ func New(cfg Config) *DRAM {
 		busyUntil: make([]cell.Slot, cfg.Banks),
 		groupBlk:  make([]int, cfg.Groups()),
 		queues:    make([]queueState, cfg.Queues),
+		readable:  bitset.New(cfg.Queues),
 	}
 }
 
@@ -242,14 +251,31 @@ func (d *DRAM) QueueCells(p cell.PhysQueueID) int {
 // ReadableNow reports whether the next read reservation for p targets
 // a block whose write has already been issued (its cells are in the
 // array). The MMA's eligibility test uses this to avoid ordering reads
-// that would race their own data.
+// that would race their own data. It reads the incrementally
+// maintained readable bitset, so the answer is one word probe.
 func (d *DRAM) ReadableNow(p cell.PhysQueueID) bool {
-	q := d.queue(p)
-	if q.readReserved >= q.writeReserved {
-		return false
+	return d.readable.Has(int(p))
+}
+
+// ReadableSet exposes the per-physical-queue "readable now" bits as a
+// dense bitset the MMA selectors AND into their indices. The set is
+// owned and kept current by the DRAM; callers must treat it as
+// read-only.
+func (d *DRAM) ReadableSet() *bitset.Set { return d.readable }
+
+// refreshReadable re-derives p's readable bit from the reservation
+// cursors and the stored blocks. Called after every transition that
+// can flip it; idempotent.
+func (d *DRAM) refreshReadable(p cell.PhysQueueID, q *queueState) {
+	ok := q.readReserved < q.writeReserved
+	if ok {
+		_, ok = q.blocks[q.readReserved]
 	}
-	_, ok := q.blocks[q.readReserved]
-	return ok
+	if ok {
+		d.readable.Set(int(p))
+	} else {
+		d.readable.Clear(int(p))
+	}
 }
 
 // Accesses returns the number of bank accesses issued.
@@ -267,8 +293,9 @@ func (d *DRAM) Utilization(now cell.Slot) float64 {
 }
 
 func (d *DRAM) queue(p cell.PhysQueueID) *queueState {
-	for int(p) >= len(d.queues) {
-		d.queues = append(d.queues, queueState{})
+	if int(p) >= len(d.queues) {
+		d.queues = arena.Grown(d.queues, int(p)+1)
+		d.readable.Grow(len(d.queues))
 	}
 	q := &d.queues[p]
 	if q.blocks == nil {
@@ -314,6 +341,7 @@ func (d *DRAM) ReserveWrite(p cell.PhysQueueID) (ordinal uint64, bank BankID, er
 	ordinal = q.writeReserved
 	q.writeReserved++
 	d.groupBlk[d.Group(p)]++
+	d.refreshReadable(p, q)
 	return ordinal, d.BankFor(p, ordinal), nil
 }
 
@@ -345,6 +373,7 @@ func (d *DRAM) BeginWriteAt(p cell.PhysQueueID, ordinal uint64, cells []cell.Cel
 	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)
 	d.accesses++
 	d.busySlots += uint64(d.cfg.AccessSlots)
+	d.refreshReadable(p, q)
 	return b, nil
 }
 
@@ -364,6 +393,7 @@ func (d *DRAM) BeginWrite(p cell.PhysQueueID, cells []cell.Cell, now cell.Slot) 
 		q := d.queue(p)
 		q.writeReserved--
 		d.groupBlk[d.Group(p)]--
+		d.refreshReadable(p, q)
 		return NoBank, err
 	}
 	return bank, nil
@@ -383,6 +413,7 @@ func (d *DRAM) ReserveRead(p cell.PhysQueueID) (ordinal uint64, bank BankID, err
 	}
 	ordinal = q.readReserved
 	q.readReserved++
+	d.refreshReadable(p, q)
 	return ordinal, d.BankFor(p, ordinal), nil
 }
 
@@ -410,6 +441,7 @@ func (d *DRAM) BeginReadAt(p cell.PhysQueueID, ordinal uint64, now cell.Slot) (B
 	d.groupBlk[d.Group(p)]--
 	d.accesses++
 	d.busySlots += uint64(d.cfg.AccessSlots)
+	d.refreshReadable(p, q)
 	return b, blk, nil
 }
 
@@ -427,6 +459,7 @@ func (d *DRAM) BeginRead(p cell.PhysQueueID, now cell.Slot) (BankID, []cell.Cell
 	bank, cells, err := d.BeginReadAt(p, ordinal, now)
 	if err != nil {
 		q.readReserved--
+		d.refreshReadable(p, q)
 		return NoBank, nil, err
 	}
 	return bank, cells, err

@@ -230,6 +230,13 @@ func (s *Scheduler) Cycle(now cell.Slot, budget, accessSlots int) []Request {
 		return nil
 	}
 	issued := s.issued[:0]
+	// cursor is where the oldest-ready scan resumes within this cycle:
+	// entries before it were already probed and found bank-locked, and
+	// locks only accumulate during a cycle (pruning happens once, at
+	// entry), so they stay unselectable until the next cycle. This
+	// folds the per-issue rescan of the register into one rotating
+	// pass: at most len(rr)+budget probes per cycle in total.
+	cursor := 0
 	for n := 0; n < budget; n++ {
 		idx := -1
 		if s.policy == FIFOBlocking {
@@ -237,7 +244,7 @@ func (s *Scheduler) Cycle(now cell.Slot, budget, accessSlots int) []Request {
 				idx = 0
 			}
 		} else {
-			for i := range s.rr {
+			for i := cursor; i < len(s.rr); i++ {
 				if !s.locked(s.rr[i].Bank, now) {
 					idx = i
 					break
@@ -260,8 +267,10 @@ func (s *Scheduler) Cycle(now cell.Slot, budget, accessSlots int) []Request {
 		}
 		// Compact: shift the tail forward, preserving age order
 		// ("the requests from this position to the tail of the RR are
-		// shifted ahead", §5.3).
+		// shifted ahead", §5.3). The scan resumes at the compacted
+		// position: everything before it stays locked this cycle.
 		s.rr = append(s.rr[:idx], s.rr[idx+1:]...)
+		cursor = idx
 		s.orr = append(s.orr, lock{bank: req.Bank, until: now + cell.Slot(accessSlots)})
 		if req.Skips > s.stats.MaxSkips {
 			s.stats.MaxSkips = req.Skips

@@ -3,6 +3,8 @@ package mma
 import (
 	"fmt"
 
+	"repro/internal/arena"
+	"repro/internal/bitset"
 	"repro/internal/cell"
 )
 
@@ -23,8 +25,16 @@ type HeadMMA interface {
 	OnRequestLeave(q cell.PhysQueueID)
 	// Select picks the queue to replenish, or ok=false to stay idle.
 	// eligible reports whether a queue can currently be replenished
-	// from DRAM (it has a resident block and the write path allows it).
+	// from DRAM (it has a resident block and the write path allows it);
+	// nil means every queue is eligible. When an eligibility bitset has
+	// been installed with SetEligibility it takes precedence and the
+	// closure is not consulted.
 	Select(eligible func(cell.PhysQueueID) bool) (q cell.PhysQueueID, ok bool)
+	// SetEligibility installs a dense per-physical-queue eligibility
+	// bitset (the DRAM layer's "readable now" bits) consulted by Select
+	// in place of the per-candidate closure. Pass nil to fall back to
+	// the closure.
+	SetEligibility(bits *bitset.Set)
 	// OnReplenish credits the ledger with one block of b cells; the
 	// caller invokes it when the replenish request is handed to the
 	// DRAM side.
@@ -40,19 +50,39 @@ type HeadMMA interface {
 // counter goes negative is "critical" and is selected. With lookahead
 // L* = Q(b−1)+1 this minimizes SRAM to Q(b−1) cells.
 //
+// SelectScan performs that scan literally. Select answers the same
+// question from an incrementally maintained index: queue q first goes
+// critical at its (max(occ[q],0)+1)-th pending request, so the index
+// keeps, per queue, the ring slot of exactly that request (critSlot)
+// and a hierarchical bitmap over ring slots (crit) holding all of
+// them. Selection is then a find-first-set from the window head —
+// O(log₆₄ L) instead of re-walking the Q(b−1)+1 lookahead — and every
+// ledger or window event updates the one affected queue in O(log₆₄ L).
+//
 // All per-queue state is kept in dense slices indexed by the physical
-// queue ordinal; the scratch counters are epoch-stamped so Select does
-// no clearing work proportional to the queue count.
+// queue ordinal; the scratch counters are epoch-stamped so SelectScan
+// does no clearing work proportional to the queue count.
 type ECQF struct {
 	b    int
 	look *Lookahead
 	occ  []int32
 	// scratch/stamp implement an epoch-validated scratch array: an
-	// entry is live only when stamp[q] == epoch, so each Select starts
-	// from logically-zero counters without touching O(queues) memory.
+	// entry is live only when stamp[q] == epoch, so each SelectScan
+	// starts from logically-zero counters without touching O(queues)
+	// memory.
 	scratch []int32
 	stamp   []uint32
 	epoch   uint32
+
+	// pos[q] lists the ring slots of q's requests currently in the
+	// window, oldest first; critSlot[q] is the slot of the request at
+	// which q goes critical (-1 if none); crit is the bitmap of all
+	// critical slots. elig, when non-nil, is the DRAM-published
+	// readable-now bitset consulted per critical candidate.
+	pos      []posRing
+	critSlot []int32
+	crit     *bitset.Set
+	elig     *bitset.Set
 }
 
 var _ HeadMMA = (*ECQF)(nil)
@@ -60,7 +90,9 @@ var _ HeadMMA = (*ECQF)(nil)
 // NewECQF builds an ECQF over the given lookahead with granularity b
 // for a physical name space of queues ordinals. Queues beyond the
 // initial size are accommodated by growing the arenas (amortized, off
-// the steady-state path).
+// the steady-state path). The ECQF registers itself as the lookahead's
+// shift observer to keep its index current; at most one ECQF may drive
+// a given lookahead.
 func NewECQF(look *Lookahead, b, queues int) (*ECQF, error) {
 	if look == nil {
 		return nil, fmt.Errorf("mma: ECQF needs a lookahead register")
@@ -71,32 +103,105 @@ func NewECQF(look *Lookahead, b, queues int) (*ECQF, error) {
 	if queues < 0 {
 		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
 	}
-	return &ECQF{
-		b:       b,
-		look:    look,
-		occ:     make([]int32, queues),
-		scratch: make([]int32, queues),
-		stamp:   make([]uint32, queues),
-	}, nil
+	if look.onShift != nil {
+		// A silently replaced observer would leave the first ECQF's
+		// index stale while its SelectScan stayed correct — fail loudly
+		// instead.
+		return nil, fmt.Errorf("mma: lookahead already has a shift observer (one ECQF per lookahead)")
+	}
+	e := &ECQF{
+		b:        b,
+		look:     look,
+		occ:      make([]int32, queues),
+		scratch:  make([]int32, queues),
+		stamp:    make([]uint32, queues),
+		pos:      make([]posRing, queues),
+		critSlot: make([]int32, queues),
+		crit:     bitset.New(look.Size()),
+	}
+	for i := range e.critSlot {
+		e.critSlot[i] = -1
+	}
+	look.onShift = e.onShift
+	return e, nil
 }
 
 func (e *ECQF) ensure(q cell.PhysQueueID) {
-	for int(q) >= len(e.occ) {
-		e.occ = append(e.occ, 0)
-		e.scratch = append(e.scratch, 0)
-		e.stamp = append(e.stamp, 0)
+	if int(q) < len(e.occ) {
+		return
 	}
+	n := int(q) + 1
+	old := len(e.occ)
+	e.occ = arena.Grown(e.occ, n)
+	e.scratch = arena.Grown(e.scratch, n)
+	e.stamp = arena.Grown(e.stamp, n)
+	e.pos = arena.Grown(e.pos, n)
+	e.critSlot = arena.Grown(e.critSlot, n)
+	for i := old; i < n; i++ {
+		e.critSlot[i] = -1
+	}
+}
+
+// onShift maintains the window side of the index: the exiting entry's
+// slot is removed from its queue's position ring and the entering
+// entry's slot appended, then the affected queues' critical slots are
+// recomputed. When in == out the pop-then-push order keeps the ring
+// consistent.
+func (e *ECQF) onShift(slot int, in, out cell.PhysQueueID) {
+	if out != cell.NoPhysQueue {
+		e.ensure(out)
+		e.pos[out].popFront()
+		e.recompute(out)
+	}
+	if in != cell.NoPhysQueue {
+		e.ensure(in)
+		e.pos[in].push(int32(slot))
+		e.recompute(in)
+	}
+}
+
+// recompute restores the critSlot/crit invariant for q after any
+// event that moved its ledger or its window membership.
+func (e *ECQF) recompute(q cell.PhysQueueID) {
+	k := int(e.occ[q])
+	if k < 0 {
+		k = 0
+	}
+	slot := int32(-1)
+	if r := &e.pos[q]; r.len() > k {
+		slot = r.at(k)
+	}
+	if old := e.critSlot[q]; old != slot {
+		if old >= 0 {
+			e.crit.Clear(int(old))
+		}
+		if slot >= 0 {
+			e.crit.Set(int(slot))
+		}
+		e.critSlot[q] = slot
+	}
+}
+
+// setOcc force-sets a ledger value (test seam for reconstructing the
+// paper's worked examples mid-flight).
+func (e *ECQF) setOcc(q cell.PhysQueueID, v int32) {
+	e.ensure(q)
+	e.occ[q] = v
+	e.recompute(q)
 }
 
 // OnRequestEnter implements HeadMMA. ECQF's ledger moves on replenish
 // and leave events only; entry is a no-op but part of the interface so
-// deficit-based MMAs can observe it.
+// deficit-based MMAs can observe it. (Window membership is tracked at
+// the lookahead shift, which is when the request physically enters the
+// register.)
 func (e *ECQF) OnRequestEnter(cell.PhysQueueID) {}
 
 // OnRequestLeave implements HeadMMA.
 func (e *ECQF) OnRequestLeave(q cell.PhysQueueID) {
 	e.ensure(q)
 	e.occ[q]--
+	e.recompute(q)
 }
 
 // OnReplenish credits the ledger with one block of b cells; the caller
@@ -104,6 +209,7 @@ func (e *ECQF) OnRequestLeave(q cell.PhysQueueID) {
 func (e *ECQF) OnReplenish(q cell.PhysQueueID) {
 	e.ensure(q)
 	e.occ[q] += int32(e.b)
+	e.recompute(q)
 }
 
 // Occupancy implements HeadMMA.
@@ -114,23 +220,55 @@ func (e *ECQF) Occupancy(q cell.PhysQueueID) int {
 	return int(e.occ[q])
 }
 
+// SetEligibility implements HeadMMA.
+func (e *ECQF) SetEligibility(bits *bitset.Set) { e.elig = bits }
+
+func (e *ECQF) eligibleQ(q cell.PhysQueueID, eligible func(cell.PhysQueueID) bool) bool {
+	if e.elig != nil {
+		return e.elig.Has(int(q))
+	}
+	return eligible == nil || eligible(q)
+}
+
 // Select implements HeadMMA: the earliest critical queue, in lookahead
-// order. The scratch counters hold the number of pending lookahead
-// requests seen so far per queue; queue q is critical at the request
-// that makes occ[q] − seen[q] < 0. When no queue is critical the MMA
-// idles — replenishing uncritical queues would only inflate the SRAM
-// occupancy beyond the dimensioned bound.
+// order, resolved from the critical-slot index. The walk visits
+// critical slots in head-to-tail order (two bitmap segments, since the
+// window wraps the ring) and returns the first whose queue is
+// eligible; an ineligible critical queue can never win — in the
+// reference scan its scratch counter is pushed back by b so it only
+// re-triggers, still ineligible, b requests later — so skipping it is
+// exact. When no critical queue is eligible the MMA idles —
+// replenishing uncritical queues would only inflate the SRAM occupancy
+// beyond the dimensioned bound.
 func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
+	head := e.look.head
+	for slot := e.crit.NextFrom(head); slot >= 0; slot = e.crit.NextFrom(slot + 1) {
+		if q := e.look.ring[slot]; e.eligibleQ(q, eligible) {
+			return q, true
+		}
+	}
+	for slot := e.crit.NextFrom(0); slot >= 0 && slot < head; slot = e.crit.NextFrom(slot + 1) {
+		if q := e.look.ring[slot]; e.eligibleQ(q, eligible) {
+			return q, true
+		}
+	}
+	return cell.NoPhysQueue, false
+}
+
+// SelectScan is the retained reference implementation of Select: the
+// §3 linear scan over the lookahead with epoch-stamped scratch
+// counters. The scratch counters hold the number of pending lookahead
+// requests seen so far per queue; queue q is critical at the request
+// that makes occ[q] − seen[q] < 0. The differential tests assert
+// Select ≡ SelectScan over seeded random workloads.
+func (e *ECQF) SelectScan(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
 	e.epoch++
 	if e.epoch == 0 {
 		// uint32 wrap: stale stamps could alias the new epoch.
 		clear(e.stamp)
 		e.epoch = 1
 	}
-	var (
-		chosen cell.PhysQueueID
-		found  bool
-	)
+	chosen, found := cell.NoPhysQueue, false
 	e.look.Scan(func(_ int, q cell.PhysQueueID) bool {
 		if q == cell.NoPhysQueue {
 			return true
@@ -142,7 +280,7 @@ func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, b
 		}
 		e.scratch[q]++
 		if e.occ[q]-e.scratch[q] < 0 {
-			if eligible(q) {
+			if e.eligibleQ(q, eligible) {
 				chosen, found = q, true
 				return false
 			}
@@ -163,9 +301,15 @@ func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, b
 // ledger occupancy (deepest deficit). The paper notes ([13]) that
 // MMAs without lookahead pay with a larger SRAM — the ablation bench
 // quantifies that.
+//
+// Select resolves the deepest deficit from a bucketed max-tracker over
+// deficit values instead of scanning the physical name space; see the
+// package documentation for the index invariants.
 type MDQF struct {
-	b   int
-	occ []int32
+	b    int
+	occ  []int32
+	idx  *maxTracker
+	elig *bitset.Set
 }
 
 var _ HeadMMA = (*MDQF)(nil)
@@ -179,20 +323,31 @@ func NewMDQF(b, queues int) (*MDQF, error) {
 	if queues < 0 {
 		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
 	}
-	return &MDQF{b: b, occ: make([]int32, queues)}, nil
+	return &MDQF{b: b, occ: make([]int32, queues), idx: newMaxTracker(queues, 1)}, nil
 }
 
 func (m *MDQF) ensure(q cell.PhysQueueID) {
-	for int(q) >= len(m.occ) {
-		m.occ = append(m.occ, 0)
+	if int(q) >= len(m.occ) {
+		m.occ = arena.Grown(m.occ, int(q)+1)
 	}
+}
+
+// deficit converts a ledger value to the tracker's key: only queues
+// with occupancy below zero are candidates.
+func deficit(occ int32) int32 {
+	if occ >= 0 {
+		return 0
+	}
+	return -occ
 }
 
 // OnRequestEnter implements HeadMMA: MDQF reacts at entry time (it has
 // no lookahead window, so the request is "seen" immediately).
 func (m *MDQF) OnRequestEnter(q cell.PhysQueueID) {
 	m.ensure(q)
-	m.occ[q]--
+	old := m.occ[q]
+	m.occ[q] = old - 1
+	m.idx.update(int(q), deficit(old), deficit(old-1))
 }
 
 // OnRequestLeave implements HeadMMA (a no-op: the debit was taken at
@@ -202,7 +357,9 @@ func (m *MDQF) OnRequestLeave(cell.PhysQueueID) {}
 // OnReplenish credits one block.
 func (m *MDQF) OnReplenish(q cell.PhysQueueID) {
 	m.ensure(q)
-	m.occ[q] += int32(m.b)
+	old := m.occ[q]
+	m.occ[q] = old + int32(m.b)
+	m.idx.update(int(q), deficit(old), deficit(old+int32(m.b)))
 }
 
 // Occupancy implements HeadMMA.
@@ -213,19 +370,79 @@ func (m *MDQF) Occupancy(q cell.PhysQueueID) int {
 	return int(m.occ[q])
 }
 
+// SetEligibility implements HeadMMA.
+func (m *MDQF) SetEligibility(bits *bitset.Set) { m.elig = bits }
+
 // Select implements HeadMMA: deepest deficit first, ties to the lowest
-// queue id for determinism. Only queues in actual deficit (occupancy
-// below zero, i.e. requests outstanding beyond replenished cells) are
-// considered; otherwise the MMA idles like ECQF does. The dense arena
-// makes this a linear scan over the physical name space.
+// queue id for determinism, resolved from the deficit buckets. Only
+// queues in actual deficit (occupancy below zero, i.e. requests
+// outstanding beyond replenished cells) are considered; otherwise the
+// MMA idles like ECQF does.
 func (m *MDQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
+	tr := m.idx
+	for bi := tr.nonEmpty.Last(); bi >= 0; bi = tr.nonEmpty.PrevFrom(bi - 1) {
+		set := tr.buckets[bi]
+		if bi == tr.overflowAt {
+			// Overflow bucket: members have deficit ≥ overflowAt with
+			// mixed magnitudes; resolve exactly from the ledger. Any
+			// member beats every exact bucket below.
+			best, bestOcc, found := cell.NoPhysQueue, int32(0), false
+			for i := set.First(); i >= 0; i = set.NextFrom(i + 1) {
+				if found && m.occ[i] >= bestOcc {
+					continue
+				}
+				q := cell.PhysQueueID(i)
+				if m.elig != nil {
+					if !m.elig.Has(i) {
+						continue
+					}
+				} else if eligible != nil && !eligible(q) {
+					continue
+				}
+				best, bestOcc, found = q, m.occ[i], true
+			}
+			if found {
+				return best, true
+			}
+			continue
+		}
+		// Exact bucket: every member has deficit bi; lowest eligible
+		// id wins. With an eligibility bitset the walk ANDs it in at
+		// word granularity.
+		if m.elig != nil {
+			if i := set.NextAndFrom(m.elig, 0); i >= 0 {
+				return cell.PhysQueueID(i), true
+			}
+			continue
+		}
+		for i := set.First(); i >= 0; i = set.NextFrom(i + 1) {
+			q := cell.PhysQueueID(i)
+			if eligible == nil || eligible(q) {
+				return q, true
+			}
+		}
+	}
+	return cell.NoPhysQueue, false
+}
+
+// SelectScan is the retained reference implementation of Select: the
+// linear scan over the dense physical name space. The differential
+// tests assert Select ≡ SelectScan over seeded random workloads.
+func (m *MDQF) SelectScan(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
 	best, bestOcc, found := cell.NoPhysQueue, int32(0), false
 	for i := range m.occ {
 		q := cell.PhysQueueID(i)
-		if m.occ[i] >= 0 || (found && m.occ[i] >= bestOcc) || !eligible(q) {
+		if m.occ[i] >= 0 || (found && m.occ[i] >= bestOcc) || !m.eligibleQ(q, eligible) {
 			continue
 		}
 		best, bestOcc, found = q, m.occ[i], true
 	}
 	return best, found
+}
+
+func (m *MDQF) eligibleQ(q cell.PhysQueueID, eligible func(cell.PhysQueueID) bool) bool {
+	if m.elig != nil {
+		return m.elig.Has(int(q))
+	}
+	return eligible == nil || eligible(q)
 }

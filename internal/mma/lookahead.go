@@ -8,6 +8,33 @@
 // of §6 translates logical names before requests enter the lookahead,
 // and "all previous results remain the same" (§6) with physical queues
 // substituted.
+//
+// # Selection indices
+//
+// Every selector keeps two implementations: SelectScan is the direct
+// transcription of the paper's rule as a linear scan (retained as the
+// differential-test reference), and Select answers the same question
+// from incrementally maintained hierarchical-bitmap indices
+// (internal/bitset), so the per-decision cost is O(log₆₄ n) in the
+// queue count and lookahead length instead of O(Q) / O(L). The two are
+// bit-identical — same queue, same tie-breaks — which the seeded
+// differential tests in differential_test.go pin down.
+//
+// Index invariants (checked implicitly by the differential suite):
+//
+//   - ECQF: for every physical queue q, pos[q] lists the ring slots of
+//     q's requests currently in the window, oldest first; critSlot[q]
+//     is the slot of q's (max(occ[q],0)+1)-th oldest request, or -1 if
+//     q has no more than max(occ[q],0) requests pending; the crit
+//     bitmap holds exactly the non-negative critSlot values. Every
+//     mutation (shift in/out, ledger debit/credit) touches one queue
+//     and restores the invariant for that queue in O(log₆₄ L).
+//   - TailMMA / MDQF: the bucketed max-tracker places each queue with
+//     a positive tracked value (tail occupancy, head deficit) in the
+//     bucket of that exact value, clamping values ≥ overflowAt into
+//     one overflow bucket that is resolved by an exact scan of its
+//     members; the nonEmpty bitmap holds exactly the non-empty bucket
+//     indices.
 package mma
 
 import (
@@ -24,6 +51,12 @@ type Lookahead struct {
 	ring  []cell.PhysQueueID
 	head  int
 	count int // number of non-idle entries, for stats
+	// onShift, when set, observes every Shift *after* the register
+	// moved: slot is the ring index the incoming entry was written to
+	// (the same index the outgoing entry occupied). ECQF registers
+	// itself here to maintain its critical-position index; the last
+	// registered observer wins.
+	onShift func(slot int, in, out cell.PhysQueueID)
 }
 
 // NewLookahead returns a lookahead register with size slots, all idle.
@@ -50,30 +83,49 @@ func (l *Lookahead) Pending() int { return l.count }
 // the head entry is returned. This is the only mutation — the register
 // models hardware, so it moves exactly once per slot.
 func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
-	out = l.ring[l.head]
-	l.ring[l.head] = in
-	l.head = (l.head + 1) % len(l.ring)
+	slot := l.head
+	out = l.ring[slot]
+	l.ring[slot] = in
+	l.head = slot + 1
+	if l.head == len(l.ring) {
+		l.head = 0
+	}
 	if out != cell.NoPhysQueue {
 		l.count--
 	}
 	if in != cell.NoPhysQueue {
 		l.count++
 	}
+	if l.onShift != nil {
+		l.onShift(slot, in, out)
+	}
 	return out
 }
 
 // At returns the entry i positions from the head (i=0 is the next
-// request to be served).
+// request to be served). i must be in [0, Size()).
 func (l *Lookahead) At(i int) cell.PhysQueueID {
-	return l.ring[(l.head+i)%len(l.ring)]
+	j := l.head + i
+	if j >= len(l.ring) {
+		j -= len(l.ring)
+	}
+	return l.ring[j]
 }
 
 // Scan calls fn for each entry from head to tail, stopping early if fn
 // returns false. Idle entries are included (fn sees cell.NoPhysQueue)
-// so callers observe true slot distances.
+// so callers observe true slot distances. The ring walk is split into
+// two linear segments so the inner loop carries no modulo.
 func (l *Lookahead) Scan(fn func(i int, q cell.PhysQueueID) bool) {
-	for i := 0; i < len(l.ring); i++ {
-		if !fn(i, l.At(i)) {
+	n := len(l.ring)
+	for j := l.head; j < n; j++ {
+		if !fn(j-l.head, l.ring[j]) {
+			return
+		}
+	}
+	base := n - l.head
+	for j := 0; j < l.head; j++ {
+		if !fn(base+j, l.ring[j]) {
 			return
 		}
 	}

@@ -99,7 +99,9 @@ func TestECQFPaperExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Occupancies from Figure 3: Q1=2, Q2=2, Q3=2, Q4=0 (absent).
-	e.occ[1], e.occ[2], e.occ[3] = 2, 2, 2
+	e.setOcc(1, 2)
+	e.setOcc(2, 2)
+	e.setOcc(3, 2)
 	// Lookahead contents head->tail: 3,3,1,1,1,6. Entry order into the
 	// shift register is the same (oldest first).
 	for _, q := range []cell.PhysQueueID{3, 3, 1, 1, 1, 6} {
@@ -278,7 +280,7 @@ func TestECQFZeroMissSingleQueueTheory(t *testing.T) {
 	e, _ := NewECQF(look, b, 64)
 	// Start with every queue's SRAM primed at b-1 cells (steady state).
 	for q := cell.PhysQueueID(0); q < Q; q++ {
-		e.occ[q] = b - 1
+		e.setOcc(q, b-1)
 	}
 	// Round-robin adversary for many slots; every b-th slot the MMA
 	// replenishes.

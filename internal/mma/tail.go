@@ -3,6 +3,7 @@ package mma
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/cell"
 )
 
@@ -15,10 +16,14 @@ import (
 // (largest backlog first), which satisfies the rule and minimizes the
 // occupancy high-water mark; ties break toward the lowest queue id for
 // determinism. The occupancy ledger is a dense slice indexed by the
-// logical queue ordinal.
+// logical queue ordinal, and Select resolves the maximum from a
+// bucketed occupancy index maintained by the arrival/transfer/bypass
+// events instead of scanning all Q counters; SelectScan retains the
+// linear scan as the differential-test reference.
 type TailMMA struct {
 	b   int
 	occ []int32
+	idx *maxTracker
 }
 
 // NewTailMMA builds a tail MMA with granularity b for queues logical
@@ -31,33 +36,32 @@ func NewTailMMA(b, queues int) (*TailMMA, error) {
 	if queues < 0 {
 		return nil, fmt.Errorf("mma: queues must be non-negative, got %d", queues)
 	}
-	return &TailMMA{b: b, occ: make([]int32, queues)}, nil
+	return &TailMMA{b: b, occ: make([]int32, queues), idx: newMaxTracker(queues, b)}, nil
 }
 
 func (t *TailMMA) ensure(q cell.QueueID) {
-	for int(q) >= len(t.occ) {
-		t.occ = append(t.occ, 0)
+	if int(q) >= len(t.occ) {
+		t.occ = arena.Grown(t.occ, int(q)+1)
 	}
 }
 
-// OnArrival records one cell arriving into the tail SRAM for queue q.
-func (t *TailMMA) OnArrival(q cell.QueueID) {
+// adjust applies a ledger delta and mirrors it into the index.
+func (t *TailMMA) adjust(q cell.QueueID, delta int32) {
 	t.ensure(q)
-	t.occ[q]++
+	old := t.occ[q]
+	t.occ[q] = old + delta
+	t.idx.update(int(q), old, old+delta)
 }
 
+// OnArrival records one cell arriving into the tail SRAM for queue q.
+func (t *TailMMA) OnArrival(q cell.QueueID) { t.adjust(q, 1) }
+
 // OnTransfer debits one block handed to the DRAM side.
-func (t *TailMMA) OnTransfer(q cell.QueueID) {
-	t.ensure(q)
-	t.occ[q] -= int32(t.b)
-}
+func (t *TailMMA) OnTransfer(q cell.QueueID) { t.adjust(q, -int32(t.b)) }
 
 // OnBypass records one cell leaving the tail SRAM directly to the
 // egress (the cut-through path for queues with no DRAM backlog).
-func (t *TailMMA) OnBypass(q cell.QueueID) {
-	t.ensure(q)
-	t.occ[q]--
-}
+func (t *TailMMA) OnBypass(q cell.QueueID) { t.adjust(q, -1) }
 
 // Occupancy returns the tail-SRAM ledger for q.
 func (t *TailMMA) Occupancy(q cell.QueueID) int {
@@ -70,8 +74,52 @@ func (t *TailMMA) Occupancy(q cell.QueueID) int {
 // Select returns the queue to write back, or ok=false if no queue has
 // accumulated a full block. eligible lets the caller veto queues whose
 // DRAM group cannot accept a write right now (the renaming layer then
-// redirects them).
+// redirects them); nil means no queue is vetoed — callers whose write
+// path can never stall (unbounded DRAM without renaming) pass nil and
+// the walk degenerates to pure bitmap probes.
 func (t *TailMMA) Select(eligible func(cell.QueueID) bool) (cell.QueueID, bool) {
+	tr := t.idx
+	for bi := tr.nonEmpty.Last(); bi >= 0; bi = tr.nonEmpty.PrevFrom(bi - 1) {
+		set := tr.buckets[bi]
+		if bi == tr.overflowAt {
+			// Overflow bucket: occupancies ≥ overflowAt ≥ b with mixed
+			// magnitudes; resolve exactly from the ledger. Any member
+			// beats every exact bucket below.
+			best, bestOcc, found := cell.NoQueue, int32(0), false
+			for i := set.First(); i >= 0; i = set.NextFrom(i + 1) {
+				if found && t.occ[i] <= bestOcc {
+					continue
+				}
+				q := cell.QueueID(i)
+				if eligible != nil && !eligible(q) {
+					continue
+				}
+				best, bestOcc, found = q, t.occ[i], true
+			}
+			if found {
+				return best, true
+			}
+			continue
+		}
+		if bi < t.b {
+			// Exact buckets hold occupancy == bi: below the block size
+			// nothing further down can qualify.
+			break
+		}
+		for i := set.First(); i >= 0; i = set.NextFrom(i + 1) {
+			q := cell.QueueID(i)
+			if eligible == nil || eligible(q) {
+				return q, true
+			}
+		}
+	}
+	return cell.NoQueue, false
+}
+
+// SelectScan is the retained reference implementation of Select: the
+// linear scan over the dense logical name space. The differential
+// tests assert Select ≡ SelectScan over seeded random workloads.
+func (t *TailMMA) SelectScan(eligible func(cell.QueueID) bool) (cell.QueueID, bool) {
 	best, bestOcc, found := cell.NoQueue, int32(0), false
 	for i := range t.occ {
 		n := t.occ[i]
@@ -79,7 +127,7 @@ func (t *TailMMA) Select(eligible func(cell.QueueID) bool) (cell.QueueID, bool) 
 			continue
 		}
 		q := cell.QueueID(i)
-		if !eligible(q) {
+		if eligible != nil && !eligible(q) {
 			continue
 		}
 		best, bestOcc, found = q, n, true
