@@ -308,6 +308,94 @@ func BenchmarkTickOC3072LargeScale(b *testing.B) {
 	benchTickSteadyState(b, core.Config{Q: 512, B: 32, Bsmall: 4, Banks: 256}, 512)
 }
 
+// ------------------------------------------------------------------
+// BenchmarkTickSparse suite: per-slot cost at low offered loads,
+// where most slots carry no arrival and no request. The sparse
+// variant is the event-driven fast path (Bernoulli gap generator +
+// idle-stable drain policy + Buffer.FastForward through quiescent
+// spans); the dense variant runs the identical workload with the
+// fast paths hidden, paying the full per-slot loop. Cost per
+// simulated slot includes workload generation and the request
+// policy — exactly what a driver pays. The configuration is a
+// short-pipeline point (lookahead 2 + latency 2, so idle gaps at
+// ρ=0.01 dwarf the request pipeline) at RADS granularity b=B, where
+// these loads never accumulate a DRAM block and the run stays
+// miss-free by construction. Baselines live in BENCH_baseline.json
+// (sparse_ff_pr5 section).
+// ------------------------------------------------------------------
+
+// benchDenseArrivals hides the sparse/batch fast paths of a generator.
+type benchDenseArrivals struct{ inner sim.ArrivalProcess }
+
+func (d benchDenseArrivals) Next(slot cell.Slot) cell.QueueID { return d.inner.Next(slot) }
+
+// benchUnstableRequests hides a policy's idle-stable marker.
+type benchUnstableRequests struct{ inner sim.RequestPolicy }
+
+func (u benchUnstableRequests) Next(slot cell.Slot, v sim.View) cell.QueueID {
+	return u.inner.Next(slot, v)
+}
+
+func benchTickSparse(b *testing.B, queues int, load float64, dense bool) {
+	b.ReportAllocs()
+	buf, err := core.New(core.Config{
+		Q: queues, B: 32, Bsmall: 32, Banks: 256, Lookahead: 2, LatencySlots: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := sim.NewBernoulliArrivals(queues, load, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req, err := sim.NewRoundRobinDrain(queues)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
+	if dense {
+		r.Arrivals = benchDenseArrivals{arr}
+		r.Requests = benchUnstableRequests{req}
+	}
+	b.ResetTimer()
+	res, err := r.RunBatch(uint64(b.N), 0)
+	if err != nil {
+		b.Fatalf("%v (stats %v)", err, res.Stats)
+	}
+	b.StopTimer()
+	if res.Stats.Misses != 0 || res.Stats.BadRequests != 0 {
+		b.Fatalf("not clean: %v", res.Stats)
+	}
+	b.ReportMetric(100*float64(res.Stats.FastForwardedSlots)/float64(b.N), "%slots-skipped")
+}
+
+// BenchmarkTickSparse measures the event-driven fast path across the
+// low-load/bursty scenario family (ρ ∈ {0.01, 0.1, 0.5} × Q ∈ {1k,
+// 64k}). Gate: at ρ=0.01 the sparse path must be ≥10× cheaper per
+// simulated slot than BenchmarkTickSparseDense at the same load, at
+// 0 allocs/op.
+func BenchmarkTickSparse(b *testing.B) {
+	for _, load := range []float64{0.01, 0.1, 0.5} {
+		for _, queues := range []int{1024, 65536} {
+			b.Run(fmt.Sprintf("rho=%g/Q=%d", load, queues), func(b *testing.B) {
+				benchTickSparse(b, queues, load, false)
+			})
+		}
+	}
+}
+
+// BenchmarkTickSparseDense is the dense reference: the identical
+// workload with the fast paths hidden, paying the full per-slot loop.
+func BenchmarkTickSparseDense(b *testing.B) {
+	for _, load := range []float64{0.01, 0.1, 0.5} {
+		for _, queues := range []int{1024, 65536} {
+			b.Run(fmt.Sprintf("rho=%g/Q=%d", load, queues), func(b *testing.B) {
+				benchTickSparse(b, queues, load, true)
+			})
+		}
+	}
+}
+
 // BenchmarkTickQueueScaling sweeps the queue count across three
 // orders of magnitude for both head MMAs. Per-slot cost must stay
 // near-flat: every selection decision resolves through the

@@ -64,6 +64,38 @@
 // facade_bench_test.go holds them within ~1% of the internal suite at
 // zero allocations per slot).
 //
+// # Event-driven idle time (sparse fast-forward)
+//
+// Idle time is O(1), not O(slots). Buffer.Quiescent reports that an
+// idle tick would be a pure time advance — request pipeline and
+// completion calendar empty, Requests Register empty, neither MMA
+// with a transfer to order; note this is about in-flight work, not
+// occupancy, so a buffer holding unrequested cells is quiescent.
+// Buffer.FastForward(n) then advances the clock n slots in O(1),
+// bit-identically to n idle Ticks: ring indices and the MMA cycle
+// phase follow the clock analytically, and the elided DSA cycles are
+// credited to the scheduler's empty-cycle count. The only trace a
+// jump leaves is Stats.FastForwardedSlots, which dense ticking keeps
+// at zero by definition — equivalence comparisons exclude it.
+// TickBatch converts runs of fully idle inputs to FastForward (its
+// outputs land in batch-local scratch: every out[i].Delivered of one
+// batch is valid until the next Tick/TickBatch call, and the public
+// façade's value-semantics Outputs are valid forever). The sim
+// Runners skip idle spans entirely when the arrival process can jump
+// to its next arrival (SparseArrivalProcess; NewBernoulliArrivals
+// draws geometric gaps, one RNG call per arrival) and the request
+// policy is idle-stable (StableRequestPolicy), making a load-ρ run
+// cost O(ρ·slots); router.Engine.StepBatch fast-forwards all port
+// shards in lockstep once every port is quiescent. Fast-forwarding
+// engages only when idle gaps outlast the request pipeline
+// (lookahead + latency register), so sparse deployments shorten it
+// via the Lookahead/LatencySlots overrides. Seeded differential
+// suites (internal/core/fastforward_test.go and the runner/router
+// equivalents) pin jump ≡ tick bit-identically across ECQF/MDQF,
+// b ∈ {1,2,4,8}, bounded and unbounded DRAM, and every cycle phase;
+// BENCH_baseline.json (sparse_ff_pr5) records ≥14× per-slot cost
+// reduction at ρ=0.01 against the dense reference at the same load.
+//
 // # Sharded router engine
 //
 // repro/pktbuf/router promotes the paper's system context (Figure 1)

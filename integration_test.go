@@ -193,7 +193,7 @@ func TestCellConservationEndToEnd(t *testing.T) {
 	}
 	drain, _ := sim.NewRoundRobinDrain(16)
 	r.Requests = drain
-	if _, err := r.Drain(400000); err != nil {
+	if _, _, err := r.Drain(400000); err != nil {
 		t.Fatal(err)
 	}
 	st := buf.Stats()

@@ -59,8 +59,10 @@ type TickInput struct {
 // TickOutput reports the slot's outcome.
 type TickOutput struct {
 	// Delivered is the cell granted to the arbiter this slot, if any.
-	// The pointee is owned by the Buffer and overwritten by the next
-	// Tick; callers that retain the cell must copy it.
+	// The pointee is owned by the Buffer: a Tick output is overwritten
+	// by the next Tick, a TickBatch output lives in batch-local
+	// scratch and stays valid until the next Tick or TickBatch call.
+	// Callers that retain the cell beyond that must copy it.
 	Delivered *cell.Cell
 	// Bypassed reports that the delivery came straight from the tail
 	// SRAM (cut-through for queues with no DRAM-bound cells).
@@ -166,6 +168,14 @@ type Buffer struct {
 	// pendingTotal counts admitted requests not yet delivered (the
 	// cells in flight through the request pipeline).
 	pendingTotal int
+	// inPipe counts non-idle entries in the logical pipeline ring. It
+	// differs from pendingTotal only after a miss (the entry left the
+	// ring but the delivery never completed); the quiescence predicate
+	// uses it because ring emptiness, not delivery accounting, is what
+	// makes an idle shift a pure rotation.
+	inPipe int
+	// compPending counts DRAM→SRAM completions waiting in compRing.
+	compPending int
 
 	// compRing is the completion calendar: a fixed ring of length
 	// accessSlots+1 indexed by slot mod length. Slot buckets are
@@ -176,6 +186,10 @@ type Buffer struct {
 	now cell.Slot
 	// delivered is the scratch cell TickOutput.Delivered points into.
 	delivered cell.Cell
+	// deliveredBatch is the batch-local scratch TickBatch outputs point
+	// into: one cell per batch slot, so every delivery of one TickBatch
+	// call stays valid until the next Tick/TickBatch call.
+	deliveredBatch []cell.Cell
 
 	// writeEligible is the t-MMA selection predicate, built once at
 	// construction (closures created per cycle escape through the MMA
@@ -373,6 +387,12 @@ func (b *Buffer) Stats() Stats {
 // ErrBufferFull / ErrBadRequest indicate caller-visible conditions
 // (the slot still completes: deliveries and internal transfers occur).
 func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
+	return b.tickSlot(in, &b.delivered)
+}
+
+// tickSlot is the slot body shared by Tick and TickBatch: one full
+// slot against the given delivered-cell scratch.
+func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 	var out TickOutput
 	var firstErr error
 	record := func(err error) {
@@ -396,6 +416,7 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 			}
 			b.dram.ReleaseBlock(c.cells)
 		}
+		b.compPending -= len(pending)
 		b.compRing[slotIdx] = pending[:0]
 	}
 
@@ -417,10 +438,14 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 	outEntry := b.logical[b.logHead]
 	b.logical[b.logHead] = pipeEntry{logical: logical}
 	b.logHead = (b.logHead + 1) % len(b.logical)
+	if logical != cell.NoQueue {
+		b.inPipe++
+	}
 
 	// 4. Delivery at the pipeline exit.
 	if outEntry.logical != cell.NoQueue {
-		delivered, bypassed, err := b.deliver(outPhys, outEntry.logical)
+		b.inPipe--
+		delivered, bypassed, err := b.deliver(outPhys, outEntry.logical, dst)
 		record(err)
 		if delivered != nil {
 			out.Delivered = delivered
@@ -449,6 +474,149 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 	}
 	b.now++
 	return out, firstErr
+}
+
+// Quiescent reports whether an idle Tick (no arrival, no request)
+// would be a pure time advance: the request pipeline and logical ring
+// are empty, no completion is in flight in the calendar, the Requests
+// Register is empty (and not a zero-capacity degenerate that stalls
+// every cycle), and neither MMA would order a transfer. In a
+// quiescent state an idle Tick changes nothing but the slot counter
+// and the DSS empty-cycle count — which is exactly what FastForward
+// reproduces analytically — and quiescence is stable: no idle Tick
+// can leave it.
+func (b *Buffer) Quiescent() bool {
+	if b.inPipe != 0 || b.compPending != 0 || b.sched.Len() != 0 || !b.sched.CanEnqueue() {
+		return false
+	}
+	// Both Selects are pure probes of the incrementally maintained
+	// indices. Their answers cannot change across idle slots: every
+	// state they read moves only through arrivals, requests or the
+	// in-flight work ruled out above.
+	if _, ok := b.tmma.Select(b.writeEligible); ok {
+		return false
+	}
+	if _, ok := b.hmma.Select(nil); ok {
+		return false
+	}
+	return true
+}
+
+// NextEventSlot is the event-query form of Quiescent, deliberately
+// conservative: when the buffer is quiescent there is no internal
+// event ever (ok=false — the caller may FastForward arbitrarily far);
+// otherwise it returns the current slot, meaning every slot must be
+// ticked until quiescence. It performs no calendar lookup — it never
+// names a strictly future event slot — because in-flight work makes
+// almost every intervening slot do real bookkeeping anyway, so there
+// is nothing to skip to.
+func (b *Buffer) NextEventSlot() (slot cell.Slot, ok bool) {
+	if b.Quiescent() {
+		return 0, false
+	}
+	return b.now, true
+}
+
+// FastForward advances the buffer by n idle slots in O(1). It is
+// bit-identical to calling Tick n times with an idle TickInput from a
+// quiescent state — identical statistics (FastForwardedSlots aside,
+// which dense ticking leaves zero by definition) and identical
+// subsequent behavior: the completion-ring index and the MMA cycle
+// phase follow now analytically, the (empty) lookahead and logical
+// rings are rotated in place, and the DSA cycles the skipped span
+// would have run on an empty Requests Register are credited to the
+// DSS empty-cycle count. If the buffer is not quiescent nothing
+// happens; the number of slots actually skipped (n or 0) is returned.
+func (b *Buffer) FastForward(n uint64) uint64 {
+	if n == 0 || !b.Quiescent() {
+		return 0
+	}
+	b.fastForward(n)
+	return n
+}
+
+// fastForward performs the jump; the caller has established
+// quiescence.
+func (b *Buffer) fastForward(n uint64) {
+	b.sched.SkipIdleCycles(dsaCyclesIn(uint64(b.now), n, b.cfg.Bsmall))
+	b.look.FastForward(n)
+	b.logHead = int((uint64(b.logHead) + n) % uint64(len(b.logical)))
+	b.now += cell.Slot(n)
+	b.stats.FastForwardedSlots += n
+}
+
+// dsaCyclesIn counts the DSA scheduling cycles Tick would run over the
+// n slots starting at start: every slot when b=1, otherwise the two
+// stagger phases b-1 and b/2-1 of each b-slot cycle.
+func dsaCyclesIn(start, n uint64, bs int) uint64 {
+	if bs == 1 {
+		return n
+	}
+	m := uint64(bs)
+	return slotsWithResidue(start, n, m, m-1) + slotsWithResidue(start, n, m, m/2-1)
+}
+
+// slotsWithResidue counts slots t in [start, start+n) with t % m == r.
+func slotsWithResidue(start, n, m, r uint64) uint64 {
+	first := start + (r-start%m+m)%m
+	if first >= start+n {
+		return 0
+	}
+	return (start+n-1-first)/m + 1
+}
+
+// TickBatch advances one slot per element of in, writing slot i's
+// outcome to out[i]. It requires len(out) ≥ len(in) and returns the
+// number of slots ticked; on error it stops after the offending slot
+// (which, per Tick semantics, still completes and has its outcome in
+// out[n-1]). It is the fused fast path: the per-call prologue is
+// hoisted out of the slot loop, delivered cells land in a batch-local
+// scratch (every out[i].Delivered stays valid until the next Tick or
+// TickBatch call, not just one slot), and runs of idle inputs are
+// converted to FastForward the moment the buffer goes quiescent, so
+// fully idle spans cost O(1) instead of O(slots).
+func (b *Buffer) TickBatch(in []TickInput, out []TickOutput) (int, error) {
+	if len(out) < len(in) {
+		return 0, fmt.Errorf("core: TickBatch output slice too short: %d outputs for %d inputs",
+			len(out), len(in))
+	}
+	if cap(b.deliveredBatch) < len(in) {
+		b.deliveredBatch = make([]cell.Cell, len(in))
+	}
+	scratch := b.deliveredBatch[:cap(b.deliveredBatch)]
+	i := 0
+	for i < len(in) {
+		if in[i].Arrival == cell.NoQueue && in[i].Request == cell.NoQueue {
+			// Idle run: tick until quiescent, then skip the rest in O(1).
+			j := i + 1
+			for j < len(in) && in[j].Arrival == cell.NoQueue && in[j].Request == cell.NoQueue {
+				j++
+			}
+			for i < j {
+				if b.Quiescent() {
+					b.fastForward(uint64(j - i))
+					for ; i < j; i++ {
+						out[i] = TickOutput{}
+					}
+					break
+				}
+				var err error
+				out[i], err = b.tickSlot(in[i], &scratch[i])
+				if err != nil {
+					return i + 1, err
+				}
+				i++
+			}
+			continue
+		}
+		var err error
+		out[i], err = b.tickSlot(in[i], &scratch[i])
+		if err != nil {
+			return i + 1, err
+		}
+		i++
+	}
+	return len(in), nil
 }
 
 // arrive admits one cell into the tail SRAM.
@@ -504,27 +672,13 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 	return phys, q, nil
 }
 
-// deliver pops the cell for a request exiting the pipeline.
-func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID) (*cell.Cell, bool, error) {
+// deliver pops the cell for a request exiting the pipeline, storing it
+// in dst (the per-Tick or per-batch-slot scratch the returned pointer
+// aliases).
+func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) (*cell.Cell, bool, error) {
 	qs := &b.qs[q]
-	want := qs.deliveredSeq
-	finish := func(c cell.Cell, bypassed bool) (*cell.Cell, bool, error) {
-		b.delivered = c
-		if c.Queue != q || c.Seq != want {
-			return &b.delivered, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
-				ErrOutOfOrder, q, c, want)
-		}
-		qs.deliveredSeq = want + 1
-		qs.sysOcc--
-		qs.pendingReq--
-		b.pendingTotal--
-		b.stats.Deliveries++
-		if bypassed {
-			b.stats.Bypasses++
-		}
-		return &b.delivered, bypassed, nil
-	}
-
+	var c cell.Cell
+	bypassed := false
 	if phys == cell.NoPhysQueue {
 		// Bypass delivery from the tail SRAM front.
 		if qs.tail.len() == 0 || qs.tail.promised == 0 {
@@ -532,20 +686,36 @@ func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID) (*cell.Cell, boo
 			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
 				ErrMiss, q, b.now)
 		}
-		c := qs.tail.popFront()
+		c = qs.tail.popFront()
 		qs.tail.promised--
 		b.tailTotal--
-		return finish(c, true)
+		bypassed = true
+	} else {
+		b.hmma.OnRequestLeave(phys)
+		popped, err := b.head.Pop(phys)
+		if err != nil {
+			b.stats.Misses++
+			return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
+				ErrMiss, q, phys, b.now, err)
+		}
+		c = popped
 	}
 
-	b.hmma.OnRequestLeave(phys)
-	c, err := b.head.Pop(phys)
-	if err != nil {
-		b.stats.Misses++
-		return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
-			ErrMiss, q, phys, b.now, err)
+	*dst = c
+	want := qs.deliveredSeq
+	if c.Queue != q || c.Seq != want {
+		return dst, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
+			ErrOutOfOrder, q, c, want)
 	}
-	return finish(c, false)
+	qs.deliveredSeq = want + 1
+	qs.sysOcc--
+	qs.pendingReq--
+	b.pendingTotal--
+	b.stats.Deliveries++
+	if bypassed {
+		b.stats.Bypasses++
+	}
+	return dst, bypassed, nil
 }
 
 // tailCycle runs the t-MMA: stage one block of b cells toward DRAM.
@@ -626,6 +796,7 @@ func (b *Buffer) dsaCycle(budget int) error {
 			b.compRing[at] = append(b.compRing[at], completion{
 				phys: r.Queue, ordinal: r.Ordinal, cells: cells,
 			})
+			b.compPending++
 		}
 	}
 	return nil

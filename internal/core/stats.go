@@ -30,6 +30,11 @@ type Stats struct {
 	// TailHighWater / HeadHighWater are SRAM occupancy maxima in
 	// cells, for validating the dimensioning formulas.
 	TailHighWater, HeadHighWater int
+	// FastForwardedSlots counts slots skipped in O(1) by FastForward
+	// (and the fused TickBatch idle path) instead of being ticked.
+	// It is the only counter dense slot-by-slot ticking leaves zero:
+	// equivalence comparisons exclude it by definition.
+	FastForwardedSlots uint64
 	// DSS carries the scheduler's own counters.
 	DSS dss.Stats
 }

@@ -164,6 +164,14 @@ func (s *Scheduler) CanEnqueue() bool { return len(s.rr) < s.capacity }
 // Stats returns a copy of the accumulated statistics.
 func (s *Scheduler) Stats() Stats { return s.stats }
 
+// SkipIdleCycles credits n scheduling cycles elided by the core's
+// fast-forward path while the RR was empty. It keeps the statistics
+// bit-identical to running Cycle n times on an empty register: each
+// such Cycle would count exactly one EmptyCycle and do nothing else
+// observable (expired ORR locks are pruned lazily by the next real
+// Cycle and never lock a bank once their slot has passed).
+func (s *Scheduler) SkipIdleCycles(n uint64) { s.stats.EmptyCycles += n }
+
 // Enqueue appends a request at the RR tail (the MMA issues one request
 // per b slots; reads and writes share the register).
 func (s *Scheduler) Enqueue(r Request) error {

@@ -102,6 +102,15 @@ func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
 	return out
 }
 
+// FastForward rotates the register head by n idle shifts in O(1). The
+// caller must only invoke it on an empty register (Pending() == 0):
+// rotating an all-idle ring is then exactly equivalent to n
+// Shift(NoPhysQueue) calls — every entry read out would be idle, and
+// the shift observer sees nothing on idle-in/idle-out shifts.
+func (l *Lookahead) FastForward(n uint64) {
+	l.head = int((uint64(l.head) + n) % uint64(len(l.ring)))
+}
+
 // At returns the entry i positions from the head (i=0 is the next
 // request to be served). i must be in [0, Size()).
 func (l *Lookahead) At(i int) cell.PhysQueueID {

@@ -180,13 +180,21 @@ func (e *Engine) stepSlot(out []Egress) ([]Egress, error) {
 // call. On a slot error it stops after the offending slot (whose
 // egress is already appended) and returns the error. The returned
 // slice extends out; with enough capacity the batch path allocates
-// nothing.
+// nothing. When every port goes quiescent (drained buffers, empty
+// ingress, no pending requests) the remaining slots are skipped in
+// one lockstep fast-forward of all shards — bit-identical to stepping
+// them, so a batch that outlives its traffic costs O(events), not
+// O(slots).
 func (e *Engine) StepBatch(slots int, out []Egress) ([]Egress, error) {
 	if e.closed {
 		return out, ErrClosed
 	}
 	e.r.egArena = e.r.egArena[:0]
 	for s := 0; s < slots; s++ {
+		if e.r.Quiescent() {
+			e.r.fastForward(uint64(slots - s))
+			break
+		}
 		var err error
 		out, err = e.stepSlot(out)
 		if err != nil {
@@ -195,6 +203,11 @@ func (e *Engine) StepBatch(slots int, out []Egress) ([]Egress, error) {
 	}
 	return out, nil
 }
+
+// Quiescent reports whether every port shard is quiescent (see
+// Router.Quiescent): a Step would only advance the slot counter, and
+// StepBatch fast-forwards instead of stepping.
+func (e *Engine) Quiescent() bool { return e.r.Quiescent() }
 
 // Close stops the worker goroutines. A closed engine rejects further
 // Offer and Step calls with ErrClosed. Close is idempotent.

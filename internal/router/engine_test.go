@@ -3,6 +3,7 @@ package router
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -259,5 +260,106 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 	drive(8000) // warm every ring, arena and reassembly buffer
 	if allocs := testing.AllocsPerRun(10, func() { drive(100) }); allocs != 0 {
 		t.Errorf("steady-state engine slots allocated %.2f per 100-slot run", allocs)
+	}
+}
+
+// TestEngineFastForwardMatchesSerial pins the lockstep fast-forward:
+// a StepBatch whose traffic drains mid-batch must skip the quiescent
+// tail and still be bit-identical to the serial router stepping every
+// slot — same egress, same router stats, same per-port buffer stats
+// (skipped-slot counters aside) — and it must actually have skipped.
+// The batch side runs both serially and fully sharded, so the race
+// detector sees the coordinator's fastForward interleaved with live
+// port workers.
+func TestEngineFastForwardMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			testEngineFastForward(t, workers)
+		})
+	}
+}
+
+func testEngineFastForward(t *testing.T, batchWorkers int) {
+	const ports, classes, slots = 4, 2, 20000
+	bufCfg := core.Config{B: 8, Bsmall: 2, Banks: 16}
+	mk := func(workers int) (*Engine, error) {
+		return NewEngine(Config{Ports: ports, Classes: classes, Buffer: bufCfg, SchedulerIterations: 2}, workers)
+	}
+	serialEng, err := mk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchEng, err := mk(batchWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batchEng.Close()
+	rng := rand.New(rand.NewSource(9))
+	offerBoth := func() {
+		in, out, class := rng.Intn(ports), rng.Intn(ports), rng.Intn(classes)
+		payload := make([]byte, 1+rng.Intn(3*packet.CellPayload))
+		rng.Read(payload)
+		for _, e := range []*Engine{serialEng, batchEng} {
+			if err := e.Offer(in, packet.Packet{Flow: e.Router().VOQ(out, class), Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Several bursts with long quiescent tails between them.
+	var serialOut, batchOut []slotRecord
+	record := func(eg []Egress, dst *[]slotRecord) {
+		for _, e := range eg {
+			*dst = append(*dst, slotRecord{
+				output: e.Output, input: e.Input, flow: int(e.Packet.Flow),
+				payload: append([]byte(nil), e.Packet.Payload...),
+			})
+		}
+	}
+	for burst := 0; burst < 4; burst++ {
+		for k := 0; k < 12; k++ {
+			offerBoth()
+		}
+		for s := 0; s < slots/4; s++ {
+			eg, err := serialEng.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(eg, &serialOut)
+		}
+		eg, err := batchEng.StepBatch(slots/4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record(eg, &batchOut)
+	}
+	if len(serialOut) != len(batchOut) {
+		t.Fatalf("egress diverges: serial %d packets, batch %d", len(serialOut), len(batchOut))
+	}
+	for k := range serialOut {
+		a, b := serialOut[k], batchOut[k]
+		if a.output != b.output || a.input != b.input || a.flow != b.flow || !bytes.Equal(a.payload, b.payload) {
+			t.Fatalf("egress %d diverges: %+v vs %+v", k, a, b)
+		}
+	}
+	if serialEng.Stats() != batchEng.Stats() {
+		t.Errorf("router stats diverge:\nserial %+v\nbatch  %+v", serialEng.Stats(), batchEng.Stats())
+	}
+	skipped := uint64(0)
+	for p := 0; p < ports; p++ {
+		ss, bs := serialEng.BufferStats(p), batchEng.BufferStats(p)
+		skipped += bs.FastForwardedSlots
+		ss.FastForwardedSlots, bs.FastForwardedSlots = 0, 0
+		if ss != bs {
+			t.Errorf("port %d buffer stats diverge:\nserial %+v\nbatch  %+v", p, ss, bs)
+		}
+		if !bs.Clean() {
+			t.Errorf("port %d not clean: %+v", p, bs)
+		}
+	}
+	if skipped == 0 {
+		t.Error("batch engine never fast-forwarded: the differential exercised nothing")
+	}
+	if !batchEng.Quiescent() || !serialEng.Quiescent() {
+		t.Error("engines not quiescent after drain")
 	}
 }

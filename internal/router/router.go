@@ -298,6 +298,42 @@ func (r *Router) BufferStats(port int) core.Stats { return r.inputs[port].buf.St
 // Stats returns the router-level counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// Quiescent reports whether a Step would be a pure slot-counter
+// advance on every port: no ingress cell is waiting, no port's
+// request vector names a VOQ (so the iSLIP exchange makes no match
+// and moves no pointer), and every buffer shard is itself quiescent.
+// The checks run cheapest-first and bail on the first busy port, so
+// a loaded router pays almost nothing for the probe.
+func (r *Router) Quiescent() bool {
+	for _, in := range r.inputs {
+		if in.pending.len() > 0 {
+			return false
+		}
+		for _, q := range in.reqVec {
+			if q != cell.NoQueue {
+				return false
+			}
+		}
+		if !in.buf.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// fastForward advances all port shards by n slots in lockstep; the
+// caller has established Quiescent. It is bit-identical to n Steps of
+// a quiescent router: every buffer fast-forwards (which is exact per
+// core.Buffer.FastForward), the request vectors recomputed by those
+// skipped ticks would be unchanged, and the only router-level state a
+// quiescent slot touches is the slot counter.
+func (r *Router) fastForward(n uint64) {
+	for _, in := range r.inputs {
+		in.buf.FastForward(n)
+	}
+	r.stats.Slots += n
+}
+
 // schedule computes this slot's input→output matching with iterative
 // round-robin request-grant-accept (iSLIP) over the inputs' request
 // vectors, writing matched[input] = output or -1. It is the single

@@ -60,6 +60,14 @@ const defaultBatch = 4096
 // drop-tolerance branches are resolved per batch, and the Stats
 // snapshot is taken once at the end of the run instead of being
 // rebuilt anywhere inside the loop.
+//
+// When the arrival process is sparse (SparseArrivalProcess) and the
+// request policy is idle-stable (StableRequestPolicy), idle spans are
+// not ticked at all: as soon as a slot carries no request and the
+// buffer reports Quiescent, the runner jumps straight to the next
+// arrival with Buffer.FastForward — bit-identical to ticking every
+// skipped slot, but O(1) per idle span — so a load-ρ run costs
+// O(ρ·slots), not O(slots).
 func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
 		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
@@ -70,9 +78,13 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	res := Result{DropsAllowed: r.AllowDrops}
 	buf := r.Buffer
 	onDeliver := r.OnDeliver
+	sparseArr, sparse := r.Arrivals.(SparseArrivalProcess)
+	if sp, ok := r.Requests.(StableRequestPolicy); !ok || !sp.IdleStable() {
+		sparse = false
+	}
 	batchArr, batched := r.Arrivals.(BatchArrivalProcess)
 	var arrBuf []cell.QueueID
-	if batched && batch > 1 {
+	if !sparse && batched && batch > 1 {
 		arrBuf = make([]cell.QueueID, batch)
 	} else {
 		batched = false
@@ -85,14 +97,31 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 		if batched {
 			batchArr.NextBatch(buf.Now(), arrBuf[:n])
 		}
-		for i := uint64(0); i < n; i++ {
+		for i := uint64(0); i < n; {
+			now := buf.Now()
 			var in core.TickInput
-			if batched {
-				in.Arrival = arrBuf[i]
+			if sparse {
+				// Policy first: a slot with a request can never be
+				// skipped, and an idle-stable policy that answers NoQueue
+				// would answer NoQueue for every skipped slot too (the
+				// view does not change across a fast-forward).
+				in.Request = r.Requests.Next(now, buf)
+				if in.Request == cell.NoQueue && buf.Quiescent() {
+					next := sparseArr.NextArrival(now, now+cell.Slot(n-i))
+					if next > now {
+						i += buf.FastForward(uint64(next - now))
+						continue
+					}
+				}
+				in.Arrival = r.Arrivals.Next(now)
 			} else {
-				in.Arrival = r.Arrivals.Next(buf.Now())
+				if batched {
+					in.Arrival = arrBuf[i]
+				} else {
+					in.Arrival = r.Arrivals.Next(now)
+				}
+				in.Request = r.Requests.Next(now, buf)
 			}
-			in.Request = r.Requests.Next(buf.Now(), buf)
 			out, err := buf.Tick(in)
 			if err != nil && !(r.AllowDrops && errors.Is(err, core.ErrBufferFull)) {
 				res.Slots = done + i + 1
@@ -102,6 +131,7 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 			if out.Delivered != nil && onDeliver != nil {
 				onDeliver(*out.Delivered, out.Bypassed)
 			}
+			i++
 		}
 		done += n
 	}
@@ -110,33 +140,36 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	return res, nil
 }
 
-// Drain keeps requesting until the buffer empties or maxSlots pass,
-// with no further arrivals. It returns the number of cells delivered.
-func (r *Runner) Drain(maxSlots uint64) (uint64, error) {
-	delivered := uint64(0)
+// Drain keeps requesting until the buffer is fully quiescent or
+// maxSlots pass, with no further arrivals. It returns the number of
+// cells delivered and the exact slot the last of them was delivered
+// in (zero when nothing was delivered). Termination uses the buffer's
+// quiescence predicate: the loop stops — without spending a slot —
+// the moment the policy issues no request and an idle tick would be a
+// pure time advance, so draining an already-empty buffer is O(1) and
+// a populated one costs exactly the slots its pipeline and in-flight
+// transfers need.
+func (r *Runner) Drain(maxSlots uint64) (delivered uint64, lastSlot cell.Slot, err error) {
+	buf := r.Buffer
 	for s := uint64(0); s < maxSlots; s++ {
 		in := core.TickInput{
 			Arrival: cell.NoQueue,
-			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+			Request: r.Requests.Next(buf.Now(), buf),
 		}
-		out, err := r.Buffer.Tick(in)
+		if in.Request == cell.NoQueue && buf.Quiescent() {
+			break
+		}
+		out, err := buf.Tick(in)
 		if err != nil {
-			return delivered, fmt.Errorf("sim: drain slot %d: %w", s, err)
+			return delivered, lastSlot, fmt.Errorf("sim: drain slot %d: %w", s, err)
 		}
 		if out.Delivered != nil {
 			delivered++
+			lastSlot = buf.Now() - 1
 			if r.OnDeliver != nil {
 				r.OnDeliver(*out.Delivered, out.Bypassed)
 			}
 		}
-		// Terminate as soon as the pipeline is demonstrably drained:
-		// no request issued this slot and none in flight. (Checking
-		// delivery counters only on idle slots would spin for all
-		// maxSlots when a non-idle policy keeps probing an empty
-		// buffer.)
-		if in.Request == cell.NoQueue && r.Buffer.PendingRequests() == 0 {
-			break
-		}
 	}
-	return delivered, nil
+	return delivered, lastSlot, nil
 }

@@ -246,7 +246,7 @@ func TestRunnerDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	r.Requests = req
-	n, err := r.Drain(100000)
+	n, _, err := r.Drain(100000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestDrainTerminatesPromptly(t *testing.T) {
 	// An empty buffer drains in one slot.
 	r := &Runner{Buffer: b, Arrivals: NewSingleQueueArrivals(0), Requests: req}
 	start := b.Now()
-	n, err := r.Drain(1 << 20)
+	n, _, err := r.Drain(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestDrainTerminatesPromptly(t *testing.T) {
 	}
 	r.Requests = req
 	start = b.Now()
-	n, err = r.Drain(1 << 20)
+	n, _, err = r.Drain(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}

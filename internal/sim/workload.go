@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/cell"
@@ -44,11 +45,38 @@ type BatchArrivalProcess interface {
 	NextBatch(start cell.Slot, out []cell.QueueID)
 }
 
+// SparseArrivalProcess is the optional fast path the Runner uses to
+// fast-forward idle spans: NextArrival advances the process past the
+// idle gap starting at slot from and returns the slot of its next
+// arrival, exactly as if Next had been called once per slot in
+// [from, returned) with every call returning cell.NoQueue. If the
+// next arrival falls at or beyond limit the process advances only
+// through limit-1 and returns limit. A process whose gap lengths are
+// drawn directly (geometric Bernoulli, on/off burst counters) answers
+// in O(1), so a load-ρ source costs O(ρ·slots) instead of O(slots).
+type SparseArrivalProcess interface {
+	ArrivalProcess
+	NextArrival(from, limit cell.Slot) cell.Slot
+}
+
 // RequestPolicy produces at most one scheduler request per slot.
 type RequestPolicy interface {
 	// Next returns the queue to request at slot, or cell.NoQueue. The
 	// returned queue must have Requestable > 0.
 	Next(slot cell.Slot, v View) cell.QueueID
+}
+
+// StableRequestPolicy marks policies the Runner may elide while
+// fast-forwarding: Next ignores its slot argument, consumes no
+// per-slot state (no RNG draw per call), and a call that returns
+// cell.NoQueue leaves the policy unchanged — so if it returns NoQueue
+// once it keeps returning NoQueue until the buffer view changes. All
+// deterministic policies in this package implement it; the rate-based
+// random policy does not (it draws from its RNG every slot).
+type StableRequestPolicy interface {
+	RequestPolicy
+	// IdleStable reports that the contract above holds.
+	IdleStable() bool
 }
 
 // ---------------------------------------------------------------- arrivals
@@ -85,6 +113,97 @@ func (u *uniformArrivals) NextBatch(start cell.Slot, out []cell.QueueID) {
 	for i := range out {
 		out[i] = u.Next(start + cell.Slot(i))
 	}
+}
+
+// bernoulliArrivals is a Bernoulli(load) process over uniformly random
+// queues that draws the geometric inter-arrival gaps directly (one RNG
+// draw per arrival, not per slot) and tracks the next arrival as an
+// absolute slot. Idle Next calls are therefore pure probes, which is
+// what makes the O(1) NextArrival jump exact.
+type bernoulliArrivals struct {
+	q    int
+	load float64
+	rng  *rand.Rand
+	next cell.Slot
+	init bool
+}
+
+// noArrival is the "never" sentinel for bernoulliArrivals.next.
+const noArrival = ^cell.Slot(0)
+
+// NewBernoulliArrivals returns a sparse Bernoulli arrival process with
+// the given offered load (cells per slot, 0..1) spread uniformly over
+// q queues. Its per-slot marginal matches NewUniformArrivals, but the
+// RNG is consumed per arrival rather than per slot, so it implements
+// SparseArrivalProcess and idle spans cost nothing to generate.
+func NewBernoulliArrivals(q int, load float64, seed int64) (ArrivalProcess, error) {
+	if q <= 0 {
+		return nil, fmt.Errorf("sim: queues must be positive, got %d", q)
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("sim: load must be in [0,1], got %v", load)
+	}
+	return &bernoulliArrivals{q: q, load: load, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// gap draws one geometric inter-arrival gap (≥ 1 slot).
+func (a *bernoulliArrivals) gap() cell.Slot {
+	if a.load >= 1 {
+		return 1
+	}
+	// Inverse-CDF geometric: P(gap = k) = ρ(1−ρ)^(k−1).
+	return 1 + cell.Slot(math.Log(1-a.rng.Float64())/math.Log(1-a.load))
+}
+
+// ensure lazily anchors the first arrival at the first polled slot.
+func (a *bernoulliArrivals) ensure(slot cell.Slot) {
+	if a.init {
+		return
+	}
+	a.init = true
+	if a.load <= 0 {
+		a.next = noArrival
+		return
+	}
+	a.next = slot + a.gap() - 1
+}
+
+func (a *bernoulliArrivals) Next(slot cell.Slot) cell.QueueID {
+	a.ensure(slot)
+	if slot < a.next {
+		return cell.NoQueue
+	}
+	q := cell.QueueID(a.rng.Intn(a.q))
+	a.next = slot + a.gap()
+	return q
+}
+
+// NextBatch implements BatchArrivalProcess: idle slots are filled by
+// comparison only, no RNG traffic.
+func (a *bernoulliArrivals) NextBatch(start cell.Slot, out []cell.QueueID) {
+	a.ensure(start)
+	for i := range out {
+		slot := start + cell.Slot(i)
+		if slot < a.next {
+			out[i] = cell.NoQueue
+			continue
+		}
+		out[i] = a.Next(slot)
+	}
+}
+
+// NextArrival implements SparseArrivalProcess. Idle probes do not
+// mutate the process, so the jump is a pure min(next, limit).
+func (a *bernoulliArrivals) NextArrival(from, limit cell.Slot) cell.Slot {
+	a.ensure(from)
+	t := a.next
+	if t < from {
+		t = from
+	}
+	if t > limit {
+		t = limit
+	}
+	return t
 }
 
 // roundRobinArrivals cycles deterministically over the queues at the
@@ -196,19 +315,44 @@ func (b *burstyArrivals) geometric(mean float64) int {
 
 func (b *burstyArrivals) Next(cell.Slot) cell.QueueID {
 	for b.remaining == 0 {
-		b.on = !b.on
-		if b.on {
-			b.current = cell.QueueID(b.rng.Intn(b.q))
-			b.remaining = b.geometric(b.meanOn)
-		} else {
-			b.remaining = b.geometric(b.meanOff)
-		}
+		b.toggle()
 	}
 	b.remaining--
 	if !b.on {
 		return cell.NoQueue
 	}
 	return b.current
+}
+
+func (b *burstyArrivals) toggle() {
+	b.on = !b.on
+	if b.on {
+		b.current = cell.QueueID(b.rng.Intn(b.q))
+		b.remaining = b.geometric(b.meanOn)
+	} else {
+		b.remaining = b.geometric(b.meanOff)
+	}
+}
+
+// NextArrival implements SparseArrivalProcess: off-period slots are
+// consumed by bulk-decrementing the remaining-gap counter, with the
+// same RNG consumption per state toggle as per-slot Next calls.
+func (b *burstyArrivals) NextArrival(from, limit cell.Slot) cell.Slot {
+	for from < limit {
+		for b.remaining == 0 {
+			b.toggle()
+		}
+		if b.on {
+			return from
+		}
+		k := cell.Slot(b.remaining)
+		if k > limit-from {
+			k = limit - from
+		}
+		b.remaining -= int(k)
+		from += k
+	}
+	return limit
 }
 
 // singleQueueArrivals floods one queue at full rate.
@@ -221,7 +365,10 @@ func NewSingleQueueArrivals(q cell.QueueID) ArrivalProcess {
 
 func (s singleQueueArrivals) Next(cell.Slot) cell.QueueID { return s.q }
 
-// NextBatch implements BatchArrivalProcess.
+// NextBatch implements BatchArrivalProcess. The process deliberately
+// does not implement SparseArrivalProcess: a cell arrives every slot,
+// so there is never anything to fast-forward and the batched path is
+// strictly better.
 func (s singleQueueArrivals) NextBatch(_ cell.Slot, out []cell.QueueID) {
 	for i := range out {
 		out[i] = s.q
@@ -255,6 +402,10 @@ func (r *roundRobinDrain) Next(_ cell.Slot, v View) cell.QueueID {
 	}
 	return cell.NoQueue
 }
+
+// IdleStable implements StableRequestPolicy: the scan is a pure
+// function of the view and moves the cursor only when it requests.
+func (r *roundRobinDrain) IdleStable() bool { return true }
 
 // uniformRequests requests uniformly random non-empty queues at the
 // given rate.
@@ -320,6 +471,9 @@ func (l *longestFirst) Next(_ cell.Slot, v View) cell.QueueID {
 	return best
 }
 
+// IdleStable implements StableRequestPolicy (the policy is stateless).
+func (l *longestFirst) IdleStable() bool { return true }
+
 // permutationDrain walks a fixed permutation, one cell per visit — a
 // rotated variant of the adversarial pattern.
 type permutationDrain struct {
@@ -348,6 +502,10 @@ func (p *permutationDrain) Next(_ cell.Slot, v View) cell.QueueID {
 	return cell.NoQueue
 }
 
+// IdleStable implements StableRequestPolicy: the walk is a pure
+// function of the view and moves the cursor only when it requests.
+func (p *permutationDrain) IdleStable() bool { return true }
+
 // idleRequests never requests (fill-only phases).
 type idleRequests struct{}
 
@@ -355,3 +513,6 @@ type idleRequests struct{}
 func NewIdleRequests() RequestPolicy { return idleRequests{} }
 
 func (idleRequests) Next(cell.Slot, View) cell.QueueID { return cell.NoQueue }
+
+// IdleStable implements StableRequestPolicy (never any state).
+func (idleRequests) IdleStable() bool { return true }

@@ -159,6 +159,15 @@ type Config struct {
 	// Lookahead overrides the MMA lookahead (slots); zero uses the
 	// ECQF full lookahead Q(b−1)+1.
 	Lookahead int
+	// LatencySlots overrides the equation (3) latency register
+	// (slots); zero uses the budget-aware analytic default. Together
+	// with a small Lookahead this shortens the request→delivery
+	// pipeline — low-latency and sparse deployments need that for
+	// idle gaps to outlast the pipeline and fast-forward — at the
+	// cost of the analytic worst-case reordering slack (a too-small
+	// register surfaces as a head-SRAM miss error, never as silent
+	// corruption).
+	LatencySlots int
 }
 
 // Cell is one delivered 64-byte unit.
@@ -202,6 +211,12 @@ type Stats struct {
 	TailSRAMHighWater, HeadSRAMHighWater     int
 	MaxRequestRegisterOccupancy              int
 	MaxRequestSkips                          int
+	// FastForwardedSlots counts slots skipped in O(1) by FastForward
+	// (directly, via the TickBatch idle path, or by the sim Runner's
+	// sparse fast-forward) instead of being ticked. It is the only
+	// counter dense slot-by-slot ticking leaves zero; equivalence
+	// comparisons exclude it by definition.
+	FastForwardedSlots uint64
 }
 
 // Clean reports whether every worst-case guarantee held so far.
@@ -213,6 +228,10 @@ func (s Stats) Clean() bool {
 type Buffer struct {
 	inner *core.Buffer
 	cfg   Config
+	// inScratch / outScratch are the conversion buffers TickBatch
+	// reuses, so repeated batch calls allocate nothing.
+	inScratch  []core.TickInput
+	outScratch []core.TickOutput
 }
 
 // coreConfig applies the façade's defaulting and validation to cfg
@@ -253,6 +272,7 @@ func coreConfig(cfg Config) (core.Config, error) {
 		BankCapacityBlocks: cfg.BankCapacityBlocks,
 		Renaming:           cfg.Renaming,
 		Lookahead:          cfg.Lookahead,
+		LatencySlots:       cfg.LatencySlots,
 		Org:                core.SRAMOrg(cfg.Organization),
 		MMA:                core.MMAKind(cfg.MMA),
 	}, nil
@@ -299,24 +319,60 @@ func (b *Buffer) Tick(in Input) (Output, error) {
 // number of slots ticked. On error it stops after the offending slot
 // (which, per Tick semantics, still completed and has its outcome in
 // out[n-1]). TickBatch is the batch entry point for precomputed
-// stimulus: semantically identical to calling Tick per element, it
-// allocates nothing and lets a caller drive thousands of slots per
-// call. (For generator-driven runs, sim.Runner.RunBatch is the fast
-// path that actually hoists work out of the slot loop.)
+// stimulus: semantically identical to calling Tick per element — the
+// skipped-slot accounting in Stats.FastForwardedSlots aside — it
+// allocates nothing (after warm-up of its reusable scratch) and lets
+// a caller drive thousands of slots per call. It delegates to the
+// core's fused batch path, which hoists the per-slot prologue out of
+// the loop and converts runs of fully idle inputs into an O(1)
+// fast-forward as soon as the buffer is quiescent, so sparse stimulus
+// costs per event, not per slot. Outputs have value semantics as
+// always: every out[i] remains valid indefinitely.
 func (b *Buffer) TickBatch(in []Input, out []Output) (int, error) {
 	if len(out) < len(in) {
 		return 0, fmt.Errorf("pktbuf: TickBatch output slice too short: %d outputs for %d inputs",
 			len(out), len(in))
 	}
-	for i := range in {
-		o, err := b.Tick(in[i])
-		out[i] = o
-		if err != nil {
-			return i + 1, err
+	if cap(b.inScratch) < len(in) {
+		b.inScratch = make([]core.TickInput, len(in))
+		b.outScratch = make([]core.TickOutput, len(in))
+	}
+	cin := b.inScratch[:len(in)]
+	cout := b.outScratch[:len(in)]
+	for i, v := range in {
+		cin[i] = core.TickInput{Arrival: cell.QueueID(v.Arrival), Request: cell.QueueID(v.Request)}
+	}
+	n, err := b.inner.TickBatch(cin, cout)
+	for i := 0; i < n; i++ {
+		if d := cout[i].Delivered; d != nil {
+			out[i] = Output{
+				Delivered: Cell{Queue: Queue(d.Queue), Seq: d.Seq},
+				Ok:        true,
+				Bypassed:  cout[i].Bypassed,
+			}
+		} else {
+			out[i] = Output{}
 		}
 	}
-	return len(in), nil
+	return n, err
 }
+
+// Quiescent reports whether the buffer has no internal work in flight:
+// the request pipeline is empty, no DRAM transfer is pending or
+// scheduled, and neither memory-management algorithm would order one.
+// From a quiescent state an idle Tick is a pure time advance, and
+// FastForward may skip any number of slots at once. Quiescent says
+// nothing about stored cells — a buffer holding cells with no
+// outstanding requests is quiescent until the next arrival or request.
+func (b *Buffer) Quiescent() bool { return b.inner.Quiescent() }
+
+// FastForward advances the buffer by n idle slots in O(1). It is
+// bit-identical to n Tick calls with an idle Input from a quiescent
+// state — identical statistics (FastForwardedSlots aside) and
+// identical subsequent behavior. If the buffer is not quiescent
+// nothing happens; the number of slots actually skipped (n or 0) is
+// returned.
+func (b *Buffer) FastForward(n uint64) uint64 { return b.inner.FastForward(n) }
 
 // Len returns the number of cells of q currently buffered.
 func (b *Buffer) Len(q Queue) int { return b.inner.Len(cell.QueueID(q)) }
@@ -355,6 +411,7 @@ func statsFromCore(s core.Stats) Stats {
 		HeadSRAMHighWater:           s.HeadHighWater,
 		MaxRequestRegisterOccupancy: s.DSS.MaxOccupancy,
 		MaxRequestSkips:             s.DSS.MaxSkips,
+		FastForwardedSlots:          s.FastForwardedSlots,
 	}
 }
 

@@ -244,6 +244,14 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// Quiescent reports whether every port is idle end to end: no ingress
+// cell waiting, no requestable VOQ anywhere, and every buffer shard
+// with no internal work in flight. A quiescent engine's StepBatch
+// fast-forwards all shards in lockstep instead of stepping them slot
+// by slot (bit-identical, but O(1) per batch), so batches that
+// outlive their traffic cost nothing per slot.
+func (e *Engine) Quiescent() bool { return e.inner.Quiescent() }
+
 // Workers returns the number of worker goroutines (1 = serial).
 func (e *Engine) Workers() int { return e.inner.Workers() }
 

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cell"
 	"repro/internal/facade"
 	isim "repro/internal/sim"
 	"repro/pktbuf"
@@ -50,11 +51,38 @@ type BatchArrivalProcess interface {
 	NextBatch(start uint64, out []pktbuf.Queue)
 }
 
+// SparseArrivalProcess is the optional fast path the Runner uses to
+// fast-forward idle spans: NextArrival advances the process past the
+// idle gap starting at slot from and returns the slot of its next
+// arrival, exactly as if Next had been called once per slot in
+// [from, returned) with every call returning pktbuf.None. If the next
+// arrival falls at or beyond limit the process advances only through
+// limit-1 and returns limit. NewBernoulliArrivals and
+// NewBurstyArrivals produce sparse processes.
+type SparseArrivalProcess interface {
+	ArrivalProcess
+	NextArrival(from, limit uint64) uint64
+}
+
 // RequestPolicy produces at most one scheduler request per slot.
 type RequestPolicy interface {
 	// Next returns the queue to request at slot, or pktbuf.None. The
 	// returned queue must have Requestable > 0.
 	Next(slot uint64, v View) pktbuf.Queue
+}
+
+// StableRequestPolicy marks policies the Runner may elide while
+// fast-forwarding: Next ignores its slot argument, consumes no
+// per-slot state (no RNG draw per call), and a call that returns
+// pktbuf.None leaves the policy unchanged — so if it returns None
+// once it keeps returning None until the buffer view changes. The
+// deterministic policies of this package (round-robin drain, longest
+// first, permutation drain, idle) report true; the rate-based random
+// policy reports false.
+type StableRequestPolicy interface {
+	RequestPolicy
+	// IdleStable reports that the contract above holds.
+	IdleStable() bool
 }
 
 // Result summarizes one simulation run.
@@ -117,6 +145,14 @@ const defaultBatch = 4096
 // BatchArrivalProcess implementations, the delivery-callback and
 // drop-tolerance branches are resolved per batch, and the Stats
 // snapshot is taken once at the end of the run.
+//
+// When the arrival process is sparse (SparseArrivalProcess) and the
+// request policy is idle-stable (StableRequestPolicy), idle spans are
+// not ticked at all: as soon as a slot carries no request and the
+// buffer reports Quiescent, the runner jumps straight to the next
+// arrival with Buffer.FastForward — bit-identical to ticking every
+// skipped slot, but O(1) per idle span — so a load-ρ run costs
+// O(ρ·slots), not O(slots).
 func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
 		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
@@ -136,8 +172,22 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	if direct {
 		coreView = facade.CoreOf(buf)
 	}
+	// Sparse fast path: generators re-exported by this package carry
+	// their inner sparse process (no per-call adapter conversions);
+	// external implementations are used through the public interface.
+	var sparseInner isim.SparseArrivalProcess
+	var sparsePub SparseArrivalProcess
+	if a, ok := r.Arrivals.(*arrivals); ok {
+		sparseInner = a.sparse
+	} else if s, ok := r.Arrivals.(SparseArrivalProcess); ok {
+		sparsePub = s
+	}
+	sparse := sparseInner != nil || sparsePub != nil
+	if sp, ok := r.Requests.(StableRequestPolicy); !ok || !sp.IdleStable() {
+		sparse = false
+	}
 	batchArr, batched := r.Arrivals.(BatchArrivalProcess)
-	if batched && batch > 1 {
+	if !sparse && batched && batch > 1 {
 		if uint64(cap(r.arrScratch)) < batch {
 			r.arrScratch = make([]pktbuf.Queue, batch)
 		}
@@ -152,17 +202,45 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 		if batched {
 			batchArr.NextBatch(buf.Now(), r.arrScratch[:n])
 		}
-		for i := uint64(0); i < n; i++ {
+		for i := uint64(0); i < n; {
+			now := buf.Now()
 			var in pktbuf.Input
-			if batched {
-				in.Arrival = r.arrScratch[i]
+			if sparse {
+				// Policy first: a slot with a request can never be
+				// skipped, and an idle-stable policy that answers None
+				// would answer None for every skipped slot too (the view
+				// does not change across a fast-forward). The dense path
+				// below keeps the arrival-first call order the trace
+				// recorder's slot pairing relies on.
+				if direct {
+					in.Request = reqAdapter.nextDirect(now, coreView)
+				} else {
+					in.Request = r.Requests.Next(now, buf)
+				}
+				if in.Request == pktbuf.None && buf.Quiescent() {
+					var next uint64
+					if sparseInner != nil {
+						next = uint64(sparseInner.NextArrival(cell.Slot(now), cell.Slot(now+n-i)))
+					} else {
+						next = sparsePub.NextArrival(now, now+n-i)
+					}
+					if next > now {
+						i += buf.FastForward(next - now)
+						continue
+					}
+				}
+				in.Arrival = r.Arrivals.Next(now)
 			} else {
-				in.Arrival = r.Arrivals.Next(buf.Now())
-			}
-			if direct {
-				in.Request = reqAdapter.nextDirect(buf.Now(), coreView)
-			} else {
-				in.Request = r.Requests.Next(buf.Now(), buf)
+				if batched {
+					in.Arrival = r.arrScratch[i]
+				} else {
+					in.Arrival = r.Arrivals.Next(now)
+				}
+				if direct {
+					in.Request = reqAdapter.nextDirect(now, coreView)
+				} else {
+					in.Request = r.Requests.Next(now, buf)
+				}
 			}
 			out, err := buf.Tick(in)
 			if err != nil && !(r.AllowDrops && errors.Is(err, pktbuf.ErrBufferFull)) {
@@ -173,6 +251,7 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 			if out.Ok && onDeliver != nil {
 				onDeliver(out.Delivered, out.Bypassed)
 			}
+			i++
 		}
 		done += n
 	}
@@ -181,30 +260,36 @@ func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	return res, nil
 }
 
-// Drain keeps requesting until the buffer empties or maxSlots pass,
-// with no further arrivals. It returns the number of cells delivered.
-func (r *Runner) Drain(maxSlots uint64) (uint64, error) {
-	delivered := uint64(0)
+// Drain keeps requesting until the buffer is fully quiescent or
+// maxSlots pass, with no further arrivals. It returns the number of
+// cells delivered and the exact slot the last of them was delivered
+// in (zero when nothing was delivered). Termination uses the buffer's
+// quiescence predicate: the loop stops — without spending a slot —
+// the moment the policy issues no request and an idle tick would be a
+// pure time advance, so draining an already-empty buffer is O(1) and
+// a populated one costs exactly the slots its pipeline and in-flight
+// transfers need.
+func (r *Runner) Drain(maxSlots uint64) (delivered, lastSlot uint64, err error) {
+	buf := r.Buffer
 	for s := uint64(0); s < maxSlots; s++ {
 		in := pktbuf.Input{
 			Arrival: pktbuf.None,
-			Request: r.Requests.Next(r.Buffer.Now(), r.Buffer),
+			Request: r.Requests.Next(buf.Now(), buf),
 		}
-		out, err := r.Buffer.Tick(in)
+		if in.Request == pktbuf.None && buf.Quiescent() {
+			break
+		}
+		out, err := buf.Tick(in)
 		if err != nil {
-			return delivered, fmt.Errorf("sim: drain slot %d: %w", s, err)
+			return delivered, lastSlot, fmt.Errorf("sim: drain slot %d: %w", s, err)
 		}
 		if out.Ok {
 			delivered++
+			lastSlot = buf.Now() - 1
 			if r.OnDeliver != nil {
 				r.OnDeliver(out.Delivered, out.Bypassed)
 			}
 		}
-		// Terminate as soon as the pipeline is demonstrably drained: no
-		// request issued this slot and none in flight.
-		if in.Request == pktbuf.None && r.Buffer.PendingRequests() == 0 {
-			break
-		}
 	}
-	return delivered, nil
+	return delivered, lastSlot, nil
 }

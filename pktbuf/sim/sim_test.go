@@ -78,7 +78,7 @@ func TestDrainEmptiesBuffer(t *testing.T) {
 		t.Fatal(err)
 	}
 	drain := &sim.Runner{Buffer: buf, Arrivals: arr, Requests: req}
-	delivered, err := drain.Drain(100000)
+	delivered, _, err := drain.Drain(100000)
 	if err != nil {
 		t.Fatal(err)
 	}

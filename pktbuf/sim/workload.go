@@ -13,10 +13,13 @@ import (
 
 // arrivals adapts an internal arrival process. It always implements
 // BatchArrivalProcess, falling back to a per-slot loop when the inner
-// process has no batch path.
+// process has no batch path; when the inner process is sparse
+// (isim.SparseArrivalProcess) the Runner fast-forwards through it
+// directly via the sparse field.
 type arrivals struct {
 	inner   isim.ArrivalProcess
-	batch   isim.BatchArrivalProcess // nil when inner is per-slot only
+	batch   isim.BatchArrivalProcess  // nil when inner is per-slot only
+	sparse  isim.SparseArrivalProcess // nil when inner has no gap jump
 	scratch []cell.QueueID
 }
 
@@ -24,6 +27,9 @@ func newArrivals(inner isim.ArrivalProcess) *arrivals {
 	a := &arrivals{inner: inner}
 	if b, ok := inner.(isim.BatchArrivalProcess); ok {
 		a.batch = b
+	}
+	if s, ok := inner.(isim.SparseArrivalProcess); ok {
+		a.sparse = s
 	}
 	return a
 }
@@ -76,6 +82,13 @@ func (r *requests) nextDirect(slot uint64, v isim.View) pktbuf.Queue {
 	return pktbuf.Queue(r.inner.Next(cell.Slot(slot), v))
 }
 
+// IdleStable implements StableRequestPolicy by delegating to the
+// wrapped internal policy; policies without the marker report false.
+func (r *requests) IdleStable() bool {
+	s, ok := r.inner.(isim.StableRequestPolicy)
+	return ok && s.IdleStable()
+}
+
 // ---------------------------------------------------------------- arrivals
 
 // NewUniformArrivals returns an arrival process with the given offered
@@ -102,6 +115,21 @@ func NewRoundRobinArrivals(q int, load float64) (ArrivalProcess, error) {
 // hotFrac of cells target queue 0, the rest spread uniformly.
 func NewHotspotArrivals(q int, load, hotFrac float64, seed int64) (ArrivalProcess, error) {
 	inner, err := isim.NewHotspotArrivals(q, load, hotFrac, seed)
+	if err != nil {
+		return nil, err
+	}
+	return newArrivals(inner), nil
+}
+
+// NewBernoulliArrivals returns a sparse Bernoulli arrival process with
+// the given offered load (cells per slot, 0..1) spread uniformly over
+// q queues. Its per-slot marginal matches NewUniformArrivals, but the
+// geometric inter-arrival gaps are drawn directly (one RNG draw per
+// arrival, not per slot), so it supports the Runner's fast-forward
+// path: a load-ρ run with an idle-stable request policy costs
+// O(ρ·slots) instead of O(slots).
+func NewBernoulliArrivals(q int, load float64, seed int64) (ArrivalProcess, error) {
+	inner, err := isim.NewBernoulliArrivals(q, load, seed)
 	if err != nil {
 		return nil, err
 	}

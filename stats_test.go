@@ -114,7 +114,7 @@ func TestRandomizedFIFOEquivalence(t *testing.T) {
 	// Drain what remains and re-verify the FIFO order end to end.
 	drainReq, _ := sim.NewRoundRobinDrain(queues)
 	r.Requests = drainReq
-	if _, err := r.Drain(10 * slots); err != nil {
+	if _, _, err := r.Drain(10 * slots); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
 	for q := 0; q < queues; q++ {
