@@ -1,0 +1,176 @@
+// Command benchcheck gates benchmark output against recorded baselines.
+//
+// It reads `go test -bench` output on stdin, extracts ns/op and
+// allocs/op per benchmark, and compares them to a section of
+// BENCH_baseline.json:
+//
+//	go test -run '^$' -bench 'BenchmarkTick' -benchtime 2s . |
+//	    go run ./cmd/benchcheck -section fused_kernel_pr6
+//
+// A benchmark fails the gate when its ns/op exceeds the recorded
+// baseline by more than -tolerance (default 25%), or when it reports a
+// nonzero allocs/op while the baseline row records zero. Benchmarks
+// with no baseline row are reported but never fail the gate, so suites
+// can grow ahead of the recorded baselines.
+//
+// Baseline sections may nest sub-objects (queue_scaling, rows, ...);
+// any object with an "ns_op" field found under the section, keyed by a
+// name starting with "Benchmark", is treated as a baseline row. The
+// "-N" GOMAXPROCS suffix that `go test` appends on multi-core hosts is
+// stripped before lookup, so baselines recorded on a single-CPU box
+// match runs from any runner.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+type row struct {
+	NsOp     float64
+	AllocsOp float64
+	hasNs    bool
+}
+
+// flatten walks a decoded JSON value and collects every
+// {"ns_op": ..., "allocs_op": ...} object keyed by a Benchmark* name.
+func flatten(v interface{}, out map[string]row) {
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return
+	}
+	for k, child := range m {
+		cm, ok := child.(map[string]interface{})
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(k, "Benchmark") {
+			var r row
+			if ns, ok := cm["ns_op"].(float64); ok {
+				r.NsOp, r.hasNs = ns, true
+			}
+			if al, ok := cm["allocs_op"].(float64); ok {
+				r.AllocsOp = al
+			}
+			if r.hasNs {
+				out[k] = r
+				continue
+			}
+		}
+		flatten(child, out)
+	}
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json",
+		"path to the baseline JSON file")
+	section := flag.String("section", "fused_kernel_pr6",
+		"top-level section of the baseline file to gate against")
+	tolerance := flag.Float64("tolerance", 0.25,
+		"allowed fractional ns/op regression over baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	var doc map[string]interface{}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: parse baseline:", err)
+		os.Exit(2)
+	}
+	sec, ok := doc[*section]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchcheck: no section %q in %s\n",
+			*section, *baselinePath)
+		os.Exit(2)
+	}
+	baselines := make(map[string]row)
+	flatten(sec, baselines)
+	if len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: section %q has no baseline rows\n",
+			*section)
+		os.Exit(2)
+	}
+
+	// Keep the best (lowest ns/op) observation per benchmark: with
+	// -count N on a noisy host, min-of-N is the comparable statistic.
+	type obs struct {
+		nsOp   float64
+		allocs float64
+	}
+	seen := make(map[string]obs)
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass output through for the CI log
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		var allocs float64
+		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
+			allocs, _ = strconv.ParseFloat(am[1], 64)
+		}
+		if prev, dup := seen[name]; !dup || ns < prev.nsOp {
+			if !dup {
+				order = append(order, name)
+			}
+			seen[name] = obs{nsOp: ns, allocs: allocs}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: read stdin:", err)
+		os.Exit(2)
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	failed := false
+	for _, name := range order {
+		o := seen[name]
+		base, ok := baselines[name]
+		if !ok {
+			fmt.Printf("benchcheck: %-55s %10.1f ns/op  (no baseline, skipped)\n",
+				name, o.nsOp)
+			continue
+		}
+		limit := base.NsOp * (1 + *tolerance)
+		status := "ok"
+		if o.nsOp > limit {
+			status = "FAIL ns/op"
+			failed = true
+		}
+		if o.allocs > 0 && base.AllocsOp == 0 {
+			status += " FAIL allocs/op>0"
+			failed = true
+		}
+		fmt.Printf("benchcheck: %-55s %10.1f ns/op  vs %8.1f (limit %8.1f)  %s\n",
+			name, o.nsOp, base.NsOp, limit, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: FAIL: regression over baseline")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: PASS")
+}

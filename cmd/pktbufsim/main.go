@@ -23,6 +23,9 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"repro/pktbuf"
 	"repro/pktbuf/packet"
@@ -71,6 +74,10 @@ func main() {
 		replay    = flag.String("replay", "", "replay a recorded trace instead of generating (overrides -arrivals/-requests/-warmup/-slots)")
 		latency   = flag.Bool("latency", false, "measure per-cell sojourn times (cells buffered before measurement are excluded; with -replay the samples therefore include the recorded warmup prefix, which a recording run's -latency does not see)")
 
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		blockProf = flag.String("blockprofile", "", "write a pprof blocking profile at exit to this file (enables block profiling; mainly useful with -router workers)")
+
 		routerMode = flag.Bool("router", false, "drive the Figure-1 router engine instead of a single buffer (uses -ports/-classes/-workers/-iters; -queues/-arrivals/-requests/-warmup/-record/-replay/-latency are ignored)")
 		ports      = flag.Int("ports", 4, "router mode: input (= output) ports")
 		classes    = flag.Int("classes", 1, "router mode: service classes per output")
@@ -79,6 +86,11 @@ func main() {
 		pktBytes   = flag.Int("pktbytes", 576, "router mode: mean packet size in bytes (trimodal mix around it)")
 	)
 	flag.Parse()
+
+	if err := startProfiles(*cpuProf, *memProf, *blockProf); err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
 
 	rate, err := lineRate(*rateName)
 	if err != nil {
@@ -223,7 +235,7 @@ func main() {
 	if err != nil {
 		log.Printf("INVARIANT VIOLATION: %v", err)
 		fmt.Printf("stats: %+v\n", res.Stats)
-		os.Exit(1)
+		exit(1)
 	}
 	if rec != nil {
 		f, err := os.Create(*record)
@@ -247,8 +259,71 @@ func main() {
 		fmt.Println("verdict: CLEAN — zero misses, zero conflicts, bounded reordering")
 	} else {
 		fmt.Println("verdict: NOT CLEAN")
-		os.Exit(1)
+		exit(1)
 	}
+}
+
+// stopProfiles finalizes whatever startProfiles armed. It is a
+// package-level hook so the early-exit paths (invariant violations,
+// NOT CLEAN verdicts) can flush profiles before os.Exit skips the
+// deferred call; exit routes them all through it.
+var stopProfiles = func() {}
+
+// startProfiles arms the requested pprof outputs: the CPU profile
+// runs from here to exit, the heap and block profiles are snapshotted
+// at exit. Block profiling is only enabled when asked for — its
+// bookkeeping slows the router's worker handoffs.
+func startProfiles(cpu, mem, block string) error {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		cpuF = f
+	}
+	if block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	var once sync.Once
+	stopProfiles = func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+			}
+			snapshot := func(profile, path string) {
+				if path == "" {
+					return
+				}
+				f, err := os.Create(path)
+				if err != nil {
+					log.Printf("%s profile: %v", profile, err)
+					return
+				}
+				if profile == "heap" {
+					runtime.GC()
+				}
+				if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+					log.Printf("%s profile: %v", profile, err)
+				}
+				f.Close()
+			}
+			snapshot("heap", mem)
+			snapshot("block", block)
+		})
+	}
+	return nil
+}
+
+// exit flushes any armed profiles before terminating with code.
+func exit(code int) {
+	stopProfiles()
+	os.Exit(code)
 }
 
 type noneArrivals struct{}
@@ -341,7 +416,7 @@ func runRouter(buffer pktbuf.Config, o routerOpts) {
 		fmt.Println("verdict: CLEAN — zero misses, zero conflicts, bounded reordering on every port")
 	} else {
 		fmt.Println("verdict: NOT CLEAN")
-		os.Exit(1)
+		exit(1)
 	}
 }
 

@@ -88,9 +88,14 @@ func (s *Set) Has(i int) bool {
 // Set sets bit i. i must be in [0, Len()).
 func (s *Set) Set(i int) {
 	w := i >> 6
-	s.levels[0][w] |= 1 << uint(i&63)
-	for l := 1; l < len(s.levels); l++ {
-		s.levels[l][w>>6] |= 1 << uint(w&63)
+	old := s.levels[0][w]
+	s.levels[0][w] = old | 1<<uint(i&63)
+	// A word that was already non-zero has its summary bit set at every
+	// level above; stop at the first such word (the dual of Clear's
+	// early exit on a word that stays non-zero).
+	for l := 1; old == 0 && l < len(s.levels); l++ {
+		old = s.levels[l][w>>6]
+		s.levels[l][w>>6] = old | 1<<uint(w&63)
 		w >>= 6
 	}
 }
@@ -158,6 +163,19 @@ func (s *Set) NextFrom(i int) int {
 		pos = w + 1
 	}
 	return -1
+}
+
+// NextFromWrap returns the first set bit at or after i in circular
+// order: the lowest set bit ≥ i, or — when no bit ≥ i is set — the
+// lowest set bit overall (the scan wraps to 0). It returns -1 only on
+// an empty set. Ring-indexed structures (the MMA lookahead window)
+// use it to resolve "first candidate from the window head" in one
+// probe instead of two explicit segment scans.
+func (s *Set) NextFromWrap(i int) int {
+	if j := s.NextFrom(i); j >= 0 {
+		return j
+	}
+	return s.NextFrom(0)
 }
 
 // PrevFrom returns the highest set bit ≤ i, or -1.

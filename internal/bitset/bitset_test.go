@@ -205,3 +205,31 @@ func TestSetSteadyStateZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state ops allocated %.1f/op", allocs)
 	}
 }
+
+func TestNextFromWrap(t *testing.T) {
+	s := New(200)
+	if got := s.NextFromWrap(0); got != -1 {
+		t.Fatalf("empty NextFromWrap(0) = %d, want -1", got)
+	}
+	s.Set(5)
+	s.Set(130)
+	cases := []struct{ from, want int }{
+		{0, 5},     // ahead in the straight segment
+		{5, 5},     // own position counts
+		{6, 130},   // next across a word boundary
+		{130, 130}, // own position at the high bit
+		{131, 5},   // wraps past the end back to the lowest
+		{199, 5},   // wraps from the last index
+		{200, 5},   // indices at/after Len wrap too (ring callers pass slot+1)
+	}
+	for _, c := range cases {
+		if got := s.NextFromWrap(c.from); got != c.want {
+			t.Errorf("NextFromWrap(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	s.Clear(5)
+	s.Clear(130)
+	if got := s.NextFromWrap(64); got != -1 {
+		t.Errorf("cleared set NextFromWrap(64) = %d, want -1", got)
+	}
+}

@@ -116,17 +116,11 @@ func (t *tailQueue) extractBlock(n int, dst []cell.Cell) {
 	}
 }
 
-// queueState is one logical queue's slot in the dense state arena: its
-// tail-SRAM deque, the arrival/delivery sequence cursors and the
-// occupancy/pending counters. The arena replaces five per-queue hash
-// maps on the Tick path.
-type queueState struct {
-	tail         tailQueue
-	arrivedSeq   uint64
-	deliveredSeq uint64
-	sysOcc       int
-	pendingReq   int
-}
+// Per-queue scalar state (arrival/delivery cursors, occupancy and
+// pending-request counters) lives in the structure-of-arrays arena
+// kernelState (kernel.go), shared by the slot-at-a-time path and the
+// fused batch kernel; only the tail-SRAM deques stay array-of-structs
+// because each holds a variable-length cell slice.
 
 // completion is a DRAM→SRAM block transfer scheduled to land at a
 // future slot.
@@ -161,9 +155,12 @@ type Buffer struct {
 	logical []pipeEntry
 	logHead int
 
-	// qs is the dense per-queue state arena, indexed by the logical
-	// queue ordinal; it is sized to Config.Q at construction.
-	qs        []queueState
+	// ks is the packed per-queue state arena (structure of arrays,
+	// kernel.go) and tails the parallel tail-SRAM deque arena, both
+	// indexed by the logical queue ordinal and sized to Config.Q at
+	// construction.
+	ks        kernelState
+	tails     []tailQueue
 	tailTotal int // resident cells incl. promised and staged
 	// pendingTotal counts admitted requests not yet delivered (the
 	// cells in flight through the request pipeline).
@@ -200,6 +197,11 @@ type Buffer struct {
 	// the DRAM publishes its readable-now bits as a dense bitset that
 	// the head selectors consume directly (SetEligibility).
 	writeEligible func(q cell.QueueID) bool
+
+	// kern is the fused dense-batch kernel (kernel.go), built lazily on
+	// the first TickBatch call; the slot-at-a-time Tick path never
+	// touches it.
+	kern *kernel
 
 	stats Stats
 }
@@ -315,7 +317,8 @@ func New(cfg Config) (*Buffer, error) {
 		mapr:     mp,
 		look:     look,
 		logical:  logical,
-		qs:       make([]queueState, cfg.Q),
+		ks:       newKernelState(cfg.Q),
+		tails:    make([]tailQueue, cfg.Q),
 		compRing: make([][]completion, cfg.accessSlots()+1),
 	}
 	// The head MMA selects against the DRAM's readable-now bitset in
@@ -342,19 +345,19 @@ func (b *Buffer) Now() cell.Slot { return b.now }
 
 // Len returns the number of cells of queue q currently in the buffer.
 func (b *Buffer) Len(q cell.QueueID) int {
-	if q < 0 || int(q) >= len(b.qs) {
+	if q < 0 || int(q) >= len(b.ks.sysOcc) {
 		return 0
 	}
-	return b.qs[q].sysOcc
+	return int(b.ks.sysOcc[q])
 }
 
 // Requestable returns how many cells of q the arbiter may still
 // request (cells in the system minus requests already in flight).
 func (b *Buffer) Requestable(q cell.QueueID) int {
-	if q < 0 || int(q) >= len(b.qs) {
+	if q < 0 || int(q) >= len(b.ks.sysOcc) {
 		return 0
 	}
-	return b.qs[q].sysOcc - b.qs[q].pendingReq
+	return int(b.ks.sysOcc[q] - b.ks.pendingReq[q])
 }
 
 // PendingRequests returns the number of admitted requests still in
@@ -368,10 +371,10 @@ func (b *Buffer) PendingRequests() int { return b.pendingTotal }
 // assigned. Samplers that attach to a buffer mid-run (for example the
 // latency tracker) use it to align with the per-queue numbering.
 func (b *Buffer) ArrivedSeq(q cell.QueueID) uint64 {
-	if q < 0 || int(q) >= len(b.qs) {
+	if q < 0 || int(q) >= len(b.ks.arrivedSeq) {
 		return 0
 	}
-	return b.qs[q].arrivedSeq
+	return b.ks.arrivedSeq[q]
 }
 
 // Stats returns a snapshot of the accumulated statistics.
@@ -569,12 +572,16 @@ func slotsWithResidue(start, n, m, r uint64) uint64 {
 // outcome to out[i]. It requires len(out) ≥ len(in) and returns the
 // number of slots ticked; on error it stops after the offending slot
 // (which, per Tick semantics, still completes and has its outcome in
-// out[n-1]). It is the fused fast path: the per-call prologue is
-// hoisted out of the slot loop, delivered cells land in a batch-local
-// scratch (every out[i].Delivered stays valid until the next Tick or
-// TickBatch call, not just one slot), and runs of idle inputs are
-// converted to FastForward the moment the buffer goes quiescent, so
-// fully idle spans cost O(1) instead of O(slots).
+// out[n-1]). It is the fused fast path: busy spans run through the
+// structure-of-arrays batch kernel (kernel.go) — one fused
+// arrival→select→issue→deliver loop with per-batch prologue/epilogue
+// in place of tickSlot's per-slot overhead — delivered cells land in a
+// batch-local scratch (every out[i].Delivered stays valid until the
+// next Tick or TickBatch call, not just one slot), and runs of idle
+// inputs are converted to FastForward the moment the buffer goes
+// quiescent, so fully idle spans cost O(1) instead of O(slots). The
+// outcome is bit-identical to calling Tick once per input, which the
+// differential suites in kernel_test.go and fastforward_test.go pin.
 func (b *Buffer) TickBatch(in []TickInput, out []TickOutput) (int, error) {
 	if len(out) < len(in) {
 		return 0, fmt.Errorf("core: TickBatch output slice too short: %d outputs for %d inputs",
@@ -584,6 +591,7 @@ func (b *Buffer) TickBatch(in []TickInput, out []TickOutput) (int, error) {
 		b.deliveredBatch = make([]cell.Cell, len(in))
 	}
 	scratch := b.deliveredBatch[:cap(b.deliveredBatch)]
+	k := b.kernel()
 	i := 0
 	for i < len(in) {
 		if in[i].Arrival == cell.NoQueue && in[i].Request == cell.NoQueue {
@@ -600,29 +608,33 @@ func (b *Buffer) TickBatch(in []TickInput, out []TickOutput) (int, error) {
 					}
 					break
 				}
-				var err error
-				out[i], err = b.tickSlot(in[i], &scratch[i])
+				n, err := k.run(in[i:i+1], out[i:i+1], scratch[i:i+1])
+				i += n
 				if err != nil {
-					return i + 1, err
+					return i, err
 				}
-				i++
 			}
 			continue
 		}
-		var err error
-		out[i], err = b.tickSlot(in[i], &scratch[i])
-		if err != nil {
-			return i + 1, err
+		// Busy span: hand the maximal run of non-idle slots to the
+		// fused kernel in one call.
+		j := i + 1
+		for j < len(in) && (in[j].Arrival != cell.NoQueue || in[j].Request != cell.NoQueue) {
+			j++
 		}
-		i++
+		n, err := k.run(in[i:j], out[i:j], scratch[i:j])
+		i += n
+		if err != nil {
+			return i, err
+		}
 	}
 	return len(in), nil
 }
 
 // arrive admits one cell into the tail SRAM.
 func (b *Buffer) arrive(q cell.QueueID) error {
-	if q < 0 || int(q) >= len(b.qs) {
-		return fmt.Errorf("%w: arrival for queue %d (Q=%d)", ErrUnknownQueue, q, len(b.qs))
+	if q < 0 || int(q) >= len(b.tails) {
+		return fmt.Errorf("%w: arrival for queue %d (Q=%d)", ErrUnknownQueue, q, len(b.tails))
 	}
 	if b.tailTotal >= b.cfg.TailSRAMCells {
 		// With a bounded DRAM the tail bound is conditional: any queue
@@ -637,13 +649,12 @@ func (b *Buffer) arrive(q cell.QueueID) error {
 		}
 		return fmt.Errorf("%w: %d cells at slot %d", ErrTailOverflow, b.tailTotal, b.now)
 	}
-	qs := &b.qs[q]
-	seq := qs.arrivedSeq
-	qs.arrivedSeq = seq + 1
-	qs.tail.push(cell.Cell{Queue: q, Seq: seq})
+	seq := b.ks.arrivedSeq[q]
+	b.ks.arrivedSeq[q] = seq + 1
+	b.tails[q].push(cell.Cell{Queue: q, Seq: seq})
 	b.tailTotal++
 	b.tmma.OnArrival(q)
-	qs.sysOcc++
+	b.ks.sysOcc[q]++
 	b.stats.Arrivals++
 	return nil
 }
@@ -657,14 +668,14 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 		return cell.NoPhysQueue, cell.NoQueue,
 			fmt.Errorf("%w: queue %d at slot %d", ErrBadRequest, q, b.now)
 	}
-	b.qs[q].pendingReq++
+	b.ks.pendingReq[q]++
 	b.pendingTotal++
 	b.stats.Requests++
 	phys, ok := b.mapr.ConsumeForRequest(q)
 	if !ok {
 		// Bypass: commit the oldest unpromised tail cell to direct
 		// delivery and remove it from the t-MMA's stageable ledger.
-		b.qs[q].tail.promised++
+		b.tails[q].promised++
 		b.tmma.OnBypass(q)
 		return cell.NoPhysQueue, q, nil
 	}
@@ -676,18 +687,18 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 // in dst (the per-Tick or per-batch-slot scratch the returned pointer
 // aliases).
 func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) (*cell.Cell, bool, error) {
-	qs := &b.qs[q]
 	var c cell.Cell
 	bypassed := false
 	if phys == cell.NoPhysQueue {
 		// Bypass delivery from the tail SRAM front.
-		if qs.tail.len() == 0 || qs.tail.promised == 0 {
+		tq := &b.tails[q]
+		if tq.len() == 0 || tq.promised == 0 {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
 				ErrMiss, q, b.now)
 		}
-		c = qs.tail.popFront()
-		qs.tail.promised--
+		c = tq.popFront()
+		tq.promised--
 		b.tailTotal--
 		bypassed = true
 	} else {
@@ -702,14 +713,14 @@ func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 	}
 
 	*dst = c
-	want := qs.deliveredSeq
+	want := b.ks.deliveredSeq[q]
 	if c.Queue != q || c.Seq != want {
 		return dst, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
 			ErrOutOfOrder, q, c, want)
 	}
-	qs.deliveredSeq = want + 1
-	qs.sysOcc--
-	qs.pendingReq--
+	b.ks.deliveredSeq[q] = want + 1
+	b.ks.sysOcc[q]--
+	b.ks.pendingReq[q]--
 	b.pendingTotal--
 	b.stats.Deliveries++
 	if bypassed {
@@ -743,7 +754,7 @@ func (b *Buffer) tailCycle() error {
 		return err
 	}
 	blk := b.dram.AcquireBlock()
-	b.qs[q].tail.extractBlock(b.cfg.Bsmall, blk)
+	b.tails[q].extractBlock(b.cfg.Bsmall, blk)
 	b.tmma.OnTransfer(q)
 	return b.sched.Enqueue(dss.Request{
 		Queue: p, Dir: dss.Write, Ordinal: ordinal, Bank: bank,

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/dss"
+	"repro/internal/mma"
+	"repro/internal/sram"
+)
+
+// kernelState is the structure-of-arrays per-queue state arena shared
+// by the slot-at-a-time path and the fused batch kernel: the arrival
+// and delivery sequence cursors and the occupancy/pending counters,
+// each in its own contiguous word-aligned array indexed by the logical
+// queue ordinal. Splitting the former array-of-structs arena this way
+// keeps each counter class dense — the round-robin steady state walks
+// sixteen queues per cache line instead of two — and lets the kernel
+// address one class without dragging the others through the cache.
+type kernelState struct {
+	arrivedSeq   []uint64
+	deliveredSeq []uint64
+	sysOcc       []int32
+	pendingReq   []int32
+}
+
+func newKernelState(queues int) kernelState {
+	return kernelState{
+		arrivedSeq:   make([]uint64, queues),
+		deliveredSeq: make([]uint64, queues),
+		sysOcc:       make([]int32, queues),
+		pendingReq:   make([]int32, queues),
+	}
+}
+
+// kernel is the fused dense-batch engine behind TickBatch: one
+// arrival→select→issue→deliver loop over a span of slots with the
+// per-slot overhead of the reference path hoisted into a per-batch
+// prologue/epilogue. The prologue devirtualizes the substrate (the
+// head MMA, head SRAM store and queue mapper are resolved to their
+// concrete types once per buffer, not once per call through an
+// interface word), converts the completion-ring index, the MMA phase
+// and the logical-ring head from per-slot modulos into carried
+// counters, and arms batch-local statistics deltas; the epilogue
+// flushes the deltas and write back the carried counters. The loop
+// body replicates tickSlot exactly — same order, same error
+// precedence, same statistics — which the seeded differential suite
+// in kernel_test.go pins bit-for-bit across ECQF/MDQF × b ×
+// bounded/unbounded DRAM × renaming.
+type kernel struct {
+	b *Buffer
+
+	// Devirtualized substrate: exactly one per pair/group is non-nil.
+	ecqf  *mma.ECQF
+	mdqf  *mma.MDQF
+	cam   *sram.CAMStore
+	list  *sram.ListStore
+	ident *identityMapper
+
+	// Batch-local statistics deltas for the per-slot hot counters,
+	// reset by the prologue and flushed by the epilogue (the rare
+	// counters — drops, misses, stalls — hit Stats directly on their
+	// cold paths).
+	dArrivals   uint64
+	dRequests   uint64
+	dDeliveries uint64
+	dBypasses   uint64
+}
+
+// kernel returns the buffer's fused batch kernel, building it on first
+// use (the substrate components are fixed at construction, so the
+// devirtualization never goes stale).
+func (b *Buffer) kernel() *kernel {
+	if b.kern == nil {
+		k := &kernel{b: b}
+		switch h := b.hmma.(type) {
+		case *mma.ECQF:
+			k.ecqf = h
+		case *mma.MDQF:
+			k.mdqf = h
+		}
+		switch s := b.head.(type) {
+		case *sram.CAMStore:
+			k.cam = s
+		case *sram.ListStore:
+			k.list = s
+		}
+		if m, ok := b.mapr.(*identityMapper); ok {
+			k.ident = m
+		}
+		b.kern = k
+	}
+	return b.kern
+}
+
+// flush folds the batch-local deltas into the buffer statistics.
+func (k *kernel) flush() {
+	k.b.stats.Arrivals += k.dArrivals
+	k.b.stats.Requests += k.dRequests
+	k.b.stats.Deliveries += k.dDeliveries
+	k.b.stats.Bypasses += k.dBypasses
+}
+
+// insertHead lands one cell in the head SRAM through the concrete
+// store type.
+func (k *kernel) insertHead(p cell.PhysQueueID, pos uint64, c cell.Cell) error {
+	switch {
+	case k.cam != nil:
+		return k.cam.Insert(p, pos, c)
+	case k.list != nil:
+		return k.list.Insert(p, pos, c)
+	default:
+		return k.b.head.Insert(p, pos, c)
+	}
+}
+
+// run advances the buffer by one slot per element of in — the fused
+// equivalent of calling tickSlot len(in) times. It returns the number
+// of slots ticked; on error it stops after the offending slot (which
+// still completes, with its outcome in out[n-1]).
+func (k *kernel) run(in []TickInput, out []TickOutput, scratch []cell.Cell) (int, error) {
+	b := k.b
+
+	// Prologue: hoist the per-slot ring arithmetic into carried
+	// counters and reset the batch-local stats deltas.
+	ringLen := len(b.compRing)
+	slotIdx := int(b.now % cell.Slot(ringLen))
+	bs := b.cfg.Bsmall
+	phase := int(b.now) % bs
+	half := bs/2 - 1
+	fullBudget := b.cfg.IssuesPerCycle
+	halfBudget := (fullBudget + 1) / 2
+	logN := len(b.logical)
+	logHead := b.logHead
+	k.dArrivals, k.dRequests, k.dDeliveries, k.dBypasses = 0, 0, 0, 0
+
+	for i := range in {
+		var firstErr error
+
+		// 1. Land DRAM→SRAM transfers completing this slot (the
+		// compPending gate keeps the empty-calendar case to one
+		// compare).
+		if b.compPending != 0 {
+			if pending := b.compRing[slotIdx]; len(pending) > 0 {
+				for _, c := range pending {
+					base := c.ordinal * uint64(bs)
+					for j, cl := range c.cells {
+						if err := k.insertHead(c.phys, base+uint64(j), cl); err != nil {
+							b.stats.HeadOverflows++
+							if firstErr == nil {
+								firstErr = fmt.Errorf("head SRAM insert: %w", err)
+							}
+						}
+					}
+					b.dram.ReleaseBlock(c.cells)
+				}
+				b.compPending -= len(pending)
+				b.compRing[slotIdx] = pending[:0]
+			}
+		}
+
+		// 2. Arrival.
+		if q := in[i].Arrival; q != cell.NoQueue {
+			if err := k.arrive(q); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+
+		// 3. Request enters the pipeline; one shift per slot.
+		phys := cell.NoPhysQueue
+		logical := cell.NoQueue
+		if q := in[i].Request; q != cell.NoQueue {
+			p, lq, err := k.admitRequest(q)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			phys, logical = p, lq
+		}
+		// ECQF's window exit is delivered in this same slot (step 4), so
+		// its shift observation and the delivery's leave event fuse into
+		// one index update; deliver() skips OnRequestLeave in return.
+		var outPhys cell.PhysQueueID
+		if k.ecqf != nil {
+			outPhys = k.ecqf.ShiftDelivered(phys)
+		} else {
+			outPhys = b.look.Shift(phys)
+		}
+		outEntry := b.logical[logHead]
+		b.logical[logHead] = pipeEntry{logical: logical}
+		logHead++
+		if logHead == logN {
+			logHead = 0
+		}
+		if logical != cell.NoQueue {
+			b.inPipe++
+		}
+
+		// 4. Delivery at the pipeline exit.
+		out[i] = TickOutput{}
+		if outEntry.logical != cell.NoQueue {
+			b.inPipe--
+			delivered, bypassed, err := k.deliver(outPhys, outEntry.logical, &scratch[i])
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if delivered != nil {
+				out[i].Delivered = delivered
+				out[i].Bypassed = bypassed
+			}
+		}
+
+		// 5. MMA and DSA cycles at the b-slot phase boundaries.
+		if phase == bs-1 {
+			if err := k.tailCycle(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := k.headCycle(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if bs == 1 {
+			if err := b.dsaCycle(fullBudget); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		} else if phase == bs-1 || phase == half {
+			if err := b.dsaCycle(halfBudget); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+
+		if b.tailTotal > b.stats.TailHighWater {
+			b.stats.TailHighWater = b.tailTotal
+		}
+		b.now++
+		slotIdx++
+		if slotIdx == ringLen {
+			slotIdx = 0
+		}
+		phase++
+		if phase == bs {
+			phase = 0
+		}
+
+		if firstErr != nil {
+			b.logHead = logHead
+			k.flush()
+			return i + 1, firstErr
+		}
+	}
+
+	// Epilogue: write back the carried counters, fold in the stats.
+	b.logHead = logHead
+	k.flush()
+	return len(in), nil
+}
+
+// arrive is the fused twin of Buffer.arrive (batch-local arrival
+// counter; otherwise identical).
+func (k *kernel) arrive(q cell.QueueID) error {
+	b := k.b
+	if q < 0 || int(q) >= len(b.tails) {
+		return fmt.Errorf("%w: arrival for queue %d (Q=%d)", ErrUnknownQueue, q, len(b.tails))
+	}
+	if b.tailTotal >= b.cfg.TailSRAMCells {
+		b.stats.Drops++
+		if b.cfg.BankCapacityBlocks > 0 {
+			return fmt.Errorf("%w: queue %d at slot %d", ErrBufferFull, q, b.now)
+		}
+		return fmt.Errorf("%w: %d cells at slot %d", ErrTailOverflow, b.tailTotal, b.now)
+	}
+	seq := b.ks.arrivedSeq[q]
+	b.ks.arrivedSeq[q] = seq + 1
+	b.tails[q].push(cell.Cell{Queue: q, Seq: seq})
+	b.tailTotal++
+	b.tmma.OnArrival(q)
+	b.ks.sysOcc[q]++
+	k.dArrivals++
+	return nil
+}
+
+// admitRequest is the fused twin of Buffer.admitRequest: the
+// requestable probe reads the packed arrays, the identity mapper is
+// consumed inline, and the head-MMA entry event goes to the concrete
+// type (a no-op for ECQF, so the call disappears entirely).
+func (k *kernel) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, error) {
+	b := k.b
+	if q < 0 || int(q) >= len(b.ks.sysOcc) || b.ks.sysOcc[q]-b.ks.pendingReq[q] <= 0 {
+		b.stats.BadRequests++
+		return cell.NoPhysQueue, cell.NoQueue,
+			fmt.Errorf("%w: queue %d at slot %d", ErrBadRequest, q, b.now)
+	}
+	b.ks.pendingReq[q]++
+	b.pendingTotal++
+	k.dRequests++
+	var phys cell.PhysQueueID
+	var ok bool
+	if m := k.ident; m != nil {
+		if m.towardDRAM[q] > 0 {
+			m.towardDRAM[q]--
+			phys, ok = cell.PhysQueueID(q), true
+		}
+	} else {
+		phys, ok = b.mapr.ConsumeForRequest(q)
+	}
+	if !ok {
+		b.tails[q].promised++
+		b.tmma.OnBypass(q)
+		return cell.NoPhysQueue, q, nil
+	}
+	if k.mdqf != nil {
+		k.mdqf.OnRequestEnter(phys)
+	} else if k.ecqf == nil {
+		b.hmma.OnRequestEnter(phys)
+	}
+	return phys, q, nil
+}
+
+// deliver is the fused twin of Buffer.deliver with the head-SRAM pop
+// and the leave event resolved to the concrete types.
+func (k *kernel) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) (*cell.Cell, bool, error) {
+	b := k.b
+	var c cell.Cell
+	bypassed := false
+	if phys == cell.NoPhysQueue {
+		tq := &b.tails[q]
+		if tq.len() == 0 || tq.promised == 0 {
+			b.stats.Misses++
+			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
+				ErrMiss, q, b.now)
+		}
+		c = tq.popFront()
+		tq.promised--
+		b.tailTotal--
+		bypassed = true
+	} else {
+		// ECQF's leave event was already folded into ShiftDelivered;
+		// MDQF's is a no-op by construction.
+		if k.ecqf == nil && k.mdqf == nil {
+			b.hmma.OnRequestLeave(phys)
+		}
+		var popped cell.Cell
+		var err error
+		switch {
+		case k.cam != nil:
+			popped, err = k.cam.Pop(phys)
+		case k.list != nil:
+			popped, err = k.list.Pop(phys)
+		default:
+			popped, err = b.head.Pop(phys)
+		}
+		if err != nil {
+			b.stats.Misses++
+			return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
+				ErrMiss, q, phys, b.now, err)
+		}
+		c = popped
+	}
+
+	*dst = c
+	want := b.ks.deliveredSeq[q]
+	if c.Queue != q || c.Seq != want {
+		return dst, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
+			ErrOutOfOrder, q, c, want)
+	}
+	b.ks.deliveredSeq[q] = want + 1
+	b.ks.sysOcc[q]--
+	b.ks.pendingReq[q]--
+	b.pendingTotal--
+	k.dDeliveries++
+	if bypassed {
+		k.dBypasses++
+	}
+	return dst, bypassed, nil
+}
+
+// tailCycle is the fused twin of Buffer.tailCycle with the identity
+// mapper's write-target probe inlined.
+func (k *kernel) tailCycle() error {
+	b := k.b
+	if !b.sched.CanEnqueue() {
+		b.stats.TailStalls++
+		return nil
+	}
+	q, ok := b.tmma.Select(b.writeEligible)
+	if !ok {
+		return nil
+	}
+	var p cell.PhysQueueID
+	if m := k.ident; m != nil {
+		p = cell.PhysQueueID(q)
+		if !b.dram.CanWrite(p) {
+			b.stats.TailStalls++
+			return nil
+		}
+	} else {
+		var err error
+		p, err = b.mapr.WriteTarget(q)
+		if err != nil {
+			b.stats.TailStalls++
+			return nil
+		}
+	}
+	ordinal, bank, err := b.dram.ReserveWrite(p)
+	if err != nil {
+		b.stats.TailStalls++
+		return nil
+	}
+	if m := k.ident; m != nil {
+		m.towardDRAM[q] += b.cfg.Bsmall
+	} else if err := b.mapr.NoteWrite(q, p); err != nil {
+		return err
+	}
+	blk := b.dram.AcquireBlock()
+	b.tails[q].extractBlock(b.cfg.Bsmall, blk)
+	b.tmma.OnTransfer(q)
+	return b.sched.Enqueue(dss.Request{
+		Queue: p, Dir: dss.Write, Ordinal: ordinal, Bank: bank,
+		Cells: blk, Enqueued: b.now,
+	})
+}
+
+// headCycle is the fused twin of Buffer.headCycle with the selection
+// resolved through the concrete head MMA.
+func (k *kernel) headCycle() error {
+	b := k.b
+	if !b.sched.CanEnqueue() {
+		b.stats.HeadStalls++
+		return nil
+	}
+	var p cell.PhysQueueID
+	var ok bool
+	switch {
+	case k.ecqf != nil:
+		p, ok = k.ecqf.Select(nil)
+	case k.mdqf != nil:
+		p, ok = k.mdqf.Select(nil)
+	default:
+		p, ok = b.hmma.Select(nil)
+	}
+	if !ok {
+		return nil
+	}
+	ordinal, bank, err := b.dram.ReserveRead(p)
+	if err != nil {
+		return fmt.Errorf("core: replenish reserve for phys %d: %w", p, err)
+	}
+	if k.ecqf != nil {
+		k.ecqf.OnReplenish(p)
+	} else if k.mdqf != nil {
+		k.mdqf.OnReplenish(p)
+	} else {
+		b.hmma.OnReplenish(p)
+	}
+	return b.sched.Enqueue(dss.Request{
+		Queue: p, Dir: dss.Read, Ordinal: ordinal, Bank: bank, Enqueued: b.now,
+	})
+}

@@ -94,19 +94,92 @@ func (c Config) Validate() error {
 func (c Config) Groups() int { return c.Banks / c.BanksPerGroup }
 
 // queueState tracks one physical queue's stored blocks plus the
-// reservation cursors. blocks holds *issued* writes, keyed by block
-// ordinal (not a queue identifier — the queue dimension itself is the
-// dense arena index); reads remove entries. Ordinals below
-// readReserved are consumed; ordinals in [readReserved, writeReserved)
-// are live or in flight.
+// reservation cursors. The stored blocks live in an ordinal-indexed
+// ring window (see blockRing) instead of a hash map: block ordinals
+// are dense and monotone, so the window [ring.base, writeReserved)
+// addresses every live or in-flight block with one mask, no hashing
+// and no per-entry allocation — the datapath probes are pure indexed
+// loads. Ordinals below readReserved are consumed or have their read
+// in flight; ordinals in [readReserved, writeReserved) are live.
 type queueState struct {
-	blocks map[uint64][]cell.Cell
+	ring blockRing
 	// writeReserved is the next block ordinal to assign to a write.
 	writeReserved uint64
 	// readReserved is the next block ordinal to assign to a read.
 	readReserved uint64
 	// readsDone counts issued reads, for stats.
 	readsDone uint64
+}
+
+// blockRing is a power-of-two ring of issued-but-unread blocks indexed
+// by block ordinal. base is the lowest ordinal the window may still
+// address; slots[ordinal&mask] is nil when the ordinal is absent
+// (consumed, or its write not yet issued). The window only needs to
+// cover [base, writeReserved); base advances lazily over consumed
+// ordinals (nil slots below readReserved), so steady-state operation
+// re-uses the same few slots and the ring grows — geometrically, off
+// the steady-state path — only when a genuine block backlog builds up.
+type blockRing struct {
+	slots [][]cell.Cell
+	base  uint64
+}
+
+// get returns the block stored at ordinal, or nil.
+func (r *blockRing) get(ordinal uint64) []cell.Cell {
+	if ordinal < r.base || ordinal-r.base >= uint64(len(r.slots)) {
+		return nil
+	}
+	return r.slots[ordinal&uint64(len(r.slots)-1)]
+}
+
+// del removes the block at ordinal (a no-op when absent).
+func (r *blockRing) del(ordinal uint64) {
+	if ordinal < r.base || ordinal-r.base >= uint64(len(r.slots)) {
+		return
+	}
+	r.slots[ordinal&uint64(len(r.slots)-1)] = nil
+}
+
+// put stores blk at ordinal, growing the window as needed. consumedLim
+// is the caller's readReserved cursor: every nil slot below it is a
+// consumed ordinal the base may slide past to make room without
+// growing.
+func (r *blockRing) put(ordinal uint64, blk []cell.Cell, consumedLim uint64) {
+	if ordinal < r.base {
+		// Cannot happen with the DRAM's cursor discipline (writes land
+		// at ordinals ≥ readReserved ≥ base); guard for safety.
+		panic("dram: block ordinal below ring window")
+	}
+	if ordinal-r.base >= uint64(len(r.slots)) {
+		r.grow(ordinal, consumedLim)
+	}
+	r.slots[ordinal&uint64(len(r.slots)-1)] = blk
+}
+
+// grow makes the window cover ordinal: first the base slides past
+// consumed ordinals, then the ring doubles until the span fits.
+func (r *blockRing) grow(ordinal, consumedLim uint64) {
+	if n := uint64(len(r.slots)); n > 0 {
+		for r.base < consumedLim && r.slots[r.base&(n-1)] == nil {
+			r.base++
+		}
+	}
+	need := ordinal - r.base + 1
+	size := uint64(len(r.slots))
+	if size == 0 {
+		size = 8
+	}
+	for size < need {
+		size *= 2
+	}
+	if size == uint64(len(r.slots)) {
+		return
+	}
+	grown := make([][]cell.Cell, size)
+	for o := r.base; o < r.base+uint64(len(r.slots)); o++ {
+		grown[o&(size-1)] = r.slots[o&uint64(len(r.slots)-1)]
+	}
+	r.slots = grown
 }
 
 // DRAM is the banked memory system. It is not safe for concurrent use;
@@ -116,6 +189,15 @@ type DRAM struct {
 	busyUntil []cell.Slot  // per bank: busy while now < busyUntil
 	groupBlk  []int        // per group: blocks reserved-or-stored
 	queues    []queueState // dense arena indexed by physical ordinal
+
+	// groupMask/bankMask replace the per-probe modulo of Group/BankFor
+	// with a mask when the respective count is a power of two (-1
+	// otherwise): both sit on the per-block datapath (every CanWrite,
+	// bank probe and DSS conflict test lands here), where a runtime
+	// division is the single most expensive instruction left.
+	groups    int
+	groupMask int
+	bankMask  int
 
 	// readable mirrors ReadableNow per physical queue as a dense
 	// hierarchical bitset, updated by every reservation/issue
@@ -141,13 +223,23 @@ func New(cfg Config) *DRAM {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &DRAM{
+	d := &DRAM{
 		cfg:       cfg,
 		busyUntil: make([]cell.Slot, cfg.Banks),
 		groupBlk:  make([]int, cfg.Groups()),
 		queues:    make([]queueState, cfg.Queues),
 		readable:  bitset.New(cfg.Queues),
+		groups:    cfg.Groups(),
+		groupMask: -1,
+		bankMask:  -1,
 	}
+	if g := d.groups; g&(g-1) == 0 {
+		d.groupMask = g - 1
+	}
+	if b := cfg.BanksPerGroup; b&(b-1) == 0 {
+		d.bankMask = b - 1
+	}
+	return d
 }
 
 // Config returns the configuration the DRAM was built with.
@@ -156,14 +248,22 @@ func (d *DRAM) Config() Config { return d.cfg }
 // Group returns the bank group a physical queue is statically assigned
 // to: the low-order bits of the queue field (Figure 6), i.e. p mod G.
 func (d *DRAM) Group(p cell.PhysQueueID) int {
-	return int(p) % d.cfg.Groups()
+	if d.groupMask >= 0 {
+		return int(p) & d.groupMask
+	}
+	return int(p) % d.groups
 }
 
 // BankFor returns the bank that block ordinal k of queue p maps to
 // under the block-cyclic interleave of Figure 6.
 func (d *DRAM) BankFor(p cell.PhysQueueID, ordinal uint64) BankID {
 	g := d.Group(p)
-	idx := int(ordinal % uint64(d.cfg.BanksPerGroup))
+	var idx int
+	if d.bankMask >= 0 {
+		idx = int(ordinal) & d.bankMask
+	} else {
+		idx = int(ordinal % uint64(d.cfg.BanksPerGroup))
+	}
 	return BankID(g*d.cfg.BanksPerGroup + idx)
 }
 
@@ -267,10 +367,7 @@ func (d *DRAM) ReadableSet() *bitset.Set { return d.readable }
 // cursors and the stored blocks. Called after every transition that
 // can flip it; idempotent.
 func (d *DRAM) refreshReadable(p cell.PhysQueueID, q *queueState) {
-	ok := q.readReserved < q.writeReserved
-	if ok {
-		_, ok = q.blocks[q.readReserved]
-	}
+	ok := q.readReserved < q.writeReserved && q.ring.get(q.readReserved) != nil
 	if ok {
 		d.readable.Set(int(p))
 	} else {
@@ -297,11 +394,7 @@ func (d *DRAM) queue(p cell.PhysQueueID) *queueState {
 		d.queues = arena.Grown(d.queues, int(p)+1)
 		d.readable.Grow(len(d.queues))
 	}
-	q := &d.queues[p]
-	if q.blocks == nil {
-		q.blocks = make(map[uint64][]cell.Cell)
-	}
-	return q
+	return &d.queues[p]
 }
 
 // AcquireBlock returns a length-b cell slice from the recycling pool
@@ -356,7 +449,7 @@ func (d *DRAM) BeginWriteAt(p cell.PhysQueueID, ordinal uint64, cells []cell.Cel
 	if ordinal >= q.writeReserved {
 		return NoBank, fmt.Errorf("%w: write ordinal %d not reserved (next %d)", ErrBadOrdinal, ordinal, q.writeReserved)
 	}
-	if _, dup := q.blocks[ordinal]; dup {
+	if q.ring.get(ordinal) != nil {
 		return NoBank, fmt.Errorf("%w: write ordinal %d already issued", ErrBadOrdinal, ordinal)
 	}
 	if ordinal < q.readReserved {
@@ -369,7 +462,7 @@ func (d *DRAM) BeginWriteAt(p cell.PhysQueueID, ordinal uint64, cells []cell.Cel
 	}
 	stored := d.AcquireBlock()
 	copy(stored, cells)
-	q.blocks[ordinal] = stored
+	q.ring.put(ordinal, stored, q.readReserved)
 	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)
 	d.accesses++
 	d.busySlots += uint64(d.cfg.AccessSlots)
@@ -407,7 +500,7 @@ func (d *DRAM) ReserveRead(p cell.PhysQueueID) (ordinal uint64, bank BankID, err
 	if q.readReserved >= q.writeReserved {
 		return 0, NoBank, fmt.Errorf("%w: physical queue %d", ErrQueueEmpty, p)
 	}
-	if _, ok := q.blocks[q.readReserved]; !ok {
+	if q.ring.get(q.readReserved) == nil {
 		return 0, NoBank, fmt.Errorf("%w: physical queue %d block %d write not yet issued",
 			ErrQueueEmpty, p, q.readReserved)
 	}
@@ -426,8 +519,8 @@ func (d *DRAM) BeginReadAt(p cell.PhysQueueID, ordinal uint64, now cell.Slot) (B
 	if ordinal >= q.readReserved {
 		return NoBank, nil, fmt.Errorf("%w: read ordinal %d not reserved (next %d)", ErrBadOrdinal, ordinal, q.readReserved)
 	}
-	blk, ok := q.blocks[ordinal]
-	if !ok {
+	blk := q.ring.get(ordinal)
+	if blk == nil {
 		return NoBank, nil, fmt.Errorf("%w: read ordinal %d absent or already read", ErrBadOrdinal, ordinal)
 	}
 	b := d.BankFor(p, ordinal)
@@ -435,7 +528,7 @@ func (d *DRAM) BeginReadAt(p cell.PhysQueueID, ordinal uint64, now cell.Slot) (B
 		return NoBank, nil, fmt.Errorf("%w: bank %d busy until slot %d, read at slot %d",
 			ErrBankConflict, b, d.busyUntil[b], now)
 	}
-	delete(q.blocks, ordinal)
+	q.ring.del(ordinal)
 	q.readsDone++
 	d.busyUntil[b] = now + cell.Slot(d.cfg.AccessSlots)
 	d.groupBlk[d.Group(p)]--

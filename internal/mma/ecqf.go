@@ -160,6 +160,37 @@ func (e *ECQF) onShift(slot int, in, out cell.PhysQueueID) {
 	}
 }
 
+// ShiftDelivered advances the lookahead by one slot exactly like
+// Lookahead.Shift, but with the exiting request's leave event (the
+// OnRequestLeave ledger debit) folded into the same index update. The
+// caller guarantees the exiting request — when there is one — is
+// delivered in this very slot, which is the dense steady state of the
+// core tick: the window exit and the delivery point are the same
+// pipeline stage. Fusing the two events collapses their index work:
+// popping q's oldest window position shifts the critical index from
+// pos[k] to pos[k+1], and the ledger debit (k→k−1) shifts it straight
+// back, so the critical bitmap usually does not move at all and the
+// two hierarchical clear/set walks of the unfused sequence vanish. The
+// intermediate state is unobservable (no selection runs between the
+// shift and the delivery inside one slot), so the final index is
+// bit-identical to Shift followed by OnRequestLeave — which the
+// kernel differential suite pins.
+func (e *ECQF) ShiftDelivered(in cell.PhysQueueID) (out cell.PhysQueueID) {
+	slot, out := e.look.shiftRaw(in)
+	if out != cell.NoPhysQueue {
+		e.ensure(out)
+		e.pos[out].popFront()
+		e.occ[out]--
+		e.recompute(out)
+	}
+	if in != cell.NoPhysQueue {
+		e.ensure(in)
+		e.pos[in].push(int32(slot))
+		e.recompute(in)
+	}
+	return out
+}
+
 // recompute restores the critSlot/crit invariant for q after any
 // event that moved its ledger or its window membership.
 func (e *ECQF) recompute(q cell.PhysQueueID) {
@@ -242,15 +273,27 @@ func (e *ECQF) eligibleQ(q cell.PhysQueueID, eligible func(cell.PhysQueueID) boo
 // beyond the dimensioned bound.
 func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
 	head := e.look.head
-	for slot := e.crit.NextFrom(head); slot >= 0; slot = e.crit.NextFrom(slot + 1) {
+	n := len(e.look.ring)
+	// Circular walk over the critical-slot bitmap from the window head:
+	// one wrapped find-first-set per candidate, terminating when the
+	// circular distance from head stops growing (the walk has lapped).
+	slot := e.crit.NextFromWrap(head)
+	for slot >= 0 {
 		if q := e.look.ring[slot]; e.eligibleQ(q, eligible) {
 			return q, true
 		}
-	}
-	for slot := e.crit.NextFrom(0); slot >= 0 && slot < head; slot = e.crit.NextFrom(slot + 1) {
-		if q := e.look.ring[slot]; e.eligibleQ(q, eligible) {
-			return q, true
+		next := e.crit.NextFromWrap(slot + 1)
+		dNext, dSlot := next-head, slot-head
+		if dNext < 0 {
+			dNext += n
 		}
+		if dSlot < 0 {
+			dSlot += n
+		}
+		if next < 0 || dNext <= dSlot {
+			break
+		}
+		slot = next
 	}
 	return cell.NoPhysQueue, false
 }

@@ -83,7 +83,20 @@ func (l *Lookahead) Pending() int { return l.count }
 // the head entry is returned. This is the only mutation — the register
 // models hardware, so it moves exactly once per slot.
 func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
-	slot := l.head
+	slot, out := l.shiftRaw(in)
+	if l.onShift != nil {
+		l.onShift(slot, in, out)
+	}
+	return out
+}
+
+// shiftRaw moves the register without notifying the shift observer and
+// additionally reports the ring slot the exchange happened at. It
+// exists for observers that drive the shift themselves (ECQF's fused
+// shift-and-deliver path) and must never be mixed with Shift by anyone
+// else — a skipped observer notification leaves the index stale.
+func (l *Lookahead) shiftRaw(in cell.PhysQueueID) (slot int, out cell.PhysQueueID) {
+	slot = l.head
 	out = l.ring[slot]
 	l.ring[slot] = in
 	l.head = slot + 1
@@ -96,10 +109,7 @@ func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
 	if in != cell.NoPhysQueue {
 		l.count++
 	}
-	if l.onShift != nil {
-		l.onShift(slot, in, out)
-	}
-	return out
+	return slot, out
 }
 
 // FastForward rotates the register head by n idle shifts in O(1). The

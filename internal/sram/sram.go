@@ -67,11 +67,45 @@ type Store interface {
 }
 
 // camQueue is the per-queue state of the CAM organization. The cells
-// map is keyed by stream position (not a queue identifier), mirroring
-// the associative tag lookup of the hardware.
+// ring is indexed by stream position (not a queue identifier),
+// mirroring the associative tag lookup of the hardware: the tag is
+// (queue, position), and since positions of one queue are consumed
+// strictly in order, the live tags always fall in the window
+// [nextPop, nextPop+len(cells)), so a power-of-two ring addressed by
+// pos&(len-1) resolves the lookup in O(1) without hashing.
 type camQueue struct {
-	cells   map[uint64]cell.Cell
+	cells   []cell.Cell
+	present []bool
 	nextPop uint64
+	count   int
+}
+
+// ensure grows the ring until position pos fits in the window
+// starting at nextPop, re-placing resident cells by their position.
+func (st *camQueue) ensure(pos uint64) {
+	need := pos - st.nextPop + 1
+	size := uint64(len(st.cells))
+	if size >= need {
+		return
+	}
+	if size == 0 {
+		size = 8
+	}
+	for size < need {
+		size <<= 1
+	}
+	cells := make([]cell.Cell, size)
+	present := make([]bool, size)
+	oldMask := uint64(len(st.cells) - 1)
+	newMask := size - 1
+	for p := st.nextPop; p < st.nextPop+uint64(len(st.cells)); p++ {
+		if st.present[p&oldMask] {
+			cells[p&newMask] = st.cells[p&oldMask]
+			present[p&newMask] = true
+		}
+	}
+	st.cells = cells
+	st.present = present
 }
 
 // CAMStore is the global content-addressable organization (§7.1):
@@ -101,11 +135,7 @@ func (s *CAMStore) queue(q cell.PhysQueueID) *camQueue {
 	for int(q) >= len(s.queues) {
 		s.queues = append(s.queues, camQueue{})
 	}
-	st := &s.queues[q]
-	if st.cells == nil {
-		st.cells = make(map[uint64]cell.Cell)
-	}
-	return st
+	return &s.queues[q]
 }
 
 // Insert implements Store.
@@ -114,13 +144,17 @@ func (s *CAMStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 		return fmt.Errorf("%w: capacity %d", ErrFull, s.capacity)
 	}
 	st := s.queue(q)
-	if _, dup := st.cells[pos]; dup {
-		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
-	}
 	if pos < st.nextPop {
 		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
 	}
-	st.cells[pos] = c
+	st.ensure(pos)
+	slot := pos & uint64(len(st.cells)-1)
+	if st.present[slot] {
+		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
+	}
+	st.cells[slot] = c
+	st.present[slot] = true
+	st.count++
 	s.total++
 	if s.total > s.highWater {
 		s.highWater = s.total
@@ -131,12 +165,17 @@ func (s *CAMStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 // Pop implements Store.
 func (s *CAMStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 	st := s.queue(q)
-	c, ok := st.cells[st.nextPop]
-	if !ok {
+	if st.count == 0 {
 		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
 	}
-	delete(st.cells, st.nextPop)
+	slot := st.nextPop & uint64(len(st.cells)-1)
+	if !st.present[slot] {
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
+	}
+	c := st.cells[slot]
+	st.present[slot] = false
 	st.nextPop++
+	st.count--
 	s.total--
 	return c, nil
 }
@@ -144,8 +183,14 @@ func (s *CAMStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 // Peek implements Store.
 func (s *CAMStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
 	st := s.queue(q)
-	c, ok := st.cells[st.nextPop]
-	return c, ok
+	if st.count == 0 {
+		return cell.Cell{}, false
+	}
+	slot := st.nextPop & uint64(len(st.cells)-1)
+	if !st.present[slot] {
+		return cell.Cell{}, false
+	}
+	return st.cells[slot], true
 }
 
 // HasNext implements Store.
@@ -155,7 +200,7 @@ func (s *CAMStore) HasNext(q cell.PhysQueueID) bool {
 }
 
 // Len implements Store.
-func (s *CAMStore) Len(q cell.PhysQueueID) int { return len(s.queue(q).cells) }
+func (s *CAMStore) Len(q cell.PhysQueueID) int { return s.queue(q).count }
 
 // Total implements Store.
 func (s *CAMStore) Total() int { return s.total }

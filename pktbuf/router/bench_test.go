@@ -3,6 +3,7 @@ package router_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/pktbuf"
@@ -75,6 +76,11 @@ func driveEngine(b *testing.B, e *router.Engine, ports, classes int) {
 		b.Fatal("no slots")
 	}
 	b.ReportMetric(float64(st.SwitchedCells)/float64(st.Slots), "cells/slot")
+	// The parallel rows only demonstrate multi-core speedup when the
+	// host actually has the cores; emit the count so recorded baselines
+	// carry a machine-checkable single-CPU caveat instead of a prose
+	// one (a `cpus` field in BENCH_baseline.json rows).
+	b.ReportMetric(float64(runtime.NumCPU()), "cpus")
 }
 
 // BenchmarkRouterStep is the serial reference: the whole engine on
