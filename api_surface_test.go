@@ -17,7 +17,7 @@ import (
 
 // publicPackages is the supported API surface: everything importable
 // outside the module. A change here is a compatibility event.
-var publicPackages = []string{"pktbuf", "pktbuf/packet", "pktbuf/router", "pktbuf/sim", "pktbuf/trace"}
+var publicPackages = []string{"pktbuf", "pktbuf/packet", "pktbuf/router", "pktbuf/serve", "pktbuf/serve/wire", "pktbuf/sim", "pktbuf/trace"}
 
 // publicAPISurface renders the exported declarations (signatures
 // only, no bodies, no comments) of every public package into a
@@ -120,17 +120,20 @@ func surfaceDiff(want, got string) string {
 // code is user-facing documentation and must not reach into
 // repro/internal. cmd/pktbufsim is held to the same rule — it is the
 // reference harness for the public surface, including the router
-// engine mode.
+// engine mode — as are cmd/pktbufd and cmd/pktbufload, the serving
+// daemon and its load generator.
 func TestExamplesUsePublicAPIOnly(t *testing.T) {
 	files, err := filepath.Glob("examples/*/*.go")
 	if err != nil {
 		t.Fatal(err)
 	}
-	simFiles, err := filepath.Glob("cmd/pktbufsim/*.go")
-	if err != nil {
-		t.Fatal(err)
+	for _, pattern := range []string{"cmd/pktbufsim/*.go", "cmd/pktbufd/*.go", "cmd/pktbufload/*.go"} {
+		more, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, more...)
 	}
-	files = append(files, simFiles...)
 	if len(files) == 0 {
 		t.Fatal("no example files found")
 	}

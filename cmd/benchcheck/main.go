@@ -11,7 +11,10 @@
 // baseline by more than -tolerance (default 25%), or when it reports a
 // nonzero allocs/op while the baseline row records zero. Benchmarks
 // with no baseline row are reported but never fail the gate, so suites
-// can grow ahead of the recorded baselines.
+// can grow ahead of the recorded baselines; conversely, baseline rows
+// with no matching observation in the run are warned about but never
+// fail the gate, so a narrower -bench selection can be checked against
+// a wide baseline section.
 //
 // Baseline sections may nest sub-objects (queue_scaling, rows, ...);
 // any object with an "ns_op" field found under the section, keyed by a
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -167,6 +171,16 @@ func main() {
 		}
 		fmt.Printf("benchcheck: %-55s %10.1f ns/op  vs %8.1f (limit %8.1f)  %s\n",
 			name, o.nsOp, base.NsOp, limit, status)
+	}
+	var missing []string
+	for name := range baselines {
+		if _, ok := seen[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("benchcheck: %-55s not in this run (baseline row unused)\n", name)
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL: regression over baseline")

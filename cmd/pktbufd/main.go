@@ -1,0 +1,169 @@
+// Command pktbufd serves the hybrid SRAM/DRAM packet buffer over the
+// network: a long-lived daemon wrapping one engine instance behind
+// the repro/pktbuf/serve layer. Clients speak the length-prefixed
+// wire protocol on -listen (handshake for flows, submit cells,
+// receive deliveries with typed backpressure); operators scrape
+// Prometheus-text metrics and health on -http and stop the daemon
+// with SIGINT/SIGTERM, which drains gracefully: admission closes,
+// every in-flight cell is delivered, connections are confirmed with
+// Bye, then the process exits.
+//
+// Quickstart:
+//
+//	pktbufd -queues 16384 -listen :9950 -http :9951
+//	pktbufload -addr localhost:9950 -flows 10000 -duration 5s
+//	curl -s localhost:9951/metrics | grep pktbufd_
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pktbuf"
+	"repro/pktbuf/serve"
+)
+
+func lineRate(s string) (pktbuf.LineRate, error) {
+	switch s {
+	case "oc192":
+		return pktbuf.OC192, nil
+	case "oc768":
+		return pktbuf.OC768, nil
+	case "oc3072":
+		return pktbuf.OC3072, nil
+	}
+	return 0, fmt.Errorf("unknown line rate %q (want oc192|oc768|oc3072)", s)
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":9950", "data-plane listen address (wire protocol)")
+		httpAddr = flag.String("http", ":9951", "control-plane listen address (/metrics, /healthz; empty disables)")
+
+		queues   = flag.Int("queues", 1024, "number of VOQs (Q)")
+		rateName = flag.String("rate", "oc768", "line rate: oc192|oc768|oc3072")
+		gran     = flag.Int("b", 2, "CFDS granularity b in cells")
+		banks    = flag.Int("banks", 256, "DRAM banks (M)")
+		bankCap  = flag.Int("bankcap", 0, "blocks per bank (0 = unbounded)")
+
+		maxConns  = flag.Int("maxconns", 0, "max concurrent client connections (0 = default)")
+		ring      = flag.Int("ring", 0, "per-connection ingress ring capacity in cells (0 = default)")
+		window    = flag.Int("window", 0, "per-connection in-system window in cells (0 = auto from pipeline depth)")
+		batch     = flag.Int("batch", 0, "serving-loop TickBatch size in slots (0 = default)")
+		tickEvery = flag.Duration("tick", 0, "wall-clock pacing per slot (0 = free-running)")
+
+		report       = flag.Duration("report", 0, "log an engine stats delta this often (0 = off)")
+		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "pktbufd: ", log.LstdFlags)
+
+	rate, err := lineRate(*rateName)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	srv, err := serve.NewServer(serve.Config{
+		Buffer: pktbuf.Config{
+			Queues:             *queues,
+			LineRate:           rate,
+			Granularity:        *gran,
+			Banks:              *banks,
+			BankCapacityBlocks: *bankCap,
+		},
+		MaxConns:    *maxConns,
+		IngressRing: *ring,
+		Window:      *window,
+		Batch:       *batch,
+		TickEvery:   *tickEvery,
+		ErrorLog:    logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	sz := srv.Sizing()
+	logger.Printf("engine: Q=%d b=%d lookahead=%d delay=%d slots, window=%d ring=%d",
+		*queues, sz.Granularity, sz.Lookahead, sz.DelaySlots,
+		srv.Config().Window, srv.Config().IngressRing)
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("data plane on %s", lis.Addr())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		ctlLis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("control plane on %s", ctlLis.Addr())
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := httpSrv.Serve(ctlLis); err != nil && err != http.ErrServerClosed {
+				logger.Printf("control plane: %v", err)
+			}
+		}()
+	}
+
+	var reportStop chan struct{}
+	if *report > 0 {
+		reportStop = make(chan struct{})
+		go func() {
+			prev := srv.BufferStats()
+			prevSlots := srv.Slots()
+			tick := time.NewTicker(*report)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cur := srv.BufferStats()
+					slots := srv.Slots()
+					d := cur.Sub(prev)
+					adm := srv.Admission()
+					logger.Printf("interval: slots=%d arrivals=%d deliveries=%d bypasses=%d drops=%d ff=%d | conns=%d flows=%d rejected=%d",
+						slots-prevSlots, d.Arrivals, d.Deliveries, d.Bypasses, d.Drops,
+						d.FastForwardedSlots, adm.Conns, adm.Flows, adm.Rejected())
+					prev, prevSlots = cur, slots
+				case <-reportStop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		logger.Printf("%v: draining", got)
+	case err := <-serveErr:
+		logger.Fatalf("data plane: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain failed (%v); closed hard", err)
+		os.Exit(1)
+	}
+	if reportStop != nil {
+		close(reportStop)
+	}
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	st := srv.BufferStats()
+	adm := srv.Admission()
+	logger.Printf("drained clean: slots=%d arrivals=%d deliveries=%d admitted=%d rejected=%d clean=%v",
+		srv.Slots(), st.Arrivals, st.Deliveries, adm.Admitted, adm.Rejected(), st.Clean())
+}

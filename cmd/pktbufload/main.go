@@ -1,0 +1,167 @@
+// Command pktbufload is the load-generator client for pktbufd: it
+// opens data-plane connections, handshakes each for a slice of flows,
+// and submits cells drawn from the repro/pktbuf/sim workload
+// generators at a paced aggregate rate, reporting delivery and
+// backpressure counters at the end. The soak smoke in CI drives a
+// high-flow-count run against a live daemon and asserts zero
+// admission rejects at sub-capacity load.
+//
+//	pktbufload -addr localhost:9950 -conns 8 -flows 10000 -rate 200000 -duration 5s
+//
+// Exit status is non-zero if any connection failed, any cell was
+// rejected while -strict is set, or not every submitted cell was
+// delivered by the final Bye.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/pktbuf"
+	"repro/pktbuf/serve"
+	"repro/pktbuf/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9950", "pktbufd data-plane address")
+		conns    = flag.Int("conns", 8, "client connections to open")
+		flows    = flag.Int("flows", 1024, "total flows across all connections")
+		rate     = flag.Float64("rate", 100000, "aggregate offered load in cells/second")
+		duration = flag.Duration("duration", 5*time.Second, "how long to offer load")
+		every    = flag.Duration("every", 5*time.Millisecond, "submit cadence per connection")
+		pattern  = flag.String("arrivals", "uniform", "flow-choice pattern: uniform|roundrobin")
+		seed     = flag.Int64("seed", 1, "workload RNG seed")
+		strict   = flag.Bool("strict", false, "exit non-zero on any admission reject")
+		byeWait  = flag.Duration("byewait", 30*time.Second, "drain confirmation budget per connection")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "pktbufload: ", log.LstdFlags)
+	if *conns <= 0 || *flows < *conns {
+		logger.Fatalf("need at least one flow per connection (conns=%d flows=%d)", *conns, *flows)
+	}
+
+	type result struct {
+		stats   serve.ClientStats
+		rejects int
+		err     error
+	}
+	results := make([]result, *conns)
+	var wg sync.WaitGroup
+	perConn := *flows / *conns
+	cps := *rate / float64(*conns)
+	for i := 0; i < *conns; i++ {
+		n := perConn
+		if i == 0 {
+			n += *flows % *conns
+		}
+		wg.Add(1)
+		go func(i, nFlows int) {
+			defer wg.Done()
+			res := &results[i]
+			c, err := serve.Dial(*addr, nFlows)
+			if err != nil {
+				res.err = fmt.Errorf("dial: %w", err)
+				return
+			}
+			assigned := c.Flows()
+			// The sim generator picks which flow each cell belongs to;
+			// load 1.0 yields one pick per draw.
+			var gen sim.ArrivalProcess
+			switch *pattern {
+			case "uniform":
+				gen, err = sim.NewUniformArrivals(nFlows, 1.0, *seed+int64(i))
+			case "roundrobin":
+				gen, err = sim.NewRoundRobinArrivals(nFlows, 1.0)
+			default:
+				err = fmt.Errorf("unknown arrivals pattern %q", *pattern)
+			}
+			if err != nil {
+				res.err = err
+				c.Close()
+				return
+			}
+			var (
+				slot    uint64
+				carry   float64
+				deadln  = time.Now().Add(*duration)
+				burst   = make([]pktbuf.Queue, 0, 4096)
+				perTick = cps * every.Seconds()
+			)
+			for time.Now().Before(deadln) {
+				carry += perTick
+				n := int(carry)
+				carry -= float64(n)
+				burst = burst[:0]
+				for j := 0; j < n; j++ {
+					q := gen.Next(slot)
+					slot++
+					if q == pktbuf.None {
+						continue
+					}
+					burst = append(burst, assigned[q])
+					if len(burst) == cap(burst) {
+						if err := c.Submit(burst); err != nil {
+							res.err = fmt.Errorf("submit: %w", err)
+							break
+						}
+						burst = burst[:0]
+					}
+				}
+				if res.err == nil && len(burst) > 0 {
+					if err := c.Submit(burst); err != nil {
+						res.err = fmt.Errorf("submit: %w", err)
+					}
+				}
+				if res.err != nil {
+					break
+				}
+				time.Sleep(*every)
+			}
+			if res.err == nil {
+				ctx, cancel := context.WithTimeout(context.Background(), *byeWait)
+				if err := c.Bye(ctx); err != nil {
+					res.err = fmt.Errorf("bye: %w", err)
+				}
+				cancel()
+			} else {
+				c.Close()
+			}
+			res.stats = c.Stats()
+			res.rejects = len(c.Rejects())
+		}(i, n)
+	}
+	wg.Wait()
+
+	var total serve.ClientStats
+	rejects, failures := 0, 0
+	for i := range results {
+		r := &results[i]
+		total.Submitted += r.stats.Submitted
+		total.Delivered += r.stats.Delivered
+		total.Rejected += r.stats.Rejected
+		rejects += r.rejects
+		if r.err != nil {
+			failures++
+			logger.Printf("conn %d: %v", i, r.err)
+		}
+	}
+	logger.Printf("submitted=%d delivered=%d rejected=%d reject_frames=%d conns=%d flows=%d",
+		total.Submitted, total.Delivered, total.Rejected, rejects, *conns, *flows)
+	switch {
+	case failures > 0:
+		os.Exit(1)
+	case total.Delivered+total.Rejected != total.Submitted:
+		logger.Printf("lost cells: %d submitted never resolved",
+			total.Submitted-total.Delivered-total.Rejected)
+		os.Exit(1)
+	case *strict && total.Rejected > 0:
+		logger.Printf("strict: %d cells rejected", total.Rejected)
+		os.Exit(1)
+	}
+}

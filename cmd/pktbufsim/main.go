@@ -63,6 +63,7 @@ func main() {
 		orgName   = flag.String("org", "cam", "SRAM organization: cam|list")
 		mmaName   = flag.String("mma", "ecqf", "head MMA: ecqf|mdqf")
 		slots     = flag.Uint64("slots", 100000, "slots to simulate")
+		report    = flag.Uint64("report", 0, "print an engine stats delta every this many slots (0 = off; ignored with -latency/-router)")
 		batch     = flag.Uint64("batch", 0, "batched-driver chunk size in slots (0 = default; 1 = plain per-slot loop)")
 		warmup    = flag.Uint64("warmup", 0, "arrival-only slots before requests start (0 = auto: Q·b·4)")
 		arrName   = flag.String("arrivals", "roundrobin", "arrivals: roundrobin|bernoulli|uniform|hotspot|bursty|single|none (bernoulli draws geometric gaps, so sparse -load runs fast-forward idle spans)")
@@ -229,6 +230,27 @@ func main() {
 		if err == nil {
 			fmt.Printf("%v\n", lat)
 		}
+	} else if *report > 0 {
+		// Chunk the run at the reporting interval and print interval
+		// deltas via Stats.Sub; repeated RunBatch calls on one runner
+		// continue the same experiment.
+		prev := buf.Stats()
+		var done uint64
+		for done < *slots && err == nil {
+			chunk := *report
+			if rem := *slots - done; chunk > rem {
+				chunk = rem
+			}
+			res, err = runner.RunBatch(chunk, *batch)
+			done += res.Slots
+			cur := buf.Stats()
+			d := cur.Sub(prev)
+			fmt.Printf("report: slots=%d/%d arrivals=%d requests=%d deliveries=%d bypasses=%d misses=%d drops=%d ff=%d\n",
+				done, *slots, d.Arrivals, d.Requests, d.Deliveries,
+				d.Bypasses, d.Misses, d.Drops, d.FastForwardedSlots)
+			prev = cur
+		}
+		res.Slots = done
 	} else {
 		res, err = runner.RunBatch(*slots, *batch)
 	}

@@ -29,6 +29,13 @@
 // errors.Is. Long simulations are driven by the repro/pktbuf/sim
 // runner and workload generators; repro/pktbuf/trace records and
 // replays slot-level stimulus.
+//
+// For long-lived use outside a single process, repro/pktbuf/serve
+// wraps one buffer instance in a network daemon (cmd/pktbufd):
+// clients handshake for a set of flows, submit cells and receive
+// deliveries over a length-prefixed wire protocol, with typed
+// admission backpressure mapped onto the same error taxonomy and the
+// engine still ticked by exactly one goroutine.
 package pktbuf
 
 import (
@@ -222,6 +229,26 @@ type Stats struct {
 // Clean reports whether every worst-case guarantee held so far.
 func (s Stats) Clean() bool {
 	return s.Misses == 0 && s.Drops == 0 && s.BadRequests == 0
+}
+
+// Sub returns the activity between two snapshots: every monotonic
+// counter becomes s−prev, while the high-water and worst-case fields
+// (TailSRAMHighWater, HeadSRAMHighWater, MaxRequestRegisterOccupancy,
+// MaxRequestSkips) keep their current values — a peak is a property
+// of the whole run, not of an interval, so subtracting two peaks is
+// meaningless. Periodic reporters take a snapshot per interval and
+// print cur.Sub(prev) instead of hand-diffing fields.
+func (s Stats) Sub(prev Stats) Stats {
+	d := s
+	d.Arrivals -= prev.Arrivals
+	d.Requests -= prev.Requests
+	d.Deliveries -= prev.Deliveries
+	d.Bypasses -= prev.Bypasses
+	d.Misses -= prev.Misses
+	d.Drops -= prev.Drops
+	d.BadRequests -= prev.BadRequests
+	d.FastForwardedSlots -= prev.FastForwardedSlots
+	return d
 }
 
 // Buffer is a VOQ packet buffer instance.

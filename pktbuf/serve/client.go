@@ -1,0 +1,324 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/pktbuf"
+	"repro/pktbuf/serve/wire"
+)
+
+// Client is a data-plane client for a pktbufd server: it handshakes
+// for a set of flows, submits cells, and consumes deliveries on a
+// background reader. Submit respects the server-granted in-system
+// window, so a Client that is the only writer for its flows is never
+// window-rejected; ingress-ring rejects (a burst outrunning the
+// serving loop) surface asynchronously through Rejects.
+//
+// Submit may be called from one goroutine at a time; the accessors
+// are safe from any goroutine.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex
+	w   *wire.Writer
+
+	flows   []pktbuf.Queue
+	welcome wire.Welcome
+
+	// OnDeliver, if set before the first Submit, observes every
+	// delivered cell in order, with per-queue sequence numbers
+	// reconstructed by counting (deliveries are strictly sequential per
+	// VOQ). Called from the reader goroutine.
+	OnDeliver func(pktbuf.Cell)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	inFlight  int
+	submitted uint64
+	delivered uint64
+	rejected  uint64
+	rejects   []wire.Reject
+	perQueue  map[pktbuf.Queue]uint64
+	err       error
+	draining  bool
+	byeOK     bool
+
+	done chan struct{}
+}
+
+// ClientStats is a Client counter snapshot.
+type ClientStats struct {
+	// Submitted counts cells handed to Submit; Delivered counts cells
+	// returned by the server; Rejected counts cells the server refused
+	// (see Rejects for the frames).
+	Submitted, Delivered, Rejected uint64
+	// InFlight is submitted − delivered − rejected: cells currently in
+	// the server's system charged against the window.
+	InFlight int
+}
+
+// Dial connects to a pktbufd data-plane address and handshakes for
+// the given number of flows.
+func Dial(addr string, flows int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc, flows)
+}
+
+// NewClient handshakes over an existing connection (which the Client
+// then owns).
+func NewClient(nc net.Conn, flows int) (*Client, error) {
+	c := &Client{
+		nc:       nc,
+		w:        wire.NewWriter(nc),
+		perQueue: make(map[pktbuf.Queue]uint64, flows),
+		done:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if err := c.w.WriteFrame(wire.THello, wire.Hello{Flows: flows}.AppendTo(nil)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	r := wire.NewReader(nc)
+	t, p, err := r.Next()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if t == wire.TReject {
+		rej, perr := wire.ParseReject(p)
+		nc.Close()
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, fmt.Errorf("serve: handshake rejected: %w", CodeErr(rej.Code))
+	}
+	if t != wire.TWelcome {
+		nc.Close()
+		return nil, fmt.Errorf("%w: handshake got %v, want Welcome", wire.ErrFrame, t)
+	}
+	if c.welcome, err = wire.ParseWelcome(p); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	t, p, err = r.Next()
+	if err != nil || t != wire.TFlows {
+		nc.Close()
+		if err == nil {
+			err = fmt.Errorf("%w: handshake got %v, want Flows", wire.ErrFrame, t)
+		}
+		return nil, err
+	}
+	if err := wire.DecodeCells(p, wire.Deliveries, func(q pktbuf.Queue) error {
+		c.flows = append(c.flows, q)
+		c.perQueue[q] = 0
+		return nil
+	}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	go c.readLoop(r)
+	return c, nil
+}
+
+// Flows returns the VOQ ids assigned by the server.
+func (c *Client) Flows() []pktbuf.Queue { return c.flows }
+
+// Welcome returns the server-granted limits.
+func (c *Client) Welcome() wire.Welcome { return c.welcome }
+
+// Submit sends one Submit frame carrying qs, blocking first until the
+// in-system window has room for the whole burst (so a single-writer
+// client never trips CodeWindowFull). It fails fast once the server
+// is draining or the connection broke. Bursts larger than the window
+// are an error.
+func (c *Client) Submit(qs []pktbuf.Queue) error {
+	if len(qs) == 0 {
+		return nil
+	}
+	if len(qs) > c.welcome.Window {
+		return fmt.Errorf("serve: burst of %d exceeds window %d", len(qs), c.welcome.Window)
+	}
+	c.mu.Lock()
+	for c.err == nil && !c.draining && c.welcome.Window-c.inFlight < len(qs) {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.draining {
+		c.mu.Unlock()
+		return ErrDraining
+	}
+	c.inFlight += len(qs)
+	c.submitted += uint64(len(qs))
+	c.mu.Unlock()
+	c.wmu.Lock()
+	err := c.w.WriteCells(wire.TSubmit, wire.Arrivals, qs)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+	}
+	return err
+}
+
+// Bye announces end of submission, waits for the server to confirm
+// the connection fully drained (its final Bye), and closes. A nil
+// return means every submitted cell was delivered or explicitly
+// rejected.
+func (c *Client) Bye(ctx context.Context) error {
+	c.wmu.Lock()
+	err := c.w.WriteFrame(wire.TBye, nil)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.fail(err)
+		c.nc.Close()
+		return err
+	}
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		c.nc.Close()
+		return ctx.Err()
+	}
+	c.mu.Lock()
+	ok := c.byeOK
+	err = c.err
+	c.mu.Unlock()
+	c.nc.Close()
+	if !ok && err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// Close drops the connection immediately.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Stats snapshots the client counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ClientStats{
+		Submitted: c.submitted,
+		Delivered: c.delivered,
+		Rejected:  c.rejected,
+		InFlight:  c.inFlight,
+	}
+}
+
+// Rejects returns the Reject frames received so far. Map a reject
+// onto the typed error taxonomy with CodeErr.
+func (c *Client) Rejects() []wire.Reject {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.Reject, len(c.rejects))
+	copy(out, c.rejects)
+	return out
+}
+
+// Err returns the connection error, if any.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Draining reports whether the server announced Drain.
+func (c *Client) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Done is closed when the reader goroutine exits (server Bye or
+// connection failure).
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *Client) readLoop(r *wire.Reader) {
+	defer close(c.done)
+	for {
+		t, p, err := r.Next()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch t {
+		case wire.TDeliver:
+			n := 0
+			derr := wire.DecodeCells(p, wire.Deliveries, func(q pktbuf.Queue) error {
+				n++
+				c.mu.Lock()
+				seq := c.perQueue[q]
+				c.perQueue[q] = seq + 1
+				c.mu.Unlock()
+				if c.OnDeliver != nil {
+					c.OnDeliver(pktbuf.Cell{Queue: q, Seq: seq})
+				}
+				return nil
+			})
+			c.mu.Lock()
+			c.delivered += uint64(n)
+			c.inFlight -= n
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			if derr != nil {
+				c.fail(derr)
+				return
+			}
+		case wire.TReject:
+			rej, perr := wire.ParseReject(p)
+			if perr != nil {
+				c.fail(perr)
+				return
+			}
+			c.mu.Lock()
+			c.rejected += uint64(rej.Dropped)
+			c.inFlight -= rej.Dropped
+			c.rejects = append(c.rejects, rej)
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case wire.TDrain:
+			c.mu.Lock()
+			c.draining = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case wire.TBye:
+			c.mu.Lock()
+			c.byeOK = true
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %v frame from server", wire.ErrFrame, t))
+			return
+		}
+	}
+}

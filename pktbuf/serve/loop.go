@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"repro/pktbuf"
+	"repro/pktbuf/trace"
+)
+
+// loop is the single serving goroutine: the only code that touches
+// the buffer engine. Each pass drains connection-activation tokens,
+// assembles one TickBatch from pending requests and arrivals, ticks
+// the engine, routes deliveries to egress rings, and publishes a
+// stats snapshot. With nothing to do it parks on a channel — and in
+// paced mode crosses the idle gap with FastForward on wake — so an
+// idle daemon consumes no CPU.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	s.epoch = time.Now()
+	for {
+		if s.closed.Load() {
+			return
+		}
+		if s.serveOnce() {
+			s.pace()
+			// In free-running mode the loop never blocks while cells are
+			// in flight; yield so connection readers get CPU every pass
+			// rather than every preemption quantum. On GOMAXPROCS=1 the
+			// difference is a ~10ms reader convoy that overflows ingress
+			// rings under load.
+			runtime.Gosched()
+			continue
+		}
+		// Idle: engine quiescent, no ready cells, no pending ingest.
+		if s.draining.Load() {
+			if s.drainSweepClean() {
+				s.drainedOnce.Do(func() { close(s.drainedCh) })
+				return
+			}
+			// A straggling admission is mid-flight; re-check shortly.
+			s.parkTimeout(100 * time.Microsecond)
+			continue
+		}
+		s.park()
+	}
+}
+
+// serveOnce runs one serving-loop pass and reports whether any slot
+// was ticked. It is the loop body factored out so tests can drive the
+// loop synchronously (and pin its zero-allocation claim); it must not
+// run concurrently with a live loop goroutine.
+func (s *Server) serveOnce() bool {
+	s.drainActivations()
+	n := 0
+	if len(s.active) > 0 || s.readyCount > 0 {
+		n = s.buildBatch()
+	}
+	if n == 0 {
+		if s.buf.Quiescent() {
+			return false
+		}
+		// No fresh ingest but cells are still in flight: tick idle
+		// slots to advance the request→delivery pipeline.
+		n = len(s.inBatch)
+		for i := range s.inBatch {
+			s.inBatch[i] = pktbuf.Input{Arrival: pktbuf.None, Request: pktbuf.None}
+		}
+	}
+	start := time.Now()
+	s.tickBatch(n)
+	s.observe(time.Since(start), n)
+	return true
+}
+
+// drainActivations moves pending connection-activation tokens onto
+// the active list. Token uniqueness (conn.armed) guarantees a
+// connection appears at most once.
+func (s *Server) drainActivations() {
+	for {
+		select {
+		case c := <-s.ingestCh:
+			s.active = append(s.active, c)
+		default:
+			return
+		}
+	}
+}
+
+// buildBatch fills inBatch with up to Batch slots. For each slot the
+// request is chosen first (round-robin over queues with ready cells,
+// one cell per turn) and the arrival second (round-robin over active
+// connections), matching engine semantics: a cell arriving at slot i
+// is requestable from slot i+1, so a slot's request must not see its
+// own arrival.
+func (s *Server) buildBatch() int {
+	n := 0
+	for n < len(s.inBatch) {
+		req := s.popReady()
+		arr := s.popArrival()
+		if req < 0 && arr < 0 {
+			break
+		}
+		s.inBatch[n] = pktbuf.Input{Arrival: pktbuf.Queue(arr), Request: pktbuf.Queue(req)}
+		if arr >= 0 {
+			s.noteReady(int32(arr))
+		}
+		n++
+	}
+	return n
+}
+
+// popReady returns the next queue to request from, or -1. Queues wait
+// in an intrusive FIFO ring (rrRing/inRing); a queue granting a cell
+// re-enters at the tail, which yields per-queue round-robin service.
+// Entries whose count already hit zero are lazily skipped.
+func (s *Server) popReady() int32 {
+	for s.rrLen > 0 {
+		q := s.rrRing[s.rrHead]
+		s.rrHead++
+		if s.rrHead == len(s.rrRing) {
+			s.rrHead = 0
+		}
+		s.rrLen--
+		s.inRing[q] = false
+		if s.ready[q] == 0 {
+			continue
+		}
+		s.ready[q]--
+		s.readyCount--
+		if s.ready[q] > 0 {
+			s.rrPush(q)
+		}
+		return q
+	}
+	return -1
+}
+
+// rrPush appends q to the ready ring unless already present.
+func (s *Server) rrPush(q int32) {
+	if s.inRing[q] {
+		return
+	}
+	s.inRing[q] = true
+	tail := s.rrHead + s.rrLen
+	if tail >= len(s.rrRing) {
+		tail -= len(s.rrRing)
+	}
+	s.rrRing[tail] = q
+	s.rrLen++
+}
+
+// noteReady records one arrived cell as requestable.
+func (s *Server) noteReady(q int32) {
+	s.ready[q]++
+	s.readyCount++
+	s.rrPush(q)
+}
+
+// popArrival pops the next ingress cell, round-robin across active
+// connections, or returns -1. A connection whose ring is empty is
+// deactivated with a disarm/recheck handshake so a concurrent push is
+// never stranded.
+func (s *Server) popArrival() int32 {
+	for tries := len(s.active); tries > 0; tries-- {
+		if s.actCur >= len(s.active) {
+			s.actCur = 0
+		}
+		c := s.active[s.actCur]
+		if q, ok := c.ingress.pop(); ok {
+			s.actCur++
+			return q
+		}
+		last := len(s.active) - 1
+		s.active[s.actCur] = s.active[last]
+		s.active[last] = nil
+		s.active = s.active[:last]
+		c.armed.Store(false)
+		if !c.ingress.empty() && c.armed.CompareAndSwap(false, true) {
+			// A push landed between pop and disarm: keep the connection
+			// active (it holds the token again, so no channel round-trip).
+			s.active = append(s.active, c)
+		}
+	}
+	return -1
+}
+
+// tickBatch feeds inBatch[:n] to the engine, routes deliveries, and
+// wakes writers whose connections received cells. Engine errors are
+// absorbed per slot: the offending slot still completes (TickBatch
+// contract), bookkeeping is unwound, and the rest of the batch
+// proceeds.
+func (s *Server) tickBatch(n int) {
+	k := 0
+	for k < n {
+		m, err := s.buf.TickBatch(s.inBatch[k:n], s.outBatch[k:n])
+		for i := k; i < k+m; i++ {
+			if s.outBatch[i].Ok {
+				s.route(s.outBatch[i].Delivered.Queue)
+			}
+		}
+		k += m
+		if err == nil {
+			break
+		}
+		s.noteTickErr(s.inBatch[k-1], err)
+		if m == 0 {
+			break
+		}
+	}
+	if s.cfg.Record {
+		for i := 0; i < k; i++ {
+			s.rec.Events = append(s.rec.Events, trace.Event{
+				Arrival: s.inBatch[i].Arrival,
+				Request: s.inBatch[i].Request,
+			})
+		}
+	}
+	for _, c := range s.dirty {
+		c.dirtyMark = false
+		c.wakeWriter()
+	}
+	s.dirty = s.dirty[:0]
+	s.publish()
+}
+
+// route pushes a delivered cell onto its owner's egress ring. The
+// credit window guarantees space; a nil owner means the flow was
+// already released (cannot happen while cells are in flight, but
+// never panic on a routing miss).
+func (s *Server) route(q pktbuf.Queue) {
+	c := s.owner[q].Load()
+	if c == nil {
+		return
+	}
+	if !c.egress.push(int32(q)) {
+		s.cfg.ErrorLog.Printf("pktbufd: egress ring overflow on queue %d (window accounting bug)", q)
+		return
+	}
+	if !c.dirtyMark {
+		c.dirtyMark = true
+		s.dirty = append(s.dirty, c)
+	}
+}
+
+// noteTickErr records an engine error for one slot. A bounded-DRAM
+// drop (ErrBufferFull) unwinds the dropped arrival's ready accounting
+// and refunds the connection's window credit; everything else is just
+// counted.
+func (s *Server) noteTickErr(in pktbuf.Input, err error) {
+	if errors.Is(err, pktbuf.ErrBufferFull) && in.Arrival != pktbuf.None {
+		q := in.Arrival
+		if s.ready[q] > 0 {
+			s.ready[q]--
+			s.readyCount--
+		}
+		if c := s.owner[q].Load(); c != nil {
+			c.window.Add(1)
+		}
+	}
+	s.statsMu.Lock()
+	s.tickErrs++
+	s.lastTickErr = err.Error()
+	s.statsMu.Unlock()
+}
+
+// publish refreshes the published stats snapshot.
+func (s *Server) publish() {
+	st := s.buf.Stats()
+	now := s.buf.Now()
+	s.statsMu.Lock()
+	s.pub = st
+	s.pubSlots = now
+	s.statsMu.Unlock()
+}
+
+// observe records one batch in the serving-loop latency histogram.
+func (s *Server) observe(d time.Duration, slots int) {
+	s.statsMu.Lock()
+	s.hist.observe(d.Seconds())
+	s.hist.slots += uint64(slots)
+	s.statsMu.Unlock()
+}
+
+// pace sleeps until the wall-clock deadline of the engine's current
+// slot (paced mode only).
+func (s *Server) pace() {
+	if s.cfg.TickEvery <= 0 {
+		return
+	}
+	target := s.epoch.Add(time.Duration(s.buf.Now()) * s.cfg.TickEvery)
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// park blocks until ingest or a control poke arrives, then (paced
+// mode) crosses the idle wall-clock gap with FastForward — the
+// whole point of the quiescence machinery: an idle daemon neither
+// ticks nor spins.
+func (s *Server) park() {
+	select {
+	case c := <-s.ingestCh:
+		s.active = append(s.active, c)
+	case <-s.wakeCh:
+	}
+	s.fastForwardIdle()
+}
+
+// parkTimeout is park with an upper bound on the wait.
+func (s *Server) parkTimeout(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case c := <-s.ingestCh:
+		s.active = append(s.active, c)
+	case <-s.wakeCh:
+	case <-t.C:
+	}
+}
+
+// fastForwardIdle advances the quiescent engine over idle wall time
+// in one jump (paced mode).
+func (s *Server) fastForwardIdle() {
+	if s.cfg.TickEvery <= 0 {
+		return
+	}
+	want := uint64(time.Since(s.epoch) / s.cfg.TickEvery)
+	now := s.buf.Now()
+	if want <= now {
+		return
+	}
+	n := s.buf.FastForward(want - now)
+	if n > 0 {
+		if s.cfg.Record {
+			for i := uint64(0); i < n; i++ {
+				s.rec.Events = append(s.rec.Events, trace.Event{Arrival: pktbuf.None, Request: pktbuf.None})
+			}
+		}
+		s.publish()
+	}
+}
+
+// drainSweepClean proves no admitted cell remains outside the engine:
+// no pending activation token, every ingress ring empty, no admission
+// mid-flight. Combined with the quiescent engine and empty ready
+// state that gated the call, the server is fully drained. Memory
+// ordering: the draining flag is set before the sweep reads, so any
+// admission the sweep misses starts after the sweep and observes the
+// flag — and is rejected.
+func (s *Server) drainSweepClean() bool {
+	select {
+	case c := <-s.ingestCh:
+		s.active = append(s.active, c)
+		return false
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		if c.admitting.Load() != 0 || !c.ingress.empty() {
+			return false
+		}
+	}
+	return true
+}

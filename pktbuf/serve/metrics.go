@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// histBuckets are the serving-loop batch-latency histogram bounds in
+// seconds (a tick batch is hundreds of slots, so these span ~1µs to
+// ~1s of engine work).
+var histBuckets = [...]float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1, 1,
+}
+
+// histogram is a fixed-bucket latency histogram (no allocation per
+// observation; guarded by Server.statsMu).
+type histogram struct {
+	counts [len(histBuckets) + 1]uint64 // +Inf tail
+	sum    float64
+	count  uint64
+	slots  uint64 // total slots ticked across observed batches
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := 0
+	for i < len(histBuckets) && seconds > histBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += seconds
+	h.count++
+}
+
+// Handler returns the control-plane HTTP handler: GET /metrics in
+// Prometheus text format and GET /healthz. Serve it on its own
+// listener (the data plane speaks the wire protocol, not HTTP):
+//
+//	go http.Serve(ctlLis, srv.Handler())
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	return mux
+}
+
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.closed.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "closed\n")
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+	default:
+		io.WriteString(w, "ok\n")
+	}
+}
+
+// serveMetrics renders the engine and admission counters in
+// Prometheus text exposition format. Engine counters come from the
+// loop's published snapshot — scraping never touches live engine
+// state.
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	s.statsMu.Lock()
+	st := s.pub
+	slots := s.pubSlots
+	hist := s.hist
+	tickErrs := s.tickErrs
+	s.statsMu.Unlock()
+	adm := s.Admission()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("pktbufd_slots_total", "Engine slot clock (ticked plus fast-forwarded).", slots)
+	counter("pktbufd_arrivals_total", "Cells written into the buffer engine.", st.Arrivals)
+	counter("pktbufd_requests_total", "Read requests issued to the engine.", st.Requests)
+	counter("pktbufd_deliveries_total", "Cells delivered to egress.", st.Deliveries)
+	counter("pktbufd_bypasses_total", "Deliveries served via the SRAM bypass path.", st.Bypasses)
+	counter("pktbufd_misses_total", "Deliveries that violated the paper's zero-miss guarantee.", st.Misses)
+	counter("pktbufd_engine_drops_total", "Arrivals dropped by bounded DRAM capacity.", st.Drops)
+	counter("pktbufd_bad_requests_total", "Requests rejected by the engine as invalid.", st.BadRequests)
+	counter("pktbufd_fast_forwarded_slots_total", "Idle slots crossed analytically instead of ticked.", st.FastForwardedSlots)
+	gauge("pktbufd_tail_sram_high_water_cells", "Peak tail (arrival) SRAM occupancy.", int64(st.TailSRAMHighWater))
+	gauge("pktbufd_head_sram_high_water_cells", "Peak head (departure) SRAM occupancy.", int64(st.HeadSRAMHighWater))
+	gauge("pktbufd_request_register_high_water", "Peak MMA request-register occupancy.", int64(st.MaxRequestRegisterOccupancy))
+	gauge("pktbufd_request_skips_max", "Worst-case per-request skip count observed.", int64(st.MaxRequestSkips))
+
+	counter("pktbufd_admitted_cells_total", "Cells accepted into per-connection ingress rings.", adm.Admitted)
+	counter("pktbufd_admission_rejects_total", "Cells rejected by admission control (all codes).", adm.Rejected())
+	for _, rc := range []struct {
+		code string
+		v    uint64
+	}{
+		{"ingress_full", adm.RejectedIngressFull},
+		{"window_full", adm.RejectedWindowFull},
+		{"draining", adm.RejectedDraining},
+		{"bad_flow", adm.RejectedBadFlow},
+	} {
+		fmt.Fprintf(w, "pktbufd_admission_rejects{code=%q} %d\n", rc.code, rc.v)
+	}
+	counter("pktbufd_tick_errors_total", "Engine errors absorbed by the serving loop.", tickErrs)
+	gauge("pktbufd_connections", "Open data-plane connections.", int64(adm.Conns))
+	gauge("pktbufd_flows", "VOQs currently assigned to connections.", int64(adm.Flows))
+	counter("pktbufd_serving_batch_slots_total", "Slots ticked through serving-loop batches.", hist.slots)
+
+	// Batch latency histogram.
+	name := "pktbufd_serving_batch_duration_seconds"
+	fmt.Fprintf(w, "# HELP %s Wall time per serving-loop tick batch.\n# TYPE %s histogram\n", name, name)
+	cum := uint64(0)
+	for i, le := range histBuckets {
+		cum += hist.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += hist.counts[len(histBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, hist.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, hist.count)
+}

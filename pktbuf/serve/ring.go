@@ -1,0 +1,62 @@
+package serve
+
+import "sync/atomic"
+
+// spscRing is a bounded single-producer single-consumer ring of queue
+// ids — the per-connection handoff between a network goroutine and
+// the serving loop. Push and pop are one atomic load plus one atomic
+// store each and never allocate, so the serving loop's per-slot cost
+// is independent of connection count and the I/O goroutines never
+// block on the loop (a full ring is a visible admission failure, not
+// a stall).
+type spscRing struct {
+	buf  []int32
+	mask uint64
+	// head is the consumer cursor, tail the producer cursor; both grow
+	// monotonically and are reduced modulo len(buf) on access.
+	head atomic.Uint64
+	tail atomic.Uint64
+}
+
+// newSpscRing builds a ring with the given capacity rounded up to a
+// power of two (minimum 2).
+func newSpscRing(capacity int) *spscRing {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	return &spscRing{buf: make([]int32, n), mask: uint64(n - 1)}
+}
+
+// cap returns the ring capacity in cells.
+func (r *spscRing) capacity() int { return len(r.buf) }
+
+// push appends q; it reports false when the ring is full. Producer
+// side only.
+func (r *spscRing) push(q int32) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = q
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop removes the oldest element. Consumer side only.
+func (r *spscRing) pop() (int32, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return 0, false
+	}
+	q := r.buf[h&r.mask]
+	r.head.Store(h + 1)
+	return q, true
+}
+
+// empty reports whether the ring currently holds nothing. Safe from
+// either side (the answer is advisory under concurrency).
+func (r *spscRing) empty() bool { return r.head.Load() == r.tail.Load() }
+
+// size returns the current occupancy. Advisory under concurrency.
+func (r *spscRing) size() int { return int(r.tail.Load() - r.head.Load()) }
