@@ -25,55 +25,10 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
-	"strings"
 )
-
-type row struct {
-	NsOp     float64
-	AllocsOp float64
-	hasNs    bool
-}
-
-// flatten walks a decoded JSON value and collects every
-// {"ns_op": ..., "allocs_op": ...} object keyed by a Benchmark* name.
-func flatten(v interface{}, out map[string]row) {
-	m, ok := v.(map[string]interface{})
-	if !ok {
-		return
-	}
-	for k, child := range m {
-		cm, ok := child.(map[string]interface{})
-		if !ok {
-			continue
-		}
-		if strings.HasPrefix(k, "Benchmark") {
-			var r row
-			if ns, ok := cm["ns_op"].(float64); ok {
-				r.NsOp, r.hasNs = ns, true
-			}
-			if al, ok := cm["allocs_op"].(float64); ok {
-				r.AllocsOp = al
-			}
-			if r.hasNs {
-				out[k] = r
-				continue
-			}
-		}
-		flatten(child, out)
-	}
-}
-
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
-var allocsField = regexp.MustCompile(`([0-9.]+) allocs/op`)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json",
@@ -89,59 +44,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
 	}
-	var doc map[string]interface{}
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck: parse baseline:", err)
-		os.Exit(2)
-	}
-	sec, ok := doc[*section]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchcheck: no section %q in %s\n",
-			*section, *baselinePath)
-		os.Exit(2)
-	}
-	baselines := make(map[string]row)
-	flatten(sec, baselines)
-	if len(baselines) == 0 {
-		fmt.Fprintf(os.Stderr, "benchcheck: section %q has no baseline rows\n",
-			*section)
+	baselines, err := loadBaselines(raw, *section)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
 		os.Exit(2)
 	}
 
-	// Keep the best (lowest ns/op) observation per benchmark: with
-	// -count N on a noisy host, min-of-N is the comparable statistic.
-	type obs struct {
-		nsOp   float64
-		allocs float64
-	}
-	seen := make(map[string]obs)
-	var order []string
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // pass output through for the CI log
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		name := m[1]
-		ns, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			continue
-		}
-		var allocs float64
-		if am := allocsField.FindStringSubmatch(m[3]); am != nil {
-			allocs, _ = strconv.ParseFloat(am[1], 64)
-		}
-		if prev, dup := seen[name]; !dup || ns < prev.nsOp {
-			if !dup {
-				order = append(order, name)
-			}
-			seen[name] = obs{nsOp: ns, allocs: allocs}
-		}
-	}
-	if err := sc.Err(); err != nil {
+	seen, order, err := parseRuns(os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcheck: read stdin:", err)
 		os.Exit(2)
 	}
@@ -150,39 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	failed := false
-	for _, name := range order {
-		o := seen[name]
-		base, ok := baselines[name]
-		if !ok {
-			fmt.Printf("benchcheck: %-55s %10.1f ns/op  (no baseline, skipped)\n",
-				name, o.nsOp)
-			continue
-		}
-		limit := base.NsOp * (1 + *tolerance)
-		status := "ok"
-		if o.nsOp > limit {
-			status = "FAIL ns/op"
-			failed = true
-		}
-		if o.allocs > 0 && base.AllocsOp == 0 {
-			status += " FAIL allocs/op>0"
-			failed = true
-		}
-		fmt.Printf("benchcheck: %-55s %10.1f ns/op  vs %8.1f (limit %8.1f)  %s\n",
-			name, o.nsOp, base.NsOp, limit, status)
-	}
-	var missing []string
-	for name := range baselines {
-		if _, ok := seen[name]; !ok {
-			missing = append(missing, name)
-		}
-	}
-	sort.Strings(missing)
-	for _, name := range missing {
-		fmt.Printf("benchcheck: %-55s not in this run (baseline row unused)\n", name)
-	}
-	if failed {
+	if compare(order, seen, baselines, *tolerance, os.Stdout) {
 		fmt.Fprintln(os.Stderr, "benchcheck: FAIL: regression over baseline")
 		os.Exit(1)
 	}

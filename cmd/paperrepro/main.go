@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/experiments" //pktbuf:allow publicapi paperrepro is the paper-evaluation driver and shares the experiment matrix with bench_test.go; the matrix is not public API
 	"repro/pktbuf"
 )
 

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the JSON configuration the go command hands a
+// -vettool for each package (the x/tools unitchecker protocol). Only
+// the fields this tool consumes are declared.
+type vetConfig struct {
+	ID                        string
+	ImportPath                string
+	Dir                       string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// printVersion implements -V=full in the exact shape the go command's
+// tool-ID parser requires: "<name> version devel ... buildID=<hex>",
+// with the hex keyed to the binary contents so rebuilding the tool
+// invalidates vet's result cache.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	name = strings.TrimSuffix(name, ".exe")
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// unitCheck analyzes one package described by a vet .cfg file and
+// returns the process exit code. The go command invokes the tool once
+// per package in the build graph: dependency invocations arrive with
+// VetxOnly set and only need the facts file written (this suite uses
+// no cross-package facts, so the file is a placeholder).
+func unitCheck(cfgPath string) int {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pktbufvet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "pktbufvet: parse cfg:", err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		return writeVetx(cfg, 0)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			// The invariants guard production code; test-variant
+			// packages re-run on their non-test files only.
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pktbufvet:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return writeVetx(cfg, 0)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	// Test variants carry an " [pkg.test]" suffix on the import path;
+	// strip it so path-keyed analyzers (errwrap, publicapi) behave
+	// identically to the base package.
+	path := cfg.ImportPath
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, 0)
+		}
+		fmt.Fprintln(os.Stderr, "pktbufvet: typecheck:", err)
+		return 2
+	}
+
+	findings := 0
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+	}
+	for _, a := range analysis.All() {
+		pass.Report = func(d analysis.Diagnostic) {
+			findings++
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+		}
+		if err := analysis.Run(a, pass); err != nil {
+			fmt.Fprintf(os.Stderr, "pktbufvet: %s: %v\n", a.Name, err)
+			return 2
+		}
+	}
+	code := 0
+	if findings > 0 {
+		code = 2
+	}
+	return writeVetx(cfg, code)
+}
+
+// writeVetx writes the (empty) facts file the go command expects as
+// the vet action's output, then returns code.
+func writeVetx(cfg vetConfig, code int) int {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("pktbufvet.vetx"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pktbufvet:", err)
+			return 2
+		}
+	}
+	return code
+}

@@ -138,4 +138,25 @@
 // steady state. cmd/pktbufsim -router -ports N drives it from the
 // CLI; BENCH_baseline.json's router_pr3 section records the scaling
 // baselines.
+//
+// # Machine-checked contracts
+//
+// The invariants above are enforced by repo-specific static analysis
+// (repro/internal/analysis, driven by cmd/pktbufvet standalone or via
+// go vet -vettool). Three comment directives carry the contracts in
+// the source itself: //pktbuf:hotpath on a function declaration
+// asserts the allocation-free discipline (no map/channel traffic, no
+// append, no closures, no interface boxing — and, via the escape
+// gate over go build -gcflags=-m, no new heap escapes beyond the
+// reviewed baseline in testdata/escapes_baseline.txt);
+// //pktbuf:owner=<func> on a struct field asserts the single-writer
+// discipline the serving loop and SPSC rings rely on, checked over
+// the call graph with atomic Loads exempt; and //pktbuf:allow
+// <analyzer> <reason> waives one finding on one line, reason
+// mandatory. Two more analyzers need no annotations: errwrap pins the
+// error-taxonomy rule (everything returned across the public
+// repro/pktbuf API matches a typed sentinel under errors.Is) and
+// publicapi pins the façade rule (examples and commands build on the
+// public surface only). CI keeps the whole tree at zero findings; see
+// README.md "Static analysis".
 package repro

@@ -1,0 +1,112 @@
+// Package analysis is the repo's self-contained static-analysis
+// framework: a minimal go/analysis-shaped API (the module vendors no
+// third-party code, so golang.org/x/tools is deliberately not a
+// dependency) plus the pktbufvet analyzer suite enforcing the
+// module's load-bearing invariants at build time:
+//
+//   - hotpath-noalloc: functions annotated //pktbuf:hotpath must not
+//     contain allocation-prone constructs (maps, channels, append,
+//     closures, interface boxing). The dynamic complement is the
+//     0 allocs/op benchmark gates; the compile-time complement is the
+//     escape gate in cmd/pktbufvet -escapes.
+//   - singlewriter: struct fields annotated //pktbuf:owner=<funcs>
+//     may be touched only by the declared owner functions and by
+//     helpers provably called from them alone.
+//   - errwrap: every error crossing the public pktbuf/... API
+//     boundary must be a named sentinel or wrap one with %w, so
+//     errors.Is dispatch keeps working for clients.
+//   - publicapi: examples/ and cmd/ (except cmd/benchcheck) must not
+//     import internal/ packages.
+//
+// Analyzers run over one type-checked package at a time (a Pass) and
+// never need cross-package facts, which keeps them runnable both from
+// the standalone cmd/pktbufvet driver and as a `go vet -vettool`.
+// Findings can be waived line-by-line with a justified
+// "//pktbuf:allow <analyzer> <reason>" comment; see directives.go.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pktbuf:allow waivers.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer. Test files
+// (*_test.go) are excluded by every driver: the invariants guard
+// production code, and tests legitimately drive loop-private state
+// single-threadedly.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full pktbufvet suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{HotPath, SingleWriter, ErrWrap, PublicAPI}
+}
+
+// Run applies a to the package, honouring //pktbuf:allow waivers:
+// a diagnostic on a line carrying a waiver for a.Name is suppressed.
+// Drivers should call Run rather than a.Run directly.
+func Run(a *Analyzer, pass *Pass) error {
+	waived := waivedLines(pass.Fset, pass.Files, a.Name)
+	inner := pass.Report
+	filtered := *pass
+	filtered.Analyzer = a
+	filtered.Report = func(d Diagnostic) {
+		p := pass.Fset.Position(d.Pos)
+		if waived[LineKey{p.Filename, p.Line}] {
+			return
+		}
+		inner(d)
+	}
+	return a.Run(&filtered)
+}
+
+// sameModule reports whether two import paths belong to the same
+// module, approximated by a shared first path element (the module
+// here is "repro", so "repro/internal/core" and "repro/pktbuf" match
+// while "fmt" and "net" do not).
+func sameModule(a, b string) bool {
+	return firstSegment(a) == firstSegment(b)
+}
+
+func firstSegment(path string) string {
+	if i := strings.Index(path, "/"); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation contract. All directives are standard Go directive
+// comments (no space after //, so gofmt leaves them alone and godoc
+// hides them):
+//
+//	//pktbuf:hotpath
+//	    On a function or method declaration (in its doc comment
+//	    group). The function body must stay free of allocation-prone
+//	    constructs (hotpath-noalloc) and of compiler-reported heap
+//	    escapes (cmd/pktbufvet -escapes). The check is per-function,
+//	    not transitive: annotate each function on the hot path.
+//
+//	//pktbuf:owner=f1,f2
+//	    On a struct field (doc comment or trailing same-line
+//	    comment). The field may be accessed only from the named
+//	    functions — bare names or Type.Method — and from helpers the
+//	    call graph proves are called exclusively from them. Fields of
+//	    sync/atomic types relax reads: .Load() is allowed anywhere,
+//	    only mutations (Store/Add/Swap/CompareAndSwap) are owner-only,
+//	    which is exactly the SPSC-ring contract.
+//
+//	//pktbuf:allow <analyzer> <reason>
+//	    On the offending line: waives that analyzer's findings for
+//	    the line. The reason is mandatory; an empty reason is itself
+//	    reported by the drivers (see ParseWaiver).
+const (
+	hotpathDirective = "pktbuf:hotpath"
+	ownerDirective   = "pktbuf:owner="
+	allowDirective   = "pktbuf:allow "
+)
+
+// HotpathFuncs returns the function declarations annotated
+// //pktbuf:hotpath across files; the escape gate shares it with the
+// HotPath analyzer.
+func HotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	return hotpathFuncs(files)
+}
+
+// hotpathFuncs returns the function declarations annotated
+// //pktbuf:hotpath across files.
+func hotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, hotpathDirective) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// hasDirective reports whether the comment group contains the exact
+// directive (as a whole comment line).
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	for _, c := range cg.List {
+		if strings.TrimPrefix(c.Text, "//") == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveArg returns the argument of a "//pktbuf:name=arg"
+// directive in the comment group, or "" when absent.
+func directiveArg(cg *ast.CommentGroup, prefix string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if strings.HasPrefix(text, prefix) {
+			return strings.TrimSpace(strings.TrimPrefix(text, prefix))
+		}
+	}
+	return ""
+}
+
+// FuncName returns the short and qualified ("Type.Method") names of a
+// declaration; for plain functions both are the bare name.
+func FuncName(fd *ast.FuncDecl) (short, qualified string) {
+	short = fd.Name.Name
+	qualified = short
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			qualified = id.Name + "." + short
+		}
+	}
+	return short, qualified
+}
+
+// A LineKey identifies one source line; waiver suppression and the
+// fixture harness key diagnostics by it.
+type LineKey struct {
+	File string
+	Line int
+}
+
+// waivedLines collects the lines carrying a //pktbuf:allow waiver for
+// the named analyzer.
+func waivedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[LineKey]bool {
+	out := make(map[LineKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := ParseWaiver(c.Text)
+				if !ok || name != analyzer {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out[LineKey{p.Filename, p.Line}] = true
+			}
+		}
+	}
+	return out
+}
+
+// ParseWaiver parses a "//pktbuf:allow <analyzer> <reason>" comment
+// and returns the analyzer name. A waiver without a non-empty reason
+// is invalid and returns ok=false, so drivers surface it instead of
+// silently honouring it.
+func ParseWaiver(comment string) (analyzer string, ok bool) {
+	text := strings.TrimPrefix(comment, "//")
+	if !strings.HasPrefix(text, allowDirective) {
+		return "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowDirective))
+	name, reason, _ := strings.Cut(rest, " ")
+	if name == "" || strings.TrimSpace(reason) == "" {
+		return "", false
+	}
+	return name, true
+}

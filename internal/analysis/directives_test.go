@@ -1,0 +1,27 @@
+package analysis
+
+import "testing"
+
+func TestParseWaiver(t *testing.T) {
+	cases := []struct {
+		comment string
+		name    string
+		ok      bool
+	}{
+		{"//pktbuf:allow hotpath-noalloc bounded by construction", "hotpath-noalloc", true},
+		{"//pktbuf:allow singlewriter loop parked here", "singlewriter", true},
+		{"//pktbuf:allow errwrap", "", false},      // no reason
+		{"//pktbuf:allow errwrap   ", "", false},   // blank reason
+		{"//pktbuf:allow", "", false},              // nothing at all
+		{"// pktbuf:allow errwrap why", "", false}, // not a directive comment
+		{"//pktbuf:hotpath", "", false},            // different directive
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := ParseWaiver(c.comment)
+		if name != c.name || ok != c.ok {
+			t.Errorf("ParseWaiver(%q) = (%q, %v), want (%q, %v)",
+				c.comment, name, ok, c.name, c.ok)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrWrap closes the error-taxonomy loop PR 2 started: every error
+// value returned across the public pktbuf/... API boundary must be
+// errors.Is-matchable against a typed sentinel. Concretely, each
+// error returned by an exported function or method of a public
+// package must be, at every return site:
+//
+//   - nil,
+//   - a named package-level error variable (a sentinel — the module's
+//     Err* taxonomy, or a well-known stdlib sentinel such as io.EOF
+//     that a protocol contract requires verbatim),
+//   - fmt.Errorf with a %w verb (wrapping preserves Is matching),
+//   - a value produced by another function of this module (whose own
+//     returns are held to the same rule, so safety is inductive), or
+//   - a local variable all of whose assignments satisfy the above.
+//
+// Raw errors.New(...) at a return site, fmt.Errorf without %w, and
+// errors from external packages (stdlib, net, io) returned without
+// wrapping are reported: they cross the boundary with no sentinel for
+// clients to dispatch on. Wrap them ("%w" keeps the original
+// matchable) or name them as an exported sentinel.
+//
+// The analyzer only fires on public module packages: import paths
+// containing a "pktbuf" element and no "internal" element, excluding
+// main packages.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "public API errors must wrap or be typed sentinels",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	if !publicModulePackage(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !exportedBoundary(pass, fd) {
+				continue
+			}
+			checkFuncErrors(pass, fd)
+		}
+	}
+	return nil
+}
+
+// publicModulePackage reports whether pkg is part of the module's
+// public API surface.
+func publicModulePackage(pkg *types.Package) bool {
+	if pkg.Name() == "main" {
+		return false
+	}
+	hasPktbuf := false
+	for _, seg := range strings.Split(pkg.Path(), "/") {
+		switch seg {
+		case "internal":
+			return false
+		case "pktbuf":
+			hasPktbuf = true
+		}
+	}
+	return hasPktbuf
+}
+
+// exportedBoundary reports whether fd is part of the exported API: an
+// exported function, or an exported method on an exported type.
+func exportedBoundary(pass *Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil {
+		return true
+	}
+	_, qual := FuncName(fd)
+	typeName, _, _ := strings.Cut(qual, ".")
+	return token.IsExported(typeName)
+}
+
+// checkFuncErrors verifies every error-typed result at every return
+// site of fd.
+func checkFuncErrors(pass *Pass, fd *ast.FuncDecl) {
+	sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature)
+	if !ok {
+		return
+	}
+	results := sig.Results()
+	errIdx := make([]int, 0, results.Len())
+	for i := 0; i < results.Len(); i++ {
+		if isErrorType(results.At(i).Type()) {
+			errIdx = append(errIdx, i)
+		}
+	}
+	if len(errIdx) == 0 {
+		return
+	}
+
+	c := &errChecker{pass: pass, fn: fd}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // literals run on their own schedule; not API returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch {
+		case len(ret.Results) == 0:
+			// Naked return: the named error results' assignments are
+			// checked by assignment scanning below.
+			for _, i := range errIdx {
+				if v := results.At(i); v.Name() != "" {
+					c.checkNamedResult(v)
+				}
+			}
+		case len(ret.Results) == 1 && results.Len() > 1:
+			// return f() expanding to multiple results.
+			c.checkExpr(ret.Results[0])
+		default:
+			for _, i := range errIdx {
+				if i < len(ret.Results) {
+					c.checkExpr(ret.Results[i])
+				}
+			}
+		}
+		return true
+	})
+}
+
+type errChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+	// visiting guards against assignment cycles (x = y; y = x).
+	visiting map[types.Object]bool
+}
+
+func (c *errChecker) report(pos token.Pos, format string, args ...any) {
+	_, qual := FuncName(c.fn)
+	c.pass.Reportf(pos, "errwrap %s: "+format, append([]any{qual}, args...)...)
+}
+
+// checkExpr verifies one returned error expression.
+func (c *errChecker) checkExpr(e ast.Expr) {
+	if msg, pos := c.unsafeReason(e); msg != "" {
+		c.report(pos, "%s", msg)
+	}
+}
+
+// checkNamedResult verifies every assignment to a named error result.
+func (c *errChecker) checkNamedResult(v *types.Var) {
+	obj := types.Object(v)
+	c.checkAssignments(obj)
+}
+
+// unsafeReason classifies an error expression; it returns a non-empty
+// message and position when the expression can cross the API boundary
+// without a sentinel to match.
+func (c *errChecker) unsafeReason(e ast.Expr) (string, token.Pos) {
+	e = ast.Unparen(e)
+	info := c.pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return "", token.NoPos
+		}
+		obj := info.Uses[e]
+		if obj == nil {
+			return "", token.NoPos
+		}
+		if isSentinel(obj) {
+			return "", token.NoPos
+		}
+		// A local: every assignment to it must be safe.
+		c.checkAssignments(obj)
+		return "", token.NoPos
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil && isSentinel(obj) {
+			return "", token.NoPos // pkg.ErrFoo
+		}
+		return "", token.NoPos // field reads carry stored errors; assume wrapped at the store
+	case *ast.CallExpr:
+		return c.callReason(e)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &someError{...}: a typed error; safe if the type is ours.
+			if t := info.TypeOf(e); t != nil && declaredInModule(t, c.pass.Pkg) {
+				return "", token.NoPos
+			}
+			return "address of non-module error value returned across API", e.Pos()
+		}
+	}
+	return "", token.NoPos
+}
+
+// callReason classifies a call expression producing a returned error.
+func (c *errChecker) callReason(call *ast.CallExpr) (string, token.Pos) {
+	info := c.pass.TypesInfo
+	var callee *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		callee, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if callee == nil || callee.Pkg() == nil {
+		return "", token.NoPos // builtin, conversion or dynamic call
+	}
+	path := callee.Pkg().Path()
+	full := path + "." + callee.Name()
+	switch full {
+	case "fmt.Errorf":
+		if fmtHasWrapVerb(info, call) {
+			return "", token.NoPos
+		}
+		return "fmt.Errorf without %w loses errors.Is matching", call.Pos()
+	case "errors.New":
+		return "errors.New at API boundary: declare a sentinel instead", call.Pos()
+	case "errors.Join":
+		return "", token.NoPos // Join preserves Is over its operands
+	}
+	if sameModule(path, c.pass.Pkg.Path()) {
+		return "", token.NoPos // inductively checked in its own package
+	}
+	if recvInModule(callee, c.pass.Pkg) {
+		return "", token.NoPos
+	}
+	return "returns error from " + path + " unwrapped: wrap with %w or map to a sentinel", call.Pos()
+}
+
+// checkAssignments walks the function body for assignments to obj and
+// classifies each right-hand side.
+func (c *errChecker) checkAssignments(obj types.Object) {
+	if c.visiting == nil {
+		c.visiting = make(map[types.Object]bool)
+	}
+	if c.visiting[obj] {
+		return
+	}
+	c.visiting[obj] = true
+	info := c.pass.TypesInfo
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			lobj := info.Defs[id]
+			if lobj == nil {
+				lobj = info.Uses[id]
+			}
+			if lobj != obj {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0] // multi-value call; classify the call
+			}
+			if rhs != nil {
+				if msg, pos := c.unsafeReason(rhs); msg != "" {
+					c.report(pos, "%s", msg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isSentinel reports whether obj is a package-level variable of type
+// error — a named sentinel clients can errors.Is against.
+func isSentinel(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return isErrorType(v.Type())
+}
+
+// fmtHasWrapVerb reports whether the call's constant format string
+// contains a %w verb; a non-constant format is assumed wrapping (the
+// caller made a deliberate choice the analyzer cannot see through).
+func fmtHasWrapVerb(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return true
+	}
+	s := tv.Value.String()
+	return strings.Contains(s, "%w")
+}
+
+// declaredInModule reports whether t (after pointer peeling) is a
+// named type declared in pkg's module.
+func declaredInModule(t types.Type, pkg *types.Package) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return sameModule(named.Obj().Pkg().Path(), pkg.Path())
+}
+
+// recvInModule reports whether callee is a method whose receiver type
+// is declared in pkg's module.
+func recvInModule(callee *types.Func, pkg *types.Package) bool {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return declaredInModule(sig.Recv().Type(), pkg)
+}

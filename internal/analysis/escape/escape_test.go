@@ -1,0 +1,59 @@
+package escape
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.txt")
+	sites := []Site{
+		{Func: "repro/internal/core.kernel.run", Message: "moved to heap: x", Pos: "a.go:1"},
+		{Func: "repro/internal/core.kernel.run", Message: "moved to heap: x", Pos: "a.go:9"}, // dup key
+		{Func: "repro/internal/sram.CAMStore.Pop", Message: "q escapes to heap", Pos: "b.go:2"},
+	}
+	if err := WriteBaseline(path, sites); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("baseline has %d keys, want 2 (dup collapsed): %v", len(got), got)
+	}
+	for _, s := range sites {
+		if !got[s.Key()] {
+			t.Errorf("baseline missing %q", s.Key())
+		}
+	}
+}
+
+func TestReadBaselineMissingFileIsEmpty(t *testing.T) {
+	got, err := readBaseline(filepath.Join(t.TempDir(), "nope.txt"))
+	if err != nil {
+		t.Fatalf("missing baseline must read as empty, got error %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("missing baseline must read as empty, got %v", got)
+	}
+}
+
+func TestMatchSitesRangeFilter(t *testing.T) {
+	funcs := []annotated{
+		{pkg: "repro/p", name: "T.hot", file: "/src/f.go", startLine: 10, endLine: 20},
+	}
+	diags := []diag{
+		{file: "/src/f.go", line: 15, message: "x escapes to heap"}, // inside
+		{file: "/src/f.go", line: 5, message: "y escapes to heap"},  // before
+		{file: "/src/f.go", line: 21, message: "z escapes to heap"}, // after
+		{file: "/src/g.go", line: 15, message: "w escapes to heap"}, // other file
+	}
+	got := matchSites(diags, funcs)
+	if len(got) != 1 {
+		t.Fatalf("matchSites kept %d sites, want 1: %v", len(got), got)
+	}
+	if got[0].Func != "repro/p.T.hot" || got[0].Message != "x escapes to heap" {
+		t.Errorf("matched wrong site: %+v", got[0])
+	}
+}

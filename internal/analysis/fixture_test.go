@@ -1,0 +1,150 @@
+package analysis_test
+
+// An analysistest-shaped harness with no golang.org/x/tools
+// dependency: fixture packages live under testdata/src/<dir>/, and
+// every line expecting a diagnostic carries a trailing
+// `// want "regexp"` comment. The test fails on unexpected
+// diagnostics, on unmatched expectations, and on diagnostics whose
+// message does not match the expectation's pattern — the same
+// contract analysistest enforces.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// fixtureImporter resolves stdlib imports from source and fabricates
+// empty packages for anything else (fixtures only need non-stdlib
+// imports to *exist*, e.g. the publicapi fixture's blank import of a
+// fake internal package).
+type fixtureImporter struct {
+	std types.Importer
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, err := fi.std.Import(path); err == nil {
+		return p, nil
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	return p, nil
+}
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// runFixture typechecks testdata/src/<dir> under the given import
+// path and checks the analyzer's diagnostics against the fixture's
+// want comments.
+func runFixture(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	pattern := filepath.Join("testdata", "src", dir, "*.go")
+	names, err := filepath.Glob(pattern)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files match %s", pattern)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	wants := make(map[analysis.LineKey][]*expectation)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), m[1], err)
+				}
+				p := fset.Position(c.Pos())
+				k := analysis.LineKey{File: p.Filename, Line: p.Line}
+				wants[k] = append(wants[k], &expectation{re: re})
+			}
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: fixtureImporter{std: importer.ForCompiler(fset, "source", nil)}}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	var unexpected []string
+	pass := &analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			p := fset.Position(d.Pos)
+			k := analysis.LineKey{File: p.Filename, Line: p.Line}
+			for _, exp := range wants[k] {
+				if !exp.matched && exp.re.MatchString(d.Message) {
+					exp.matched = true
+					return
+				}
+			}
+			unexpected = append(unexpected, fmt.Sprintf("%s: %s", p, d.Message))
+		},
+	}
+	if err := analysis.Run(a, pass); err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for _, d := range unexpected {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for k, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+					k.File, k.Line, exp.re)
+			}
+		}
+	}
+}
+
+func TestHotPathFixture(t *testing.T) {
+	runFixture(t, "hot", "fixmod/internal/hot", analysis.HotPath)
+}
+
+func TestSingleWriterFixture(t *testing.T) {
+	runFixture(t, "ring", "fixmod/internal/ring", analysis.SingleWriter)
+}
+
+func TestErrWrapFixture(t *testing.T) {
+	runFixture(t, "errwrap", "fixmod/pktbuf/thing", analysis.ErrWrap)
+}
+
+func TestPublicAPIFixture(t *testing.T) {
+	runFixture(t, "publicapi", "fixmod/cmd/demo", analysis.PublicAPI)
+}

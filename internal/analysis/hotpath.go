@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath is the hotpath-noalloc analyzer: a function annotated
+// //pktbuf:hotpath must not contain constructs that allocate or that
+// the zero-alloc discipline bans outright —
+//
+//   - map construction, indexing, iteration or deletion (dense
+//     slice-indexed arenas replaced every hot-path map in PR 1),
+//   - channel construction and operations, select, and go statements
+//     (the serving loop and kernels are single-goroutine by design),
+//   - append (statically indistinguishable from append-that-grows;
+//     provably bounded sites carry a justified //pktbuf:allow),
+//   - function literals (closures were hoisted to fields in PR 2),
+//   - interface boxing: converting a non-pointer-shaped concrete
+//     value to an interface type, the classic hidden allocation.
+//
+// The check is per-function and purely syntactic/type-based; the
+// dynamic complement is the AllocsPerRun/benchcheck gates and the
+// compile-time complement is the escape gate (cmd/pktbufvet
+// -escapes), which asks the compiler for the ground truth.
+var HotPath = &Analyzer{
+	Name: "hotpath-noalloc",
+	Doc:  "ban allocation-prone constructs in //pktbuf:hotpath functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, fd := range hotpathFuncs(pass.Files) {
+		if fd.Body == nil {
+			continue
+		}
+		_, qual := FuncName(fd)
+		w := &hotpathWalker{pass: pass, fn: qual}
+		if sig, ok := pass.TypesInfo.TypeOf(fd.Name).(*types.Signature); ok {
+			w.results = sig.Results()
+		}
+		ast.Inspect(fd.Body, w.visit)
+	}
+	return nil
+}
+
+type hotpathWalker struct {
+	pass    *Pass
+	fn      string
+	results *types.Tuple
+}
+
+func (w *hotpathWalker) bad(pos token.Pos, format string, args ...any) {
+	w.pass.Reportf(pos, "hotpath %s: "+format, append([]any{w.fn}, args...)...)
+}
+
+func (w *hotpathWalker) visit(n ast.Node) bool {
+	info := w.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.bad(n.Pos(), "closure (function literal allocates)")
+		return false // the literal's body belongs to the closure, not this function
+	case *ast.GoStmt:
+		w.bad(n.Pos(), "go statement (goroutine start allocates)")
+	case *ast.SendStmt:
+		w.bad(n.Pos(), "channel send")
+	case *ast.SelectStmt:
+		w.bad(n.Pos(), "select statement")
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			w.bad(n.Pos(), "channel receive")
+		}
+	case *ast.CompositeLit:
+		if t := info.TypeOf(n); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				w.bad(n.Pos(), "map literal")
+			}
+		}
+	case *ast.IndexExpr:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				w.bad(n.Pos(), "map access")
+			}
+		}
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Map:
+				w.bad(n.Pos(), "map iteration")
+			case *types.Chan:
+				w.bad(n.Pos(), "channel iteration")
+			}
+		}
+	case *ast.CallExpr:
+		w.call(n)
+	case *ast.AssignStmt:
+		if len(n.Lhs) == len(n.Rhs) {
+			for i, lhs := range n.Lhs {
+				w.boxing(info.TypeOf(lhs), n.Rhs[i])
+			}
+		}
+	case *ast.ValueSpec:
+		if n.Type != nil && len(n.Values) > 0 {
+			if t := info.TypeOf(n.Type); t != nil {
+				for _, v := range n.Values {
+					w.boxing(t, v)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if w.results != nil && len(n.Results) == w.results.Len() {
+			for i, res := range n.Results {
+				w.boxing(w.results.At(i).Type(), res)
+			}
+		}
+	}
+	return true
+}
+
+// call flags banned builtins, conversions to interface types, and
+// boxing at call-argument positions.
+func (w *hotpathWalker) call(call *ast.CallExpr) {
+	info := w.pass.TypesInfo
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if len(call.Args) > 0 {
+					if t := info.TypeOf(call.Args[0]); t != nil {
+						switch t.Underlying().(type) {
+						case *types.Map:
+							w.bad(call.Pos(), "make(map)")
+						case *types.Chan:
+							w.bad(call.Pos(), "make(chan)")
+						}
+					}
+				}
+			case "append":
+				w.bad(call.Pos(), "append may grow its backing array")
+			case "delete":
+				w.bad(call.Pos(), "map delete")
+			case "close":
+				w.bad(call.Pos(), "channel close")
+			}
+			return
+		}
+	}
+	// Conversion T(x) where T is an interface type.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			w.boxing(tv.Type, call.Args[0])
+		}
+		return
+	}
+	// Boxing at parameter positions.
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice does not box per element
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		w.boxing(pt, arg)
+	}
+}
+
+// boxing reports a conversion of a non-pointer-shaped concrete value
+// to an interface type: the canonical hidden heap allocation.
+func (w *hotpathWalker) boxing(dst types.Type, src ast.Expr) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return // interface-to-interface carries the existing box
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if pointerShaped(st) {
+		return // the interface data word holds the pointer; no allocation
+	}
+	w.bad(src.Pos(), "interface boxing of %s value", st)
+}
+
+// pointerShaped reports whether values of t fit the interface data
+// word without allocating: pointers, channels, maps, funcs and
+// unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+// Package load type-checks the module's packages for the pktbufvet
+// standalone driver without depending on golang.org/x/tools: package
+// metadata comes from `go list -export -deps -json`, module packages
+// are parsed and type-checked from source (comments included, so the
+// //pktbuf: annotation contract is visible), and imports outside the
+// module resolve through the compiler's export data via go/importer.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+}
+
+// Target reports whether the package was named by the load patterns
+// (rather than pulled in as a dependency) and lives in the module.
+func (p *Package) Target() bool { return !p.DepOnly && !p.Standard }
+
+// Packages loads and type-checks the packages matching patterns plus
+// their module-local dependencies. The returned slice is in
+// dependency order; the FileSet is shared by every package.
+func Packages(patterns []string) ([]*Package, *token.FileSet, error) {
+	metas, err := goList(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	byPath := make(map[string]*Package)
+	imp := &combinedImporter{
+		local: byPath,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+
+	var out []*Package
+	for _, m := range metas {
+		p := &Package{
+			ImportPath: m.ImportPath,
+			Dir:        m.Dir,
+			Name:       m.Name,
+			GoFiles:    m.GoFiles,
+			Standard:   m.Standard,
+			DepOnly:    m.DepOnly,
+			Export:     m.Export,
+		}
+		out = append(out, p)
+		if p.Standard {
+			continue // resolved through export data on demand
+		}
+		for _, name := range p.GoFiles {
+			file := name
+			if !filepath.IsAbs(file) {
+				file = filepath.Join(p.Dir, name)
+			}
+			syn, err := parser.ParseFile(fset, file, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, nil, fmt.Errorf("load %s: %w", p.ImportPath, err)
+			}
+			p.Syntax = append(p.Syntax, syn)
+		}
+		p.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		tpkg, err := conf.Check(p.ImportPath, fset, p.Syntax, p.Info)
+		if err != nil {
+			return nil, nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		p.Types = tpkg
+		byPath[p.ImportPath] = p
+	}
+	return out, fset, nil
+}
+
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+}
+
+// goList shells out to the go command for package metadata and export
+// data. -deps emits dependencies before dependents, which is exactly
+// the order source type-checking needs.
+func goList(patterns []string) ([]listMeta, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Name,GoFiles,Standard,DepOnly,Export",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.Bytes())
+	}
+	var out []listMeta
+	dec := json.NewDecoder(&stdout)
+	for {
+		var m listMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// combinedImporter resolves module-local imports to the packages this
+// loader type-checked from source and everything else (the standard
+// library) to compiler export data.
+type combinedImporter struct {
+	local map[string]*Package
+	gc    types.Importer
+}
+
+func (c *combinedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.local[path]; ok {
+		return p.Types, nil
+	}
+	return c.gc.Import(path)
+}

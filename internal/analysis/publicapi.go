@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// PublicAPI generalizes the repo's TestExamplesUsePublicAPIOnly
+// golden rule into an import-graph analyzer: packages under examples/
+// and cmd/ must consume the module exclusively through its public
+// pktbuf/... surface, never by importing internal/ packages directly.
+// Two commands are exempt by contract because they are repo tooling,
+// not engine consumers: cmd/benchcheck (CI gate over the benchmark
+// baseline) and cmd/pktbufvet (the driver for these analyzers, which
+// necessarily imports repro/internal/analysis). Anything else needs a
+// per-line //pktbuf:allow waiver with a reason.
+var PublicAPI = &Analyzer{
+	Name: "publicapi",
+	Doc:  "examples/ and cmd/ must not import internal/ packages",
+	Run:  runPublicAPI,
+}
+
+func runPublicAPI(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !publicOnlyConsumer(path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if internalImport(p) {
+				pass.Reportf(imp.Pos(),
+					"publicapi: %s imports %s; examples/ and cmd/ must use the public pktbuf API only",
+					path, p)
+			}
+		}
+	}
+	return nil
+}
+
+// publicOnlyConsumer reports whether the package path falls under the
+// examples/ or cmd/ trees (cmd/benchcheck and cmd/pktbufvet
+// excepted).
+func publicOnlyConsumer(path string) bool {
+	segs := strings.Split(path, "/")
+	for i, seg := range segs {
+		switch seg {
+		case "examples":
+			return true
+		case "cmd":
+			if i+1 < len(segs) && (segs[i+1] == "benchcheck" || segs[i+1] == "pktbufvet") {
+				return false
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// internalImport reports whether the import path names an internal
+// package.
+func internalImport(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SingleWriter enforces //pktbuf:owner=f1,f2 field annotations: the
+// field may be accessed only from the declared owner functions and
+// from helpers the static call graph proves are reachable exclusively
+// from them (a helper called from an owner and from anywhere else, or
+// ever used as a function value, does not qualify). This is the
+// machine-checked form of "the serving loop is the only code that
+// touches the engine state" from the serve package and of the SPSC
+// ring contract.
+//
+// Fields of sync/atomic types get the SPSC relaxation: calling .Load()
+// on the field is a read and allowed anywhere; mutating methods
+// (Store, Add, Swap, CompareAndSwap, Or, And) remain owner-only. For
+// plain fields every access — read or write — is owner-only, because
+// a cross-goroutine read of loop-private state is already a race.
+//
+// Owner names are bare function names or Type.Method; references from
+// *_test.go files are never analyzed (drivers exclude test files), so
+// tests may drive loop internals synchronously.
+var SingleWriter = &Analyzer{
+	Name: "singlewriter",
+	Doc:  "restrict //pktbuf:owner= fields to their declared owner functions",
+	Run:  runSingleWriter,
+}
+
+func runSingleWriter(pass *Pass) error {
+	owned := collectOwnedFields(pass)
+	if len(owned) == 0 {
+		return nil
+	}
+	funcs := packageFuncs(pass)
+	dominated := dominatedSets(pass, funcs, owned)
+
+	for _, fd := range funcs {
+		fd := fd
+		ast.Inspect(fd.decl, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := fieldObject(pass, sel)
+			if obj == nil {
+				return true
+			}
+			spec, ok := owned[obj]
+			if !ok {
+				return true
+			}
+			if dominated[obj][fd.decl] {
+				return true
+			}
+			if atomicLoad(pass, fd.decl, sel) {
+				return true
+			}
+			pass.Reportf(sel.Sel.Pos(),
+				"singlewriter: field %s is owned by %s; accessed from %s",
+				obj.Name(), strings.Join(spec.owners, ","), fd.qualified)
+			return true
+		})
+	}
+
+	// Accesses outside any function (package-level declarations).
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if obj := fieldObject(pass, sel); obj != nil {
+					if spec, ok := owned[obj]; ok {
+						pass.Reportf(sel.Sel.Pos(),
+							"singlewriter: field %s is owned by %s; accessed at package scope",
+							obj.Name(), strings.Join(spec.owners, ","))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type ownedField struct {
+	owners []string
+}
+
+// collectOwnedFields maps annotated field objects to their owner
+// lists.
+func collectOwnedFields(pass *Pass) map[*types.Var]ownedField {
+	out := make(map[*types.Var]ownedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg := directiveArg(field.Doc, ownerDirective)
+				if arg == "" {
+					arg = directiveArg(field.Comment, ownerDirective)
+				}
+				if arg == "" {
+					continue
+				}
+				owners := strings.Split(arg, ",")
+				for i := range owners {
+					owners[i] = strings.TrimSpace(owners[i])
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = ownedField{owners: owners}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+type pkgFunc struct {
+	decl             *ast.FuncDecl
+	obj              *types.Func
+	short, qualified string
+}
+
+func packageFuncs(pass *Pass) []*pkgFunc {
+	var out []*pkgFunc
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			short, qual := FuncName(fd)
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			out = append(out, &pkgFunc{decl: fd, obj: fn, short: short, qualified: qual})
+		}
+	}
+	return out
+}
+
+// dominatedSets computes, per owned field, the set of function
+// declarations allowed to touch it: the declared owners plus every
+// function whose references all occur as direct calls from
+// already-allowed functions.
+func dominatedSets(pass *Pass, funcs []*pkgFunc, owned map[*types.Var]ownedField) map[*types.Var]map[*ast.FuncDecl]bool {
+	byObj := make(map[*types.Func]*pkgFunc)
+	for _, fn := range funcs {
+		if fn.obj != nil {
+			byObj[fn.obj] = fn
+		}
+	}
+
+	// Identifiers appearing as the function operand of a call.
+	callIdents := make(map[*ast.Ident]bool)
+	for _, fn := range funcs {
+		ast.Inspect(fn.decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				callIdents[fun] = true
+			case *ast.SelectorExpr:
+				callIdents[fun.Sel] = true
+			}
+			return true
+		})
+	}
+
+	// Reference graph over package functions: per callee, the set of
+	// calling declarations, plus whether the function ever escapes as
+	// a value (referenced outside a direct call).
+	callers := make(map[*types.Func]map[*ast.FuncDecl]bool)
+	escapes := make(map[*types.Func]bool)
+	for _, fn := range funcs {
+		fn := fn
+		ast.Inspect(fn.decl, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, local := byObj[obj]; !local {
+				return true
+			}
+			if !callIdents[id] {
+				escapes[obj] = true
+				return true
+			}
+			if callers[obj] == nil {
+				callers[obj] = make(map[*ast.FuncDecl]bool)
+			}
+			callers[obj][fn.decl] = true
+			return true
+		})
+	}
+
+	out := make(map[*types.Var]map[*ast.FuncDecl]bool)
+	for v, spec := range owned {
+		allowed := make(map[*ast.FuncDecl]bool)
+		for _, fn := range funcs {
+			for _, name := range spec.owners {
+				if name == fn.short || name == fn.qualified {
+					allowed[fn.decl] = true
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range funcs {
+				if allowed[fn.decl] || fn.obj == nil || escapes[fn.obj] {
+					continue
+				}
+				cs := callers[fn.obj]
+				if len(cs) == 0 {
+					continue
+				}
+				all := true
+				for caller := range cs {
+					if !allowed[caller] {
+						all = false
+						break
+					}
+				}
+				if all {
+					allowed[fn.decl] = true
+					changed = true
+				}
+			}
+		}
+		out[v] = allowed
+	}
+	return out
+}
+
+// fieldObject resolves a selector to the field variable it selects,
+// or nil when the selector is not a field access.
+func fieldObject(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+// atomicLoad reports whether the annotated-field access sel is the
+// receiver of a .Load() call on a sync/atomic type — the read half of
+// the SPSC contract, allowed anywhere.
+func atomicLoad(pass *Pass, scope *ast.FuncDecl, sel *ast.SelectorExpr) bool {
+	t := pass.TypesInfo.TypeOf(sel)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	allowed := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		outer, ok := n.(*ast.SelectorExpr)
+		if !ok || outer.X != sel {
+			return true
+		}
+		if outer.Sel.Name == "Load" {
+			allowed = true
+		}
+		return true
+	})
+	return allowed
+}

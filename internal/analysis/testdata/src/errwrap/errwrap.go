@@ -1,0 +1,45 @@
+// Package thing sits on a public pktbuf/... path, so every error an
+// exported function returns must errors.Is-match a sentinel.
+package thing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrThing is the package sentinel.
+var ErrThing = errors.New("thing: failed")
+
+func Sentinel() error { return ErrThing }
+
+func StdlibSentinel() error { return io.EOF }
+
+func Wrapped(n int) error { return fmt.Errorf("thing: n=%d: %w", n, ErrThing) }
+
+func Joined() error { return errors.Join(ErrThing, io.EOF) }
+
+func Nil() error { return nil }
+
+func ViaLocal() error {
+	err := fmt.Errorf("thing: %w", ErrThing)
+	return err
+}
+
+func BadNew() error {
+	return errors.New("thing: ad hoc") // want "errors.New at API boundary"
+}
+
+func BadNoVerb(n int) error {
+	return fmt.Errorf("thing: n=%d", n) // want "fmt.Errorf without %w"
+}
+
+func BadLocal() error {
+	err := errors.New("thing: stored ad hoc") // want "errors.New at API boundary"
+	return err
+}
+
+// unexported functions are not an API boundary.
+func internalScratch() error {
+	return errors.New("thing: internal scratch")
+}

@@ -1,0 +1,54 @@
+// Package hot seeds one violation per hotpath-noalloc rule, plus a
+// waived line and a clean unannotated function.
+package hot
+
+type sink interface{ m() }
+
+type val struct{ x int }
+
+func (val) m() {}
+
+//pktbuf:hotpath
+func bad(m map[int]int, ch chan int, s []int, v val) []int {
+	_ = m[1]         // want "map access"
+	ch <- 1          // want "channel send"
+	<-ch             // want "channel receive"
+	s = append(s, 1) // want "append may grow"
+	f := func() {}   // want "closure"
+	_ = f
+	go probe()           // want "go statement"
+	mm := map[int]int{}  // want "map literal"
+	delete(mm, 1)        // want "map delete"
+	c2 := make(chan int) // want "make\(chan\)"
+	close(c2)            // want "channel close"
+	var i any
+	i = v // want "interface boxing of fixmod/internal/hot.val value"
+	_ = i
+	var j sink = v // want "interface boxing"
+	_ = j
+	probeArg(v) // want "interface boxing"
+	return s
+}
+
+//pktbuf:hotpath
+func boxReturn(v val) any {
+	return v // want "interface boxing"
+}
+
+//pktbuf:hotpath
+func waived(s []int) []int {
+	s = append(s, 1) //pktbuf:allow hotpath-noalloc fixture: bounded by construction
+	return s
+}
+
+//pktbuf:hotpath
+func cleanPtr(v *val) any {
+	return v // pointer-shaped: no box, no finding
+}
+
+// cold is unannotated: anything goes.
+func cold(m map[int]int) int { return m[1] }
+
+func probe() {}
+
+func probeArg(s sink) { s.m() }

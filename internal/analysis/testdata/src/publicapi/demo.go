@@ -1,0 +1,10 @@
+// Command demo is a cmd/ package: importing internal/ packages is a
+// publicapi violation.
+package main
+
+import (
+	_ "fixmod/internal/secret" // want "must use the public pktbuf API only"
+	_ "fixmod/pktbuf/thing"
+)
+
+func main() {}

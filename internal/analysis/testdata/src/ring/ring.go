@@ -1,0 +1,36 @@
+// Package ring seeds singlewriter violations: an owned scalar written
+// off-owner, an owned atomic mutated off-owner (Loads stay legal
+// anywhere), plus the allowed cases — the owner itself, a helper the
+// call graph proves is loop-only, and a waived access.
+package ring
+
+import "sync/atomic"
+
+type engine struct {
+	cursor int           //pktbuf:owner=engine.loop
+	seq    atomic.Uint64 //pktbuf:owner=engine.loop
+	free   int
+}
+
+func (e *engine) loop() {
+	e.cursor++
+	e.step()
+	e.seq.Store(e.seq.Load() + 1)
+}
+
+// step is called only from loop, so domination admits it.
+func (e *engine) step() {
+	e.cursor = 0
+}
+
+func (e *engine) rogue() {
+	e.cursor = 1     // want "owned by engine.loop"
+	_ = e.cursor     // want "owned by engine.loop"
+	e.seq.Store(2)   // want "owned by engine.loop"
+	_ = e.seq.Load() // atomic Load: legal from any goroutine
+	e.free = 9       // unannotated field: not checked
+}
+
+func (e *engine) waivedPeek() int {
+	return e.cursor //pktbuf:allow singlewriter fixture: loop is provably parked here
+}

@@ -78,6 +78,8 @@ func (s *Set) Grow(n int) {
 }
 
 // Has reports whether bit i is set. Out-of-range indices are clear.
+//
+//pktbuf:hotpath
 func (s *Set) Has(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -86,6 +88,8 @@ func (s *Set) Has(i int) bool {
 }
 
 // Set sets bit i. i must be in [0, Len()).
+//
+//pktbuf:hotpath
 func (s *Set) Set(i int) {
 	w := i >> 6
 	old := s.levels[0][w]
@@ -101,6 +105,8 @@ func (s *Set) Set(i int) {
 }
 
 // Clear clears bit i. i must be in [0, Len()).
+//
+//pktbuf:hotpath
 func (s *Set) Clear(i int) {
 	w := i >> 6
 	s.levels[0][w] &^= 1 << uint(i&63)
@@ -117,6 +123,8 @@ func (s *Set) Clear(i int) {
 func (s *Set) Empty() bool { return s.levels[len(s.levels)-1][0] == 0 }
 
 // word returns leaf word w, or 0 beyond capacity.
+//
+//pktbuf:hotpath
 func (s *Set) word(w int) uint64 {
 	if w >= len(s.levels[0]) {
 		return 0
@@ -126,6 +134,8 @@ func (s *Set) word(w int) uint64 {
 
 // descend resolves a set bit at (level, bit index within level) down
 // to the leaf bit index.
+//
+//pktbuf:hotpath
 func (s *Set) descend(level, idx int) int {
 	for l := level - 1; l >= 0; l-- {
 		idx = idx<<6 + bits.TrailingZeros64(s.levels[l][idx])
@@ -140,6 +150,8 @@ func (s *Set) First() int { return s.NextFrom(0) }
 func (s *Set) Last() int { return s.PrevFrom(s.n - 1) }
 
 // NextFrom returns the lowest set bit ≥ i, or -1.
+//
+//pktbuf:hotpath
 func (s *Set) NextFrom(i int) int {
 	if i < 0 {
 		i = 0
@@ -171,6 +183,8 @@ func (s *Set) NextFrom(i int) int {
 // an empty set. Ring-indexed structures (the MMA lookahead window)
 // use it to resolve "first candidate from the window head" in one
 // probe instead of two explicit segment scans.
+//
+//pktbuf:hotpath
 func (s *Set) NextFromWrap(i int) int {
 	if j := s.NextFrom(i); j >= 0 {
 		return j
@@ -179,6 +193,8 @@ func (s *Set) NextFromWrap(i int) int {
 }
 
 // PrevFrom returns the highest set bit ≤ i, or -1.
+//
+//pktbuf:hotpath
 func (s *Set) PrevFrom(i int) int {
 	if i >= s.n {
 		i = s.n - 1
@@ -209,6 +225,8 @@ func (s *Set) PrevFrom(i int) int {
 // -1. The scan is guided by s's summaries, so its cost is bounded by
 // the set words of s rather than the capacity; mask may have any
 // capacity (bits beyond it read as clear).
+//
+//pktbuf:hotpath
 func (s *Set) NextAndFrom(mask *Set, i int) int {
 	for {
 		j := s.NextFrom(i)

@@ -393,16 +393,22 @@ func (b *Buffer) Tick(in TickInput) (TickOutput, error) {
 	return b.tickSlot(in, &b.delivered)
 }
 
+// recordErr keeps the first non-nil error of a slot; later errors of
+// the same slot are dropped (the slot still completes, matching the
+// hardware model where a violation is flagged but the clock advances).
+func recordErr(dst *error, err error) {
+	if err != nil && *dst == nil {
+		*dst = err
+	}
+}
+
 // tickSlot is the slot body shared by Tick and TickBatch: one full
 // slot against the given delivered-cell scratch.
+//
+//pktbuf:hotpath
 func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 	var out TickOutput
 	var firstErr error
-	record := func(err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-	}
 
 	// 1. Land DRAM→SRAM transfers completing this slot, before the
 	// delivery point ("perfectly synchronized hardware", §3). The
@@ -414,7 +420,7 @@ func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 			for i, cl := range c.cells {
 				if err := b.head.Insert(c.phys, base+uint64(i), cl); err != nil {
 					b.stats.HeadOverflows++
-					record(fmt.Errorf("head SRAM insert: %w", err))
+					recordErr(&firstErr, fmt.Errorf("head SRAM insert: %w", err))
 				}
 			}
 			b.dram.ReleaseBlock(c.cells)
@@ -425,7 +431,7 @@ func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 
 	// 2. Arrival.
 	if in.Arrival != cell.NoQueue {
-		record(b.arrive(in.Arrival))
+		recordErr(&firstErr, b.arrive(in.Arrival))
 	}
 
 	// 3. Request enters the pipeline; the pipeline shifts exactly once
@@ -434,7 +440,7 @@ func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 	logical := cell.NoQueue
 	if in.Request != cell.NoQueue {
 		p, lq, err := b.admitRequest(in.Request)
-		record(err)
+		recordErr(&firstErr, err)
 		phys, logical = p, lq
 	}
 	outPhys := b.look.Shift(phys)
@@ -449,7 +455,7 @@ func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 	if outEntry.logical != cell.NoQueue {
 		b.inPipe--
 		delivered, bypassed, err := b.deliver(outPhys, outEntry.logical, dst)
-		record(err)
+		recordErr(&firstErr, err)
 		if delivered != nil {
 			out.Delivered = delivered
 			out.Bypassed = bypassed
@@ -463,13 +469,13 @@ func (b *Buffer) tickSlot(in TickInput, dst *cell.Cell) (TickOutput, error) {
 	bs := b.cfg.Bsmall
 	phase := int(b.now) % bs
 	if phase == bs-1 {
-		record(b.tailCycle())
-		record(b.headCycle())
+		recordErr(&firstErr, b.tailCycle())
+		recordErr(&firstErr, b.headCycle())
 	}
 	if bs == 1 {
-		record(b.dsaCycle(b.cfg.IssuesPerCycle))
+		recordErr(&firstErr, b.dsaCycle(b.cfg.IssuesPerCycle))
 	} else if phase == bs-1 || phase == bs/2-1 {
-		record(b.dsaCycle((b.cfg.IssuesPerCycle + 1) / 2))
+		recordErr(&firstErr, b.dsaCycle((b.cfg.IssuesPerCycle+1)/2))
 	}
 
 	if b.tailTotal > b.stats.TailHighWater {
@@ -686,6 +692,8 @@ func (b *Buffer) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 // deliver pops the cell for a request exiting the pipeline, storing it
 // in dst (the per-Tick or per-batch-slot scratch the returned pointer
 // aliases).
+//
+//pktbuf:hotpath
 func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) (*cell.Cell, bool, error) {
 	var c cell.Cell
 	bypassed := false
@@ -695,7 +703,7 @@ func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 		if tq.len() == 0 || tq.promised == 0 {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
-				ErrMiss, q, b.now)
+				ErrMiss, q, b.now) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 		}
 		c = tq.popFront()
 		tq.promised--
@@ -707,7 +715,7 @@ func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 		if err != nil {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
-				ErrMiss, q, phys, b.now, err)
+				ErrMiss, q, phys, b.now, err) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 		}
 		c = popped
 	}
@@ -716,7 +724,7 @@ func (b *Buffer) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 	want := b.ks.deliveredSeq[q]
 	if c.Queue != q || c.Seq != want {
 		return dst, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
-			ErrOutOfOrder, q, c, want)
+			ErrOutOfOrder, q, c, want) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	b.ks.deliveredSeq[q] = want + 1
 	b.ks.sysOcc[q]--

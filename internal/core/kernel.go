@@ -118,6 +118,8 @@ func (k *kernel) insertHead(p cell.PhysQueueID, pos uint64, c cell.Cell) error {
 // equivalent of calling tickSlot len(in) times. It returns the number
 // of slots ticked; on error it stops after the offending slot (which
 // still completes, with its outcome in out[n-1]).
+//
+//pktbuf:hotpath
 func (k *kernel) run(in []TickInput, out []TickOutput, scratch []cell.Cell) (int, error) {
 	b := k.b
 
@@ -317,6 +319,8 @@ func (k *kernel) admitRequest(q cell.QueueID) (cell.PhysQueueID, cell.QueueID, e
 
 // deliver is the fused twin of Buffer.deliver with the head-SRAM pop
 // and the leave event resolved to the concrete types.
+//
+//pktbuf:hotpath
 func (k *kernel) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) (*cell.Cell, bool, error) {
 	b := k.b
 	var c cell.Cell
@@ -326,7 +330,7 @@ func (k *kernel) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 		if tq.len() == 0 || tq.promised == 0 {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: bypass for queue %d at slot %d finds no cell",
-				ErrMiss, q, b.now)
+				ErrMiss, q, b.now) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 		}
 		c = tq.popFront()
 		tq.promised--
@@ -351,7 +355,7 @@ func (k *kernel) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 		if err != nil {
 			b.stats.Misses++
 			return nil, false, fmt.Errorf("%w: queue %d (phys %d) at slot %d: %v",
-				ErrMiss, q, phys, b.now, err)
+				ErrMiss, q, phys, b.now, err) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 		}
 		c = popped
 	}
@@ -360,7 +364,7 @@ func (k *kernel) deliver(phys cell.PhysQueueID, q cell.QueueID, dst *cell.Cell) 
 	want := b.ks.deliveredSeq[q]
 	if c.Queue != q || c.Seq != want {
 		return dst, bypassed, fmt.Errorf("%w: queue %d got %v, want seq %d",
-			ErrOutOfOrder, q, c, want)
+			ErrOutOfOrder, q, c, want) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	b.ks.deliveredSeq[q] = want + 1
 	b.ks.sysOcc[q]--

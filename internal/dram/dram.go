@@ -256,6 +256,8 @@ func (d *DRAM) Group(p cell.PhysQueueID) int {
 
 // BankFor returns the bank that block ordinal k of queue p maps to
 // under the block-cyclic interleave of Figure 6.
+//
+//pktbuf:hotpath
 func (d *DRAM) BankFor(p cell.PhysQueueID, ordinal uint64) BankID {
 	g := d.Group(p)
 	var idx int
@@ -269,12 +271,16 @@ func (d *DRAM) BankFor(p cell.PhysQueueID, ordinal uint64) BankID {
 
 // WriteBank returns the bank the *next reserved* write block of queue
 // p will target. The DSS uses this to test requests against the ORR.
+//
+//pktbuf:hotpath
 func (d *DRAM) WriteBank(p cell.PhysQueueID) BankID {
 	return d.BankFor(p, d.queue(p).writeReserved)
 }
 
 // ReadBank returns the bank holding the next unreserved-for-read block
 // of queue p, or NoBank if no readable block remains.
+//
+//pktbuf:hotpath
 func (d *DRAM) ReadBank(p cell.PhysQueueID) BankID {
 	q := d.queue(p)
 	if q.readReserved >= q.writeReserved {
@@ -285,12 +291,16 @@ func (d *DRAM) ReadBank(p cell.PhysQueueID) BankID {
 
 // BankBusy reports whether bank b is within its random access time at
 // slot now.
+//
+//pktbuf:hotpath
 func (d *DRAM) BankBusy(b BankID, now cell.Slot) bool {
 	return now < d.busyUntil[b]
 }
 
 // CanWrite reports whether queue p's group has room to reserve one
 // more block.
+//
+//pktbuf:hotpath
 func (d *DRAM) CanWrite(p cell.PhysQueueID) bool {
 	if d.cfg.BankCapacityBlocks == 0 {
 		return true
@@ -326,6 +336,8 @@ func (d *DRAM) TotalOccupancyBlocks() int {
 // LeastOccupiedGroup returns the group with the fewest stored blocks
 // (ties broken toward the lowest index). The renaming allocator uses
 // this to balance DRAM occupancy (§6).
+//
+//pktbuf:hotpath
 func (d *DRAM) LeastOccupiedGroup() int {
 	best, bestOcc := 0, d.groupBlk[0]
 	for g := 1; g < len(d.groupBlk); g++ {
@@ -353,6 +365,8 @@ func (d *DRAM) QueueCells(p cell.PhysQueueID) int {
 // array). The MMA's eligibility test uses this to avoid ordering reads
 // that would race their own data. It reads the incrementally
 // maintained readable bitset, so the answer is one word probe.
+//
+//pktbuf:hotpath
 func (d *DRAM) ReadableNow(p cell.PhysQueueID) bool {
 	return d.readable.Has(int(p))
 }
@@ -366,6 +380,8 @@ func (d *DRAM) ReadableSet() *bitset.Set { return d.readable }
 // refreshReadable re-derives p's readable bit from the reservation
 // cursors and the stored blocks. Called after every transition that
 // can flip it; idempotent.
+//
+//pktbuf:hotpath
 func (d *DRAM) refreshReadable(p cell.PhysQueueID, q *queueState) {
 	ok := q.readReserved < q.writeReserved && q.ring.get(q.readReserved) != nil
 	if ok {

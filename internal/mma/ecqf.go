@@ -271,6 +271,8 @@ func (e *ECQF) eligibleQ(q cell.PhysQueueID, eligible func(cell.PhysQueueID) boo
 // exact. When no critical queue is eligible the MMA idles —
 // replenishing uncritical queues would only inflate the SRAM occupancy
 // beyond the dimensioned bound.
+//
+//pktbuf:hotpath
 func (e *ECQF) Select(eligible func(cell.PhysQueueID) bool) (cell.PhysQueueID, bool) {
 	head := e.look.head
 	n := len(e.look.ring)

@@ -82,6 +82,8 @@ func (l *Lookahead) Pending() int { return l.count }
 // Shift advances the register by one slot: in enters at the tail and
 // the head entry is returned. This is the only mutation — the register
 // models hardware, so it moves exactly once per slot.
+//
+//pktbuf:hotpath
 func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
 	slot, out := l.shiftRaw(in)
 	if l.onShift != nil {
@@ -95,6 +97,8 @@ func (l *Lookahead) Shift(in cell.PhysQueueID) (out cell.PhysQueueID) {
 // exists for observers that drive the shift themselves (ECQF's fused
 // shift-and-deliver path) and must never be mixed with Shift by anyone
 // else — a skipped observer notification leaves the index stale.
+//
+//pktbuf:hotpath
 func (l *Lookahead) shiftRaw(in cell.PhysQueueID) (slot int, out cell.PhysQueueID) {
 	slot = l.head
 	out = l.ring[slot]

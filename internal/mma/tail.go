@@ -77,6 +77,8 @@ func (t *TailMMA) Occupancy(q cell.QueueID) int {
 // redirects them); nil means no queue is vetoed — callers whose write
 // path can never stall (unbounded DRAM without renaming) pass nil and
 // the walk degenerates to pure bitmap probes.
+//
+//pktbuf:hotpath
 func (t *TailMMA) Select(eligible func(cell.QueueID) bool) (cell.QueueID, bool) {
 	tr := t.idx
 	for bi := tr.nonEmpty.Last(); bi >= 0; bi = tr.nonEmpty.PrevFrom(bi - 1) {

@@ -339,6 +339,8 @@ func (r *Router) fastForward(n uint64) {
 // vectors, writing matched[input] = output or -1. It is the single
 // per-slot serialization point of the sharded engine: everything it
 // reads (reqVec) was published by the ports' previous ticks.
+//
+//pktbuf:hotpath
 func (r *Router) schedule(matched []int) {
 	P := r.cfg.Ports
 	for i := 0; i < P; i++ {
@@ -413,6 +415,8 @@ func (r *Router) schedule(matched []int) {
 // tick the buffer with the fabric request for the matched output, and
 // resolve the delivered cell's metadata. It touches only the port's
 // lineCard, so the engine runs it concurrently across ports.
+//
+//pktbuf:hotpath
 func (r *Router) tickPort(i, matchedOut int) delivery {
 	in := r.inputs[i]
 	tick := core.TickInput{Arrival: cell.NoQueue, Request: cell.NoQueue}
@@ -436,7 +440,7 @@ func (r *Router) tickPort(i, matchedOut int) delivery {
 			// Keep the cell pending; retry next slot.
 			admit = false
 		} else {
-			d.err = fmt.Errorf("router: input %d: %w", i, err)
+			d.err = fmt.Errorf("router: input %d: %w", i, err) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 			in.computeReqVec(r.cfg.Classes)
 			return d
 		}
@@ -453,7 +457,7 @@ func (r *Router) tickPort(i, matchedOut int) delivery {
 		dc := *res.Delivered
 		mq := &in.meta[dc.Queue]
 		if mq.len() == 0 || in.delivered[dc.Queue] != dc.Seq {
-			d.err = fmt.Errorf("router: input %d delivered unknown cell %v", i, dc)
+			d.err = fmt.Errorf("router: input %d delivered unknown cell %v", i, dc) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 			in.computeReqVec(r.cfg.Classes)
 			return d
 		}
@@ -469,6 +473,8 @@ func (r *Router) tickPort(i, matchedOut int) delivery {
 // collect moves port i's delivered cell across the fabric to its
 // output reassembler, appending any completed packet to out. It runs
 // serially in input-port order so egress order is deterministic.
+//
+//pktbuf:hotpath
 func (r *Router) collect(i int, d delivery, out []Egress) ([]Egress, error) {
 	if d.err != nil {
 		return out, d.err
@@ -484,7 +490,7 @@ func (r *Router) collect(i int, d delivery, out []Egress) ([]Egress, error) {
 	sc.Flow = cell.QueueID(i)*r.flowMul + d.queue
 	p, ok, err := r.reasm[output].Push(sc)
 	if err != nil {
-		return out, fmt.Errorf("router: output %d: %w", output, err)
+		return out, fmt.Errorf("router: output %d: %w", output, err) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	if ok {
 		p.Flow %= r.flowMul // restore the offered flow id
@@ -492,9 +498,9 @@ func (r *Router) collect(i int, d delivery, out []Egress) ([]Egress, error) {
 		// (overwritten by the stream's next packet) into the egress
 		// arena (stable until the next step call).
 		off := len(r.egArena)
-		r.egArena = append(r.egArena, p.Payload...)
+		r.egArena = append(r.egArena, p.Payload...) //pktbuf:allow hotpath-noalloc egress arena append: amortized, capacity reused across steps
 		p.Payload = r.egArena[off:len(r.egArena):len(r.egArena)]
-		out = append(out, Egress{Output: output, Input: i, Packet: p})
+		out = append(out, Egress{Output: output, Input: i, Packet: p}) //pktbuf:allow hotpath-noalloc appends into the reused egScratch backing array; grows only on the first steps
 		r.stats.DeliveredPackets++
 	}
 	return out, nil

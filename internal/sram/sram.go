@@ -139,18 +139,20 @@ func (s *CAMStore) queue(q cell.PhysQueueID) *camQueue {
 }
 
 // Insert implements Store.
+//
+//pktbuf:hotpath
 func (s *CAMStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 	if s.capacity > 0 && s.total >= s.capacity {
-		return fmt.Errorf("%w: capacity %d", ErrFull, s.capacity)
+		return fmt.Errorf("%w: capacity %d", ErrFull, s.capacity) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	st := s.queue(q)
 	if pos < st.nextPop {
-		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos)
+		return fmt.Errorf("%w: queue %d pos %d already popped", ErrDuplicate, q, pos) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	st.ensure(pos)
 	slot := pos & uint64(len(st.cells)-1)
 	if st.present[slot] {
-		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos)
+		return fmt.Errorf("%w: queue %d pos %d", ErrDuplicate, q, pos) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	st.cells[slot] = c
 	st.present[slot] = true
@@ -163,14 +165,16 @@ func (s *CAMStore) Insert(q cell.PhysQueueID, pos uint64, c cell.Cell) error {
 }
 
 // Pop implements Store.
+//
+//pktbuf:hotpath
 func (s *CAMStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 	st := s.queue(q)
 	if st.count == 0 {
-		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	slot := st.nextPop & uint64(len(st.cells)-1)
 	if !st.present[slot] {
-		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop)
+		return cell.Cell{}, fmt.Errorf("%w: queue %d pos %d", ErrMissing, q, st.nextPop) //pktbuf:allow hotpath-noalloc cold invariant-violation path; allocates only when the slot already failed
 	}
 	c := st.cells[slot]
 	st.present[slot] = false
@@ -181,6 +185,8 @@ func (s *CAMStore) Pop(q cell.PhysQueueID) (cell.Cell, error) {
 }
 
 // Peek implements Store.
+//
+//pktbuf:hotpath
 func (s *CAMStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
 	st := s.queue(q)
 	if st.count == 0 {
@@ -194,6 +200,8 @@ func (s *CAMStore) Peek(q cell.PhysQueueID) (cell.Cell, bool) {
 }
 
 // HasNext implements Store.
+//
+//pktbuf:hotpath
 func (s *CAMStore) HasNext(q cell.PhysQueueID) bool {
 	_, ok := s.Peek(q)
 	return ok

@@ -357,8 +357,8 @@ func (b *Buffer) Tick(in Input) (Output, error) {
 // always: every out[i] remains valid indefinitely.
 func (b *Buffer) TickBatch(in []Input, out []Output) (int, error) {
 	if len(out) < len(in) {
-		return 0, fmt.Errorf("pktbuf: TickBatch output slice too short: %d outputs for %d inputs",
-			len(out), len(in))
+		return 0, fmt.Errorf("pktbuf: TickBatch output slice too short: %d outputs for %d inputs: %w",
+			len(out), len(in), ErrBadConfig)
 	}
 	if cap(b.inScratch) < len(in) {
 		b.inScratch = make([]core.TickInput, len(in))

@@ -66,7 +66,7 @@ type ClientStats struct {
 func Dial(addr string, flows int) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
 	return NewClient(nc, flows)
 }
@@ -147,7 +147,8 @@ func (c *Client) Submit(qs []pktbuf.Queue) error {
 		return nil
 	}
 	if len(qs) > c.welcome.Window {
-		return fmt.Errorf("serve: burst of %d exceeds window %d", len(qs), c.welcome.Window)
+		return fmt.Errorf("serve: burst of %d exceeds window %d: %w",
+			len(qs), c.welcome.Window, pktbuf.ErrBadConfig)
 	}
 	c.mu.Lock()
 	for c.err == nil && !c.draining && c.welcome.Window-c.inFlight < len(qs) {
@@ -197,7 +198,7 @@ func (c *Client) Bye(ctx context.Context) error {
 	case <-c.done:
 	case <-ctx.Done():
 		c.nc.Close()
-		return ctx.Err()
+		return fmt.Errorf("serve: bye: %w", ctx.Err())
 	}
 	c.mu.Lock()
 	ok := c.byeOK
@@ -211,7 +212,12 @@ func (c *Client) Bye(ctx context.Context) error {
 }
 
 // Close drops the connection immediately.
-func (c *Client) Close() error { return c.nc.Close() }
+func (c *Client) Close() error {
+	if err := c.nc.Close(); err != nil {
+		return fmt.Errorf("serve: close: %w", err)
+	}
+	return nil
+}
 
 // Stats snapshots the client counters.
 func (c *Client) Stats() ClientStats {

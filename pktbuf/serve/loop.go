@@ -51,6 +51,8 @@ func (s *Server) loop() {
 // was ticked. It is the loop body factored out so tests can drive the
 // loop synchronously (and pin its zero-allocation claim); it must not
 // run concurrently with a live loop goroutine.
+//
+//pktbuf:hotpath
 func (s *Server) serveOnce() bool {
 	s.drainActivations()
 	n := 0

@@ -13,9 +13,12 @@ type spscRing struct {
 	buf  []int32
 	mask uint64
 	// head is the consumer cursor, tail the producer cursor; both grow
-	// monotonically and are reduced modulo len(buf) on access.
-	head atomic.Uint64
-	tail atomic.Uint64
+	// monotonically and are reduced modulo len(buf) on access. The
+	// owner annotations encode the SPSC contract: only pop advances
+	// head and only push advances tail (atomic Loads are free from
+	// either side).
+	head atomic.Uint64 //pktbuf:owner=spscRing.pop
+	tail atomic.Uint64 //pktbuf:owner=spscRing.push
 }
 
 // newSpscRing builds a ring with the given capacity rounded up to a

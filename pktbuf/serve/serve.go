@@ -65,7 +65,7 @@ func CodeErr(c wire.Code) error {
 	case wire.CodeBadFlow:
 		return router.ErrBadFlow
 	}
-	return fmt.Errorf("serve: unknown reject code %q", c)
+	return fmt.Errorf("serve: unknown reject code %q: %w", c, wire.ErrFrame)
 }
 
 // Config describes a Server.
@@ -154,19 +154,19 @@ type Server struct {
 
 	// Serving-loop private state (touched only by the loop goroutine;
 	// see loop.go).
-	ready      []int32
-	readyCount int
-	inRing     []bool
-	rrRing     []int32
-	rrHead     int
-	rrLen      int
-	active     []*conn
-	actCur     int
-	inBatch    []pktbuf.Input
-	outBatch   []pktbuf.Output
-	dirty      []*conn
-	rec        trace.Trace
-	epoch      time.Time
+	ready      []int32         //pktbuf:owner=Server.loop
+	readyCount int             //pktbuf:owner=Server.loop
+	inRing     []bool          //pktbuf:owner=Server.loop
+	rrRing     []int32         //pktbuf:owner=Server.loop
+	rrHead     int             //pktbuf:owner=Server.loop
+	rrLen      int             //pktbuf:owner=Server.loop
+	active     []*conn         //pktbuf:owner=Server.loop
+	actCur     int             //pktbuf:owner=Server.loop
+	inBatch    []pktbuf.Input  //pktbuf:owner=Server.loop
+	outBatch   []pktbuf.Output //pktbuf:owner=Server.loop
+	dirty      []*conn         //pktbuf:owner=Server.loop
+	rec        trace.Trace     //pktbuf:owner=Server.loop
+	epoch      time.Time       //pktbuf:owner=Server.loop
 
 	// Published telemetry (statsMu): the loop refreshes these once per
 	// batch so the metrics plane never touches live engine state.
@@ -283,7 +283,7 @@ func (s *Server) Serve(lis net.Listener) error {
 			if s.closed.Load() || s.draining.Load() {
 				return ErrServerClosed
 			}
-			return err
+			return fmt.Errorf("serve: accept: %w", err)
 		}
 		s.mu.Lock()
 		over := len(s.conns) >= s.cfg.MaxConns || s.draining.Load()
@@ -373,7 +373,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-s.drainedCh:
 	case <-ctx.Done():
 		s.Close()
-		return ctx.Err()
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
 	}
 	// Engine drained: every admitted cell is in an egress ring or
 	// already on the wire. Ask the writers to flush, confirm with Bye,
@@ -397,7 +397,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		s.Close()
-		return ctx.Err()
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
 	}
 	s.closed.Store(true)
 	s.wakeLoop()
@@ -485,7 +485,7 @@ func (s *Server) Admission() AdmissionStats {
 func (s *Server) Trace() *trace.Trace {
 	select {
 	case <-s.loopDone:
-		return &s.rec
+		return &s.rec //pktbuf:allow singlewriter loop has exited; loopDone close happens-before this read
 	default:
 		return nil
 	}

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/pktbuf"
+)
+
+// FuzzFrameRoundTrip drives the frame codec with arbitrary type bytes
+// and payloads: every encodable frame must decode back to exactly the
+// bytes written, an oversized length prefix must be rejected with
+// ErrTooLarge before any payload is buffered, and any truncation of a
+// valid frame must surface as io.ErrUnexpectedEOF — never as a clean
+// io.EOF, which is reserved for exact frame boundaries.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(THello), []byte("flows=4"), 0)
+	f.Add(uint8(TSubmit), []byte{}, 0)
+	f.Add(uint8(TDeliver), []byte("a3\nr7\n"), 3)
+	f.Add(uint8(0xff), bytes.Repeat([]byte{0}, 4096), 1)
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte, cut int) {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteFrame(Type(typ), payload); err != nil {
+			if len(payload) > MaxPayload && errors.Is(err, ErrTooLarge) {
+				return // correctly refused to encode
+			}
+			t.Fatalf("WriteFrame(%d, %d bytes): %v", typ, len(payload), err)
+		}
+		if len(payload) > MaxPayload {
+			t.Fatalf("WriteFrame accepted %d-byte payload over MaxPayload", len(payload))
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		frame := buf.Bytes()
+
+		// Round trip: the decoder must return the same type and payload,
+		// then a clean io.EOF at the frame boundary.
+		r := NewReader(bytes.NewReader(frame))
+		gotType, gotPayload, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next on a complete frame: %v", err)
+		}
+		if gotType != Type(typ) || !bytes.Equal(gotPayload, payload) {
+			t.Fatalf("round trip: got (%d, %d bytes), want (%d, %d bytes)",
+				gotType, len(gotPayload), typ, len(payload))
+		}
+		if _, _, err := r.Next(); err != io.EOF {
+			t.Fatalf("after the last frame: got %v, want io.EOF verbatim", err)
+		}
+
+		// Truncation: dropping bytes from a non-empty frame must be
+		// io.ErrUnexpectedEOF, except cutting to zero bytes, which is a
+		// clean boundary.
+		if cut < 0 {
+			cut = -cut
+		}
+		keep := cut % len(frame) // frame is at least headerLen bytes
+		r = NewReader(bytes.NewReader(frame[:keep]))
+		_, _, err = r.Next()
+		switch {
+		case keep == 0:
+			if err != io.EOF {
+				t.Fatalf("empty stream: got %v, want io.EOF", err)
+			}
+		default:
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("frame truncated to %d/%d bytes: got %v, want io.ErrUnexpectedEOF",
+					keep, len(frame), err)
+			}
+		}
+
+		// Oversized: a header declaring more than MaxPayload must be
+		// rejected from the length prefix alone.
+		var hdr [headerLen]byte
+		hdr[0] = typ
+		binary.BigEndian.PutUint32(hdr[1:], uint32(MaxPayload+1+len(payload)))
+		r = NewReader(bytes.NewReader(hdr[:]))
+		if _, _, err := r.Next(); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("oversized length prefix: got %v, want ErrTooLarge", err)
+		}
+	})
+}
+
+// FuzzDecodeCells feeds arbitrary payloads through the cell decoder:
+// it must never panic, and whatever it accepts must re-encode to a
+// stream that decodes to the same queue sequence.
+func FuzzDecodeCells(f *testing.F) {
+	f.Add([]byte("a3\na5\n"), true)
+	f.Add([]byte("r0\nr1\nr2\n"), false)
+	f.Add([]byte(".\n"), true)
+	f.Add([]byte("garbage"), false)
+	f.Fuzz(func(t *testing.T, payload []byte, arrivals bool) {
+		side := Deliveries
+		if arrivals {
+			side = Arrivals
+		}
+		var qs []pktbuf.Queue
+		if err := DecodeCells(payload, side, func(q pktbuf.Queue) error {
+			qs = append(qs, q)
+			return nil
+		}); err != nil {
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("DecodeCells: non-ErrFrame error %v", err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		typ := TDeliver
+		if arrivals {
+			typ = TSubmit
+		}
+		if err := w.WriteCells(typ, side, qs); err != nil {
+			t.Fatalf("WriteCells: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		_, p, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		var got []pktbuf.Queue
+		if err := DecodeCells(p, side, func(q pktbuf.Queue) error {
+			got = append(got, q)
+			return nil
+		}); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(got) != len(qs) {
+			t.Fatalf("re-decode: %d cells, want %d", len(got), len(qs))
+		}
+		for i := range got {
+			if got[i] != qs[i] {
+				t.Fatalf("cell %d: got queue %d, want %d", i, got[i], qs[i])
+			}
+		}
+	})
+}

@@ -132,10 +132,12 @@ func (w *Writer) WriteFrame(t Type, payload []byte) error {
 	w.hdr[0] = byte(t)
 	binary.BigEndian.PutUint32(w.hdr[1:], uint32(len(payload)))
 	if _, err := w.w.Write(w.hdr[:]); err != nil {
-		return err
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
-	_, err := w.w.Write(payload)
-	return err
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
 }
 
 // WriteCells writes one cell-carrying frame (Submit, Deliver or
@@ -162,7 +164,12 @@ func (w *Writer) WriteCells(t Type, side Side, qs []pktbuf.Queue) error {
 }
 
 // Flush pushes buffered frames to the underlying writer.
-func (w *Writer) Flush() error { return w.w.Flush() }
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("wire: flush: %w", err)
+	}
+	return nil
+}
 
 // A Reader reads frames from one peer, reusing its payload buffer:
 // the payload returned by Next is valid only until the following Next
@@ -184,13 +191,18 @@ func NewReader(r io.Reader) *Reader {
 func (r *Reader) Next() (Type, []byte, error) {
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
-		return 0, nil, err
+		if err == io.EOF {
+			// Clean frame boundary: the sentinel, verbatim, by
+			// contract.
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: read frame: %w", err)
 	}
 	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return 0, nil, fmt.Errorf("wire: read frame: %w", err)
 	}
 	t := Type(hdr[0])
 	n := binary.BigEndian.Uint32(hdr[1:])
@@ -202,10 +214,10 @@ func (r *Reader) Next() (Type, []byte, error) {
 	}
 	r.buf = r.buf[:n]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, io.ErrUnexpectedEOF
 		}
-		return 0, nil, err
+		return 0, nil, fmt.Errorf("wire: read frame: %w", err)
 	}
 	return t, r.buf, nil
 }

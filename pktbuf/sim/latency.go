@@ -79,7 +79,8 @@ func (r *Runner) RunWithLatency(slots uint64) (Result, LatencyStats, error) {
 	if r.AllowDrops {
 		// A dropped arrival consumes a tracker sequence number but not
 		// a buffer one, desynchronizing the keying.
-		return Result{}, LatencyStats{}, fmt.Errorf("sim: latency measurement requires AllowDrops=false")
+		return Result{}, LatencyStats{}, fmt.Errorf("sim: latency measurement requires AllowDrops=false: %w",
+			pktbuf.ErrBadConfig)
 	}
 	tracker := NewLatencyTracker()
 	buf := r.Buffer

@@ -155,7 +155,8 @@ const defaultBatch = 4096
 // O(ρ·slots), not O(slots).
 func (r *Runner) RunBatch(slots, batch uint64) (Result, error) {
 	if r.Buffer == nil || r.Arrivals == nil || r.Requests == nil {
-		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests")
+		return Result{}, fmt.Errorf("sim: runner needs Buffer, Arrivals and Requests: %w",
+			pktbuf.ErrBadConfig)
 	}
 	if batch == 0 {
 		batch = defaultBatch
