@@ -8,10 +8,21 @@
 // every in-flight cell is delivered, connections are confirmed with
 // Bye, then the process exits.
 //
+// With -checkpoint the daemon is crash-safe: the engine state and
+// session table are written atomically (tmp file + rename) on a
+// -checkpoint-every cadence and again on SIGINT/SIGTERM, which then
+// exits immediately instead of draining; a successor booted with
+// -restore resumes exactly where the checkpoint left off, and clients
+// built on serve.DialWith reattach their sessions with no duplicate
+// and no lost delivery. -resumable retains sessions across connection
+// failures without checkpointing, and -keepalive reaps peers that go
+// silent.
+//
 // Quickstart:
 //
-//	pktbufd -queues 16384 -listen :9950 -http :9951
-//	pktbufload -addr localhost:9950 -flows 10000 -duration 5s
+//	pktbufd -queues 16384 -listen :9950 -http :9951 \
+//	    -checkpoint /var/lib/pktbufd.ckpt -checkpoint-every 10s -keepalive 5s
+//	pktbufload -addr localhost:9950 -flows 10000 -duration 5s -retry 10
 //	curl -s localhost:9951/metrics | grep pktbufd_
 package main
 
@@ -30,6 +41,32 @@ import (
 	"repro/pktbuf"
 	"repro/pktbuf/serve"
 )
+
+// checkpointTo writes a crash-consistent checkpoint with an atomic
+// tmp-file-then-rename, so a crash mid-write never corrupts the last
+// good checkpoint.
+func checkpointTo(srv *serve.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.Checkpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
 
 func lineRate(s string) (pktbuf.LineRate, error) {
 	switch s {
@@ -62,6 +99,12 @@ func main() {
 
 		report       = flag.Duration("report", 0, "log an engine stats delta this often (0 = off)")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+
+		resumable   = flag.Bool("resumable", false, "retain sessions of failed connections for resumption")
+		keepAlive   = flag.Duration("keepalive", 0, "probe idle peers this often; reap after two silent intervals (0 = off)")
+		ckptPath    = flag.String("checkpoint", "", "checkpoint file: written atomically on -checkpoint-every and on shutdown signals (implies -resumable)")
+		ckptEvery   = flag.Duration("checkpoint-every", 0, "periodic checkpoint interval (0 = only at shutdown; needs -checkpoint)")
+		restorePath = flag.String("restore", "", "boot from this checkpoint file instead of an empty buffer (implies -resumable)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "pktbufd: ", log.LstdFlags)
@@ -70,7 +113,7 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	srv, err := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		Buffer: pktbuf.Config{
 			Queues:             *queues,
 			LineRate:           rate,
@@ -83,10 +126,27 @@ func main() {
 		Window:      *window,
 		Batch:       *batch,
 		TickEvery:   *tickEvery,
+		Resumable:   *resumable || *ckptPath != "",
+		KeepAlive:   *keepAlive,
 		ErrorLog:    logger,
-	})
-	if err != nil {
-		logger.Fatal(err)
+	}
+	var srv *serve.Server
+	if *restorePath != "" {
+		f, err := os.Open(*restorePath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		srv, err = serve.RestoreServer(f, cfg)
+		f.Close()
+		if err != nil {
+			logger.Fatalf("restore %s: %v", *restorePath, err)
+		}
+		logger.Printf("restored from %s; sessions resume on reconnect", *restorePath)
+	} else {
+		srv, err = serve.NewServer(cfg)
+		if err != nil {
+			logger.Fatal(err)
+		}
 	}
 	sz := srv.Sizing()
 	logger.Printf("engine: Q=%d b=%d lookahead=%d delay=%d slots, window=%d ring=%d",
@@ -142,17 +202,54 @@ func main() {
 		}()
 	}
 
+	var ckptStop chan struct{}
+	if *ckptPath != "" && *ckptEvery > 0 {
+		ckptStop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := checkpointTo(srv, *ckptPath); err != nil {
+						logger.Printf("checkpoint: %v", err)
+					}
+				case <-ckptStop:
+					return
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case got := <-sig:
-		logger.Printf("%v: draining", got)
+		logger.Printf("%v: stopping", got)
 	case err := <-serveErr:
 		logger.Fatalf("data plane: %v", err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if ckptStop != nil {
+		close(ckptStop)
+	}
+	if *ckptPath != "" {
+		// Crash-safe stop: persist the full state — sessions and every
+		// in-flight cell — and exit immediately. A successor started
+		// with -restore picks up exactly here; clients ride through on
+		// session resumption, so no drain is needed (or wanted: a drain
+		// would throw the buffered cells' ordering guarantees to clients
+		// that are mid-reconnect).
+		if err := checkpointTo(srv, *ckptPath); err != nil {
+			logger.Printf("final checkpoint: %v", err)
+			os.Exit(1)
+		}
+		logger.Printf("checkpointed to %s; closing without drain", *ckptPath)
+		srv.Close()
+	} else if err := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}(); err != nil {
 		logger.Printf("drain failed (%v); closed hard", err)
 		os.Exit(1)
 	}

@@ -8,6 +8,14 @@
 //
 //	pktbufload -addr localhost:9950 -conns 8 -flows 10000 -rate 200000 -duration 5s
 //
+// With -retry each connection rides through server restarts: lost
+// connections reconnect with jittered exponential backoff and resume
+// their session, and the delivery/reject ledgers keep counting across
+// reconnects — so -strict and the lost-cell audit hold for the whole
+// run, crashes included. A connection that dies past its retry budget
+// (or fails fast on a fatal reject such as session_unknown) exits
+// non-zero with the terminal error.
+//
 // Exit status is non-zero if any connection failed, any cell was
 // rejected while -strict is set, or not every submitted cell was
 // delivered by the final Bye.
@@ -37,8 +45,13 @@ func main() {
 		every    = flag.Duration("every", 5*time.Millisecond, "submit cadence per connection")
 		pattern  = flag.String("arrivals", "uniform", "flow-choice pattern: uniform|roundrobin")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
-		strict   = flag.Bool("strict", false, "exit non-zero on any admission reject")
+		strict   = flag.Bool("strict", false, "exit non-zero on any admission reject (counted across reconnects)")
 		byeWait  = flag.Duration("byewait", 30*time.Second, "drain confirmation budget per connection")
+
+		retry     = flag.Int("retry", 0, "reconnect attempts with session resumption per failure (0 = fail on first error)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "initial reconnect backoff (doubles per attempt, jittered)")
+		retryMax  = flag.Duration("retry-max", 5*time.Second, "reconnect backoff ceiling")
+		keepAlive = flag.Duration("keepalive", 0, "probe an idle server this often; treat two silent intervals as a dead connection")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "pktbufload: ", log.LstdFlags)
@@ -64,7 +77,17 @@ func main() {
 		go func(i, nFlows int) {
 			defer wg.Done()
 			res := &results[i]
-			c, err := serve.Dial(*addr, nFlows)
+			c, err := serve.DialWith(serve.DialConfig{
+				Addr:      *addr,
+				Flows:     nFlows,
+				KeepAlive: *keepAlive,
+				Retry: serve.Retry{
+					Attempts: *retry,
+					Base:     *retryBase,
+					Max:      *retryMax,
+					Seed:     *seed + int64(i),
+				},
+			})
 			if err != nil {
 				res.err = fmt.Errorf("dial: %w", err)
 				return
@@ -132,6 +155,12 @@ func main() {
 			} else {
 				c.Close()
 			}
+			// A connection that died past its retry budget is a failure
+			// even if every Submit happened to return nil before the
+			// reader noticed: the diagnostic names the terminal error.
+			if err := c.Err(); err != nil && res.err == nil {
+				res.err = fmt.Errorf("connection dead: %w", err)
+			}
 			res.stats = c.Stats()
 			res.rejects = len(c.Rejects())
 		}(i, n)
@@ -145,14 +174,15 @@ func main() {
 		total.Submitted += r.stats.Submitted
 		total.Delivered += r.stats.Delivered
 		total.Rejected += r.stats.Rejected
+		total.Resumes += r.stats.Resumes
 		rejects += r.rejects
 		if r.err != nil {
 			failures++
 			logger.Printf("conn %d: %v", i, r.err)
 		}
 	}
-	logger.Printf("submitted=%d delivered=%d rejected=%d reject_frames=%d conns=%d flows=%d",
-		total.Submitted, total.Delivered, total.Rejected, rejects, *conns, *flows)
+	logger.Printf("submitted=%d delivered=%d rejected=%d reject_frames=%d resumes=%d conns=%d flows=%d",
+		total.Submitted, total.Delivered, total.Rejected, rejects, total.Resumes, *conns, *flows)
 	switch {
 	case failures > 0:
 		os.Exit(1)

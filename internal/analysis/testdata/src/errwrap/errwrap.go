@@ -6,10 +6,21 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 )
 
 // ErrThing is the package sentinel.
 var ErrThing = errors.New("thing: failed")
+
+// Sentinels mirroring the crash-safe serving taxonomy: snapshot
+// version mismatches, unknown resume sessions, silent-peer deadline
+// expiry. Each must be reachable via errors.Is through every exported
+// return path below.
+var (
+	ErrSnapshotVersion = errors.New("thing: unsupported snapshot version")
+	ErrSessionUnknown  = errors.New("thing: unknown session")
+	ErrPeerTimeout     = errors.New("thing: peer deadline expired")
+)
 
 func Sentinel() error { return ErrThing }
 
@@ -37,6 +48,32 @@ func BadNoVerb(n int) error {
 func BadLocal() error {
 	err := errors.New("thing: stored ad hoc") // want "errors.New at API boundary"
 	return err
+}
+
+// Restore-shaped path: version check wraps the sentinel with the
+// versions folded into the message, unknown token returns the bare
+// sentinel — both Is-matchable.
+func RestoreVersioned(got, want int, token string) error {
+	if got != want {
+		return fmt.Errorf("thing: snapshot v%d, want v%d: %w", got, want, ErrSnapshotVersion)
+	}
+	if token == "" {
+		return ErrSessionUnknown
+	}
+	return nil
+}
+
+// Deadline-shaped path: a timeout surfaces as the typed sentinel (or
+// the stdlib one net honors), never as a raw ad-hoc error.
+func DeadlineExpired(silent bool) error {
+	if silent {
+		return ErrPeerTimeout
+	}
+	return os.ErrDeadlineExceeded
+}
+
+func BadDeadline() error {
+	return errors.New("thing: peer went silent") // want "errors.New at API boundary"
 }
 
 // unexported functions are not an API boundary.

@@ -377,6 +377,18 @@ func (b *Buffer) ArrivedSeq(q cell.QueueID) uint64 {
 	return b.ks.arrivedSeq[q]
 }
 
+// DeliveredSeq returns the number of cells ever delivered for queue q
+// — equivalently, the Seq the next delivery of q will carry.
+// Restore-time reconciliation (the serve package's session resumption)
+// compares it against a client's received count to decide what to
+// redeliver.
+func (b *Buffer) DeliveredSeq(q cell.QueueID) uint64 {
+	if q < 0 || int(q) >= len(b.ks.deliveredSeq) {
+		return 0
+	}
+	return b.ks.deliveredSeq[q]
+}
+
 // Stats returns a snapshot of the accumulated statistics.
 func (b *Buffer) Stats() Stats {
 	s := b.stats

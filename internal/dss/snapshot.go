@@ -1,0 +1,120 @@
+package dss
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/dram"
+	"repro/internal/frame"
+)
+
+// Snapshot serializes the scheduler through the trace frame codec: the
+// age-ordered Requests Register verbatim (including staged write
+// payloads), the live ORR bank locks, and the accumulated statistics.
+// The reusable issue buffer is scratch and is not framed.
+func (s *Scheduler) Snapshot(w *frame.Writer) {
+	w.Begin("dss")
+	w.Attr("rr", int64(len(s.rr)))
+	w.Attr("orr", int64(len(s.orr)))
+	w.Attr("enqueued", int64(s.stats.Enqueued))
+	w.Attr("issued", int64(s.stats.Issued))
+	w.Attr("maxocc", int64(s.stats.MaxOccupancy))
+	w.Attr("maxskips", int64(s.stats.MaxSkips))
+	w.Attr("maxdelay", int64(s.stats.MaxDelaySlots))
+	w.Attr("idle", int64(s.stats.IdleCycles))
+	w.Attr("empty", int64(s.stats.EmptyCycles))
+	for i := range s.rr {
+		r := &s.rr[i]
+		row := make([]int64, 0, 7+2*len(r.Cells))
+		row = append(row, int64(r.Queue), int64(r.Dir), int64(r.Ordinal),
+			int64(r.Bank), int64(r.Enqueued), int64(r.Skips), int64(len(r.Cells)))
+		for _, c := range r.Cells {
+			row = append(row, int64(c.Queue), int64(c.Seq))
+		}
+		w.Row(row...)
+	}
+	w.Begin("dss-orr")
+	for _, l := range s.orr {
+		w.Row(int64(l.bank), int64(l.until))
+	}
+}
+
+// Restore loads a snapshot written by Snapshot into a freshly
+// constructed scheduler of the same capacity and policy.
+func (s *Scheduler) Restore(r *frame.Reader) error {
+	if err := r.Expect("dss"); err != nil {
+		return err
+	}
+	rr, err := r.NeedAttr("rr")
+	if err != nil {
+		return err
+	}
+	orr, err := r.NeedAttr("orr")
+	if err != nil {
+		return err
+	}
+	for _, f := range []struct {
+		key string
+		dst any
+	}{
+		{"enqueued", &s.stats.Enqueued}, {"issued", &s.stats.Issued},
+		{"maxocc", &s.stats.MaxOccupancy}, {"maxskips", &s.stats.MaxSkips},
+		{"maxdelay", &s.stats.MaxDelaySlots}, {"idle", &s.stats.IdleCycles},
+		{"empty", &s.stats.EmptyCycles},
+	} {
+		v, err := r.NeedAttr(f.key)
+		if err != nil {
+			return err
+		}
+		switch dst := f.dst.(type) {
+		case *uint64:
+			*dst = uint64(v)
+		case *int:
+			*dst = int(v)
+		case *cell.Slot:
+			*dst = cell.Slot(v)
+		}
+	}
+	if int(rr) > s.capacity {
+		return fmt.Errorf("%w: dss rr holds %d, capacity %d", frame.ErrFrame, rr, s.capacity)
+	}
+	for i := int64(0); i < rr; i++ {
+		row, err := r.NeedRow(-1)
+		if err != nil {
+			return err
+		}
+		if len(row) < 7 {
+			return fmt.Errorf("%w: dss rr row too short", frame.ErrFrame)
+		}
+		nc := int(row[6])
+		if len(row) != 7+2*nc {
+			return fmt.Errorf("%w: dss rr row: want %d cells", frame.ErrFrame, nc)
+		}
+		req := Request{
+			Queue:    cell.PhysQueueID(row[0]),
+			Dir:      Direction(row[1]),
+			Ordinal:  uint64(row[2]),
+			Bank:     dram.BankID(row[3]),
+			Enqueued: cell.Slot(row[4]),
+			Skips:    int(row[5]),
+		}
+		if nc > 0 {
+			req.Cells = make([]cell.Cell, nc)
+			for k := range req.Cells {
+				req.Cells[k] = cell.Cell{Queue: cell.QueueID(row[7+2*k]), Seq: uint64(row[8+2*k])}
+			}
+		}
+		s.rr = append(s.rr, req)
+	}
+	if err := r.Expect("dss-orr"); err != nil {
+		return err
+	}
+	for i := int64(0); i < orr; i++ {
+		row, err := r.NeedRow(2)
+		if err != nil {
+			return err
+		}
+		s.orr = append(s.orr, lock{bank: dram.BankID(row[0]), until: cell.Slot(row[1])})
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package frame is the snapshot serialization layer. Snapshots reuse
+// the trace record conventions — line-oriented text, `#` comments,
+// whitespace separated decimal fields — and add one structuring
+// construct on top: a frame, opened by a `!name key=value ...` header
+// line and holding zero or more data rows of signed decimal fields
+// until the next header. A snapshot is a flat sequence of frames; each
+// substrate owns the frames it wrote and is oblivious to the rest, so
+// the encoding versions as a whole (the reader surfaces unknown
+// layouts through the caller's version frame, not by guessing).
+//
+//	# pktbuf snapshot, version 1
+//	!core now=512 inpipe=3
+//	!tails total=7
+//	0 2 4 1 4 2
+//	...
+package frame
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrFrame reports a malformed snapshot frame.
+var ErrFrame = errors.New("frame: malformed")
+
+// Writer emits frames. Errors are sticky and surfaced by Flush.
+type Writer struct {
+	bw       *bufio.Writer
+	err      error
+	inHeader bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+func (w *Writer) endHeader() {
+	if w.inHeader {
+		w.inHeader = false
+		w.writeByte('\n')
+	}
+}
+
+func (w *Writer) writeByte(b byte) {
+	if w.err == nil {
+		w.err = w.bw.WriteByte(b)
+	}
+}
+
+func (w *Writer) writeString(s string) {
+	if w.err == nil {
+		_, w.err = w.bw.WriteString(s)
+	}
+}
+
+// Comment writes a `#` comment line.
+func (w *Writer) Comment(text string) {
+	w.endHeader()
+	w.writeString("# ")
+	w.writeString(text)
+	w.writeByte('\n')
+}
+
+// Begin opens a frame header; Attr appends key=value pairs to it until
+// the first Row, Comment or next Begin closes the line.
+func (w *Writer) Begin(name string) {
+	w.endHeader()
+	w.writeByte('!')
+	w.writeString(name)
+	w.inHeader = true
+}
+
+// Attr appends one key=value pair to the open frame header.
+func (w *Writer) Attr(key string, v int64) {
+	if !w.inHeader && w.err == nil {
+		w.err = fmt.Errorf("%w: Attr %q outside a frame header", ErrFrame, key)
+		return
+	}
+	w.writeByte(' ')
+	w.writeString(key)
+	w.writeByte('=')
+	w.writeString(strconv.FormatInt(v, 10))
+}
+
+// Row writes one data row of signed decimal fields.
+func (w *Writer) Row(vals ...int64) {
+	w.endHeader()
+	for i, v := range vals {
+		if i > 0 {
+			w.writeByte(' ')
+		}
+		w.writeString(strconv.FormatInt(v, 10))
+	}
+	w.writeByte('\n')
+}
+
+// Flush terminates the stream and returns the first write error.
+func (w *Writer) Flush() error {
+	w.endHeader()
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader parses a frame stream.
+type Reader struct {
+	sc      *bufio.Scanner
+	line    int
+	name    string
+	attrs   map[string]int64
+	pending string // a header line read while scanning rows
+	hasPend bool
+	eof     bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{sc: bufio.NewScanner(r), attrs: map[string]int64{}}
+}
+
+// nextLine returns the next non-blank, non-comment line.
+func (r *Reader) nextLine() (string, bool, error) {
+	if r.hasPend {
+		r.hasPend = false
+		return r.pending, true, nil
+	}
+	for r.sc.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		return text, true, nil
+	}
+	r.eof = true
+	return "", false, r.sc.Err()
+}
+
+// Next advances to the next frame header and returns its name, or
+// io.EOF at the end of the stream. Unread rows of the previous frame
+// are skipped.
+func (r *Reader) Next() (string, error) {
+	for {
+		text, ok, err := r.nextLine()
+		if err != nil {
+			return "", err
+		}
+		if !ok {
+			return "", io.EOF
+		}
+		if !strings.HasPrefix(text, "!") {
+			continue // skip leftover rows of the previous frame
+		}
+		return r.parseHeader(text)
+	}
+}
+
+// Expect advances to the next frame and requires it to be name.
+func (r *Reader) Expect(name string) error {
+	got, err := r.Next()
+	if err != nil {
+		return fmt.Errorf("%w: want frame %q: %v", ErrFrame, name, err)
+	}
+	if got != name {
+		return fmt.Errorf("%w: line %d: want frame %q, got %q", ErrFrame, r.line, name, got)
+	}
+	return nil
+}
+
+func (r *Reader) parseHeader(text string) (string, error) {
+	fields := strings.Fields(text[1:])
+	if len(fields) == 0 {
+		return "", fmt.Errorf("%w: line %d: empty frame header", ErrFrame, r.line)
+	}
+	r.name = fields[0]
+	clear(r.attrs)
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return "", fmt.Errorf("%w: line %d: bad attr %q", ErrFrame, r.line, f)
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("%w: line %d: bad attr %q", ErrFrame, r.line, f)
+		}
+		r.attrs[key] = n
+	}
+	return r.name, nil
+}
+
+// Name returns the current frame's name.
+func (r *Reader) Name() string { return r.name }
+
+// Attr returns the named header attribute of the current frame.
+func (r *Reader) Attr(key string) (int64, bool) {
+	v, ok := r.attrs[key]
+	return v, ok
+}
+
+// NeedAttr returns the named attribute or a format error.
+func (r *Reader) NeedAttr(key string) (int64, error) {
+	v, ok := r.attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: frame %q missing attr %q", ErrFrame, r.name, key)
+	}
+	return v, nil
+}
+
+// Row returns the next data row of the current frame, or ok=false when
+// the frame ends (next header or end of stream).
+func (r *Reader) Row() ([]int64, bool, error) {
+	text, ok, err := r.nextLine()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if strings.HasPrefix(text, "!") {
+		r.pending, r.hasPend = text, true
+		return nil, false, nil
+	}
+	fields := strings.Fields(text)
+	vals := make([]int64, len(fields))
+	for i, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: line %d: bad field %q", ErrFrame, r.line, f)
+		}
+		vals[i] = n
+	}
+	return vals, true, nil
+}
+
+// NeedRow returns the next data row, requiring it to exist and have
+// exactly n fields (n < 0 skips the length check).
+func (r *Reader) NeedRow(n int) ([]int64, error) {
+	vals, ok, err := r.Row()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: frame %q: missing row", ErrFrame, r.name)
+	}
+	if n >= 0 && len(vals) != n {
+		return nil, fmt.Errorf("%w: line %d: frame %q: want %d fields, got %d", ErrFrame, r.line, r.name, n, len(vals))
+	}
+	return vals, nil
+}

@@ -1,0 +1,103 @@
+package frame
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Comment("pktbuf snapshot, version 1")
+	w.Begin("core")
+	w.Attr("now", 512)
+	w.Attr("inpipe", -1)
+	w.Begin("tails")
+	w.Attr("n", 2)
+	w.Row(0, 2, 4)
+	w.Row(1, -7)
+	w.Begin("empty")
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	r := NewReader(strings.NewReader(sb.String()))
+	if err := r.Expect("core"); err != nil {
+		t.Fatalf("Expect core: %v", err)
+	}
+	if v, err := r.NeedAttr("now"); err != nil || v != 512 {
+		t.Fatalf("now = %d, %v", v, err)
+	}
+	if v, err := r.NeedAttr("inpipe"); err != nil || v != -1 {
+		t.Fatalf("inpipe = %d, %v", v, err)
+	}
+	if _, err := r.NeedAttr("missing"); !errors.Is(err, ErrFrame) {
+		t.Fatalf("missing attr: %v", err)
+	}
+	if err := r.Expect("tails"); err != nil {
+		t.Fatalf("Expect tails: %v", err)
+	}
+	row, err := r.NeedRow(3)
+	if err != nil || row[0] != 0 || row[1] != 2 || row[2] != 4 {
+		t.Fatalf("row 1 = %v, %v", row, err)
+	}
+	row, err = r.NeedRow(-1)
+	if err != nil || len(row) != 2 || row[1] != -7 {
+		t.Fatalf("row 2 = %v, %v", row, err)
+	}
+	if _, ok, err := r.Row(); ok || err != nil {
+		t.Fatalf("row past end: ok=%v err=%v", ok, err)
+	}
+	if err := r.Expect("empty"); err != nil {
+		t.Fatalf("Expect empty after pushback: %v", err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("Next at end: %v", err)
+	}
+}
+
+func TestSkipsLeftoverRows(t *testing.T) {
+	in := "!a n=3\n1\n2\n3\n!b\n"
+	r := NewReader(strings.NewReader(in))
+	if err := r.Expect("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Read only one of three rows; Next must skip the rest.
+	if _, err := r.NeedRow(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Expect("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	for _, in := range []string{
+		"!a x\n",      // attr without =
+		"!a x=y\n",    // non-numeric attr
+		"!\n",         // empty header
+		"!a\n1 two\n", // non-numeric field
+	} {
+		r := NewReader(strings.NewReader(in))
+		_, err := r.Next()
+		if err == nil {
+			_, err = r.NeedRow(-1)
+		}
+		if !errors.Is(err, ErrFrame) {
+			t.Errorf("input %q: err = %v, want ErrFrame", in, err)
+		}
+	}
+}
+
+func TestAttrOutsideHeader(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Begin("a")
+	w.Row(1)
+	w.Attr("late", 9)
+	if err := w.Flush(); !errors.Is(err, ErrFrame) {
+		t.Fatalf("Flush = %v, want ErrFrame", err)
+	}
+}

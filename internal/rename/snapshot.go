@@ -1,0 +1,128 @@
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/frame"
+)
+
+// Snapshot serializes the renaming state through the trace frame
+// codec: every register's live entries in head order, and each group's
+// free-name stack verbatim. The stack order is semantic — names pop
+// from the top, and recycled names land back there — so a restored
+// table must hand out future names in exactly the sequence the
+// original would have. The name→owner table is derived from the
+// registers on restore.
+func (t *Table) Snapshot(w *frame.Writer) {
+	live, freeN := 0, 0
+	for q := range t.regs {
+		if t.regs[q].count > 0 {
+			live++
+		}
+	}
+	for _, names := range t.free {
+		freeN += len(names)
+	}
+	w.Begin("rename")
+	w.Attr("regs", int64(live))
+	w.Attr("free", int64(freeN))
+	w.Begin("rename-free")
+	for g, names := range t.free {
+		for _, p := range names { // bottom of the stack first
+			w.Row(int64(g), int64(p))
+		}
+	}
+	for q := range t.regs {
+		r := &t.regs[q]
+		if r.count == 0 {
+			continue
+		}
+		w.Begin("rename-reg")
+		w.Attr("q", int64(q))
+		w.Attr("n", int64(r.count))
+		for i := 0; i < r.count; i++ {
+			e := r.at(i)
+			w.Row(int64(e.phys), int64(e.count))
+		}
+	}
+}
+
+// Restore loads a snapshot written by Snapshot into a freshly
+// constructed table of the same geometry, replacing its virgin free
+// stacks with the recorded ones.
+func (t *Table) Restore(r *frame.Reader) error {
+	if err := r.Expect("rename"); err != nil {
+		return err
+	}
+	regs, err := r.NeedAttr("regs")
+	if err != nil {
+		return err
+	}
+	freeN, err := r.NeedAttr("free")
+	if err != nil {
+		return err
+	}
+	for g := range t.free {
+		t.free[g] = t.free[g][:0]
+	}
+	for i := range t.inUse {
+		t.inUse[i] = cell.NoQueue
+	}
+	if err := r.Expect("rename-free"); err != nil {
+		return err
+	}
+	for i := int64(0); i < freeN; i++ {
+		row, err := r.NeedRow(2)
+		if err != nil {
+			return err
+		}
+		g := int(row[0])
+		if g < 0 || g >= t.groups {
+			return fmt.Errorf("%w: rename group %d out of range", frame.ErrFrame, g)
+		}
+		t.free[g] = append(t.free[g], cell.PhysQueueID(row[1]))
+	}
+	used := 0
+	for i := int64(0); i < regs; i++ {
+		if err := r.Expect("rename-reg"); err != nil {
+			return err
+		}
+		q, err := r.NeedAttr("q")
+		if err != nil {
+			return err
+		}
+		n, err := r.NeedAttr("n")
+		if err != nil {
+			return err
+		}
+		reg := t.reg(cell.QueueID(q))
+		if int(n) > t.capacity {
+			return fmt.Errorf("%w: rename register %d holds %d entries, capacity %d", frame.ErrFrame, q, n, t.capacity)
+		}
+		if reg.entries == nil {
+			reg.entries = make([]entry, t.capacity)
+		}
+		// Ring phase is unobservable; normalize the restored register to
+		// head 0 with the entries in head order.
+		reg.head = 0
+		reg.count = int(n)
+		for j := 0; j < int(n); j++ {
+			row, err := r.NeedRow(2)
+			if err != nil {
+				return err
+			}
+			p := cell.PhysQueueID(row[0])
+			if p < 0 || int(p) >= len(t.inUse) {
+				return fmt.Errorf("%w: rename physical name %d out of range", frame.ErrFrame, p)
+			}
+			reg.entries[j] = entry{phys: p, count: int(row[1])}
+			t.inUse[p] = cell.QueueID(q)
+			used++
+		}
+	}
+	if used+int(freeN) != t.totalNames {
+		return fmt.Errorf("%w: rename names used %d + free %d != total %d", frame.ErrFrame, used, freeN, t.totalNames)
+	}
+	return nil
+}

@@ -36,6 +36,16 @@
 // deliveries over a length-prefixed wire protocol, with typed
 // admission backpressure mapped onto the same error taxonomy and the
 // engine still ticked by exactly one goroutine.
+//
+// The complete engine state is serializable: Buffer.Snapshot writes
+// every queue arena, SRAM list, DRAM bank, MMA lookahead structure,
+// rename register and counter as versioned frames, and Restore
+// rebuilds a buffer whose subsequent run is bit-identical to one that
+// was never interrupted — stats included. Snapshots back warm-start
+// forking for sizing sweeps and the crash-safe checkpoint/resume path
+// of the serving tier; a version or integrity mismatch fails with
+// ErrSnapshotVersion or ErrSnapshot rather than yielding a
+// half-restored buffer.
 package pktbuf
 
 import (
@@ -420,6 +430,14 @@ func (b *Buffer) PendingRequests() int { return b.inner.PendingRequests() }
 // package's latency tracker) use it to align with the per-queue
 // numbering.
 func (b *Buffer) ArrivedSeq(q Queue) uint64 { return b.inner.ArrivedSeq(cell.QueueID(q)) }
+
+// DeliveredSeq returns the number of cells ever delivered for queue q
+// — equivalently, the implicit Seq the next delivery of q will carry.
+// Together with ArrivedSeq it lets a restored serving tier reconcile a
+// resuming client: cells in [DeliveredSeq, ArrivedSeq) are still
+// buffered and will be redelivered, cells at or above ArrivedSeq were
+// never seen and must be resubmitted.
+func (b *Buffer) DeliveredSeq(q Queue) uint64 { return b.inner.DeliveredSeq(cell.QueueID(q)) }
 
 // Now returns the current slot number.
 func (b *Buffer) Now() uint64 { return uint64(b.inner.Now()) }

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/pktbuf"
 	"repro/pktbuf/serve/wire"
@@ -50,6 +51,27 @@ type conn struct {
 	// read failure, or server shutdown); the writer exits once the
 	// connection's cells have drained.
 	closing atomic.Bool
+
+	// sawBye records a clean client Bye, distinguishing an orderly
+	// close (session released) from a connection failure (session
+	// retained for resumption on a Resumable server).
+	sawBye atomic.Bool
+
+	// gone tells the serving loop to stop ingesting from this
+	// connection: it died (or was superseded) with a live session, so
+	// its unprocessed ingress cells will surface as client resubmits on
+	// the session's next connection rather than entering the engine
+	// twice.
+	gone atomic.Bool
+
+	// sess is the durable session this connection serves (nil on a
+	// non-Resumable server). Stored by the reader goroutine during the
+	// handshake; the writer goroutine reads it when deciding how to
+	// tear down.
+	sess atomic.Pointer[session]
+	// resumeAcks holds the resuming client's per-queue received counts
+	// (aligned with sess.queues) until the serving loop attaches.
+	resumeAcks []uint64
 
 	// ctrl queues control frames (Welcome/Flows/Reject/Drain) for the
 	// writer goroutine, which owns the socket.
@@ -148,13 +170,19 @@ func (c *conn) readLoop() {
 		c.wakeWriter()
 	}()
 	r := wire.NewReader(c.nc)
+	ka := c.s.cfg.KeepAlive
+	c.armDeadline(ka)
 	if !c.handshake(r) {
 		return
 	}
 	for {
+		c.armDeadline(ka)
 		t, payload, err := r.Next()
 		if err != nil {
-			if err != io.EOF && !c.s.closed.Load() && !errors.Is(err, net.ErrClosed) {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.s.cfg.ErrorLog.Printf("pktbufd: read %s: %v", c.nc.RemoteAddr(), ErrPeerTimeout)
+			} else if err != io.EOF && !c.s.closed.Load() && !errors.Is(err, net.ErrClosed) {
 				c.s.cfg.ErrorLog.Printf("pktbufd: read %s: %v", c.nc.RemoteAddr(), err)
 			}
 			return
@@ -162,12 +190,26 @@ func (c *conn) readLoop() {
 		switch t {
 		case wire.TSubmit:
 			c.handleSubmit(payload)
+		case wire.TPing:
+			c.sendCtrl(wire.TPong, nil)
+		case wire.TPong:
+			// Liveness proven; the deadline was re-armed above.
 		case wire.TBye:
+			c.sawBye.Store(true)
 			return
 		default:
 			c.s.cfg.ErrorLog.Printf("pktbufd: %s sent unexpected %v frame", c.nc.RemoteAddr(), t)
 			return
 		}
+	}
+}
+
+// armDeadline extends the read deadline to two keepalive intervals
+// out; a peer that stays silent longer — not even answering Pings —
+// is reaped (ErrPeerTimeout).
+func (c *conn) armDeadline(ka time.Duration) {
+	if ka > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(2 * ka))
 	}
 }
 
@@ -192,6 +234,9 @@ func (c *conn) handshake(r *wire.Reader) bool {
 		c.sendCtrl(wire.TReject, rej.AppendTo(nil))
 		return false
 	}
+	if hello.Session != 0 {
+		return c.resumeHandshake(r, hello)
+	}
 	qs := c.s.allocFlows(c, hello.Flows)
 	if qs == nil {
 		// Not enough free VOQs for the request.
@@ -199,7 +244,6 @@ func (c *conn) handshake(r *wire.Reader) bool {
 		c.sendCtrl(wire.TReject, rej.AppendTo(nil))
 		return false
 	}
-	c.queues = qs
 	c.windowCap = c.s.cfg.Window
 	c.window.Store(int64(c.windowCap))
 	welcome := wire.Welcome{
@@ -207,12 +251,64 @@ func (c *conn) handshake(r *wire.Reader) bool {
 		IngressRing: c.ingress.capacity(),
 		Window:      c.windowCap,
 	}
+	if sess := c.sess.Load(); sess != nil {
+		welcome.Session = sess.token
+	}
 	c.sendCtrl(wire.TWelcome, welcome.AppendTo(nil))
 	flowQs := make([]pktbuf.Queue, len(qs))
 	for i, q := range qs {
 		flowQs[i] = pktbuf.Queue(q)
 	}
 	c.sendCtrl(wire.TFlows, encodeCellPayload(flowQs))
+	return true
+}
+
+// resumeHandshake serves a Hello that names a session token: it reads
+// the client's TAcks frame, reattaches the session, and hands the
+// connection to the serving loop, which finishes the handshake
+// (Welcome + TSeqs + redeliveries) at a point consistent with the
+// engine counters.
+func (c *conn) resumeHandshake(r *wire.Reader, hello wire.Hello) bool {
+	t, payload, err := r.Next()
+	if err != nil || t != wire.TAcks {
+		c.s.cfg.ErrorLog.Printf("pktbufd: %s resume without Acks (got %v, err %v)", c.nc.RemoteAddr(), t, err)
+		return false
+	}
+	acks := make(map[pktbuf.Queue]uint64)
+	if err := wire.ParseSeqs(payload, func(q pktbuf.Queue, n uint64) error {
+		acks[q] = n
+		return nil
+	}); err != nil {
+		c.s.cfg.ErrorLog.Printf("pktbufd: %s bad Acks: %v", c.nc.RemoteAddr(), err)
+		return false
+	}
+	sess := c.s.resumeSession(c, hello.Session)
+	if sess == nil {
+		rej := wire.Reject{Code: wire.CodeSessionUnknown}
+		c.sendCtrl(wire.TReject, rej.AppendTo(nil))
+		return false
+	}
+	c.resumeAcks = make([]uint64, len(sess.queues))
+	known := 0
+	for i, q := range sess.queues {
+		if n, ok := acks[pktbuf.Queue(q)]; ok {
+			c.resumeAcks[i] = n
+			known++
+		}
+	}
+	if known != len(acks) {
+		// The client acked a queue this session does not own.
+		rej := wire.Reject{Code: wire.CodeBadFlow}
+		c.sendCtrl(wire.TReject, rej.AppendTo(nil))
+		return false
+	}
+	c.windowCap = c.s.cfg.Window
+	// No credit until the loop attaches and computes the session's
+	// in-system charge; the client waits for Welcome before submitting
+	// anyway.
+	c.window.Store(0)
+	c.s.resumeCh <- c
+	c.s.wakeLoop()
 	return true
 }
 
@@ -282,14 +378,33 @@ func rejectCode(r rejectReason) wire.Code {
 // egress-ring deliveries, then — once the connection is closing and
 // empty — a final Bye. On a write failure it keeps consuming the
 // egress ring (restoring window credit) so the serving loop is never
-// wedged by a dead client.
+// wedged by a dead client — unless the session is resumable, in which
+// case it exits immediately and leaves the cells in the engine for
+// the session's next connection.
 func (c *conn) writeLoop() {
 	defer c.s.connWG.Done()
-	defer c.s.releaseConn(c)
+	defer c.teardown()
 	w := wire.NewWriter(c.nc)
 	cells := make([]pktbuf.Queue, 0, 256)
 	failed := false
 	var ctrl []ctrlMsg
+	ka := c.s.cfg.KeepAlive
+	var pingT *time.Timer
+	if ka > 0 {
+		pingT = time.NewTimer(ka)
+		defer pingT.Stop()
+	}
+	ping := func() {
+		if failed {
+			return
+		}
+		if ka > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(2 * ka))
+		}
+		if w.WriteFrame(wire.TPing, nil) != nil || w.Flush() != nil {
+			failed = true
+		}
+	}
 	for {
 		progress := false
 		// Control frames.
@@ -329,11 +444,20 @@ func (c *conn) writeLoop() {
 			c.window.Add(int64(len(cells)))
 		}
 		if progress && !failed {
+			if ka > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(2 * ka))
+			}
 			if err := w.Flush(); err != nil {
 				failed = true
 			}
 		}
 		if c.s.closed.Load() {
+			return
+		}
+		if c.resumableExit(failed) {
+			// The connection died with a live session: leave its cells in
+			// the engine (deliveries will park) and detach right away
+			// instead of draining into a dead socket.
 			return
 		}
 		if c.closing.Load() && c.inSystem() == 0 && c.ingress.empty() && c.admitting.Load() == 0 {
@@ -345,7 +469,48 @@ func (c *conn) writeLoop() {
 			return
 		}
 		if !progress {
-			<-c.wakeW
+			if pingT == nil {
+				<-c.wakeW
+			} else {
+				select {
+				case <-c.wakeW:
+				case <-pingT.C:
+					ping()
+					pingT.Reset(ka)
+				}
+			}
+		} else if pingT != nil {
+			// A busy connection still probes on schedule: the peer may
+			// have nothing to send back but must keep answering Pings.
+			select {
+			case <-pingT.C:
+				ping()
+				pingT.Reset(ka)
+			default:
+			}
 		}
 	}
+}
+
+// resumableExit reports whether the writer should abandon the
+// connection with its session intact: the peer is gone (write failure,
+// read failure without Bye, or superseded by a resuming connection)
+// and the server retains sessions.
+func (c *conn) resumableExit(failed bool) bool {
+	if c.sess.Load() == nil || c.sawBye.Load() || c.s.draining.Load() {
+		return false
+	}
+	return failed || c.gone.Load() || c.closing.Load()
+}
+
+// teardown ends the writer's ownership of the connection: a clean
+// close releases the session and its flows; a failure on a Resumable
+// server detaches, keeping the session alive for resumption.
+func (c *conn) teardown() {
+	if c.resumableExit(true) {
+		c.gone.Store(true)
+		c.s.detachConn(c)
+		return
+	}
+	c.s.releaseConn(c)
 }

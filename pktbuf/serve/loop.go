@@ -23,6 +23,13 @@ func (s *Server) loop() {
 		if s.closed.Load() {
 			return
 		}
+		// Serve a pending checkpoint between batches: the engine is at a
+		// batch boundary here, so the snapshot races nothing. Steady
+		// state pays one atomic nil-check.
+		if req := s.ckpt.Load(); req != nil {
+			s.ckpt.Store(nil)
+			req.done <- s.writeCheckpoint(req.w)
+		}
 		if s.serveOnce() {
 			s.pace()
 			// In free-running mode the loop never blocks while cells are
@@ -77,11 +84,14 @@ func (s *Server) serveOnce() bool {
 }
 
 // drainActivations moves pending connection-activation tokens onto
-// the active list. Token uniqueness (conn.armed) guarantees a
-// connection appears at most once.
+// the active list and finishes pending session resumes. Token
+// uniqueness (conn.armed) guarantees a connection appears at most
+// once.
 func (s *Server) drainActivations() {
 	for {
 		select {
+		case c := <-s.resumeCh:
+			s.attachResume(c)
 		case c := <-s.ingestCh:
 			s.active = append(s.active, c)
 		default:
@@ -170,16 +180,21 @@ func (s *Server) popArrival() int32 {
 			s.actCur = 0
 		}
 		c := s.active[s.actCur]
-		if q, ok := c.ingress.pop(); ok {
-			s.actCur++
-			return q
+		if !c.gone.Load() {
+			if q, ok := c.ingress.pop(); ok {
+				s.actCur++
+				return q
+			}
 		}
+		// Empty — or the connection died with a resumable session, in
+		// which case its unprocessed cells are abandoned here (the
+		// client resubmits them; ingesting them now would duplicate).
 		last := len(s.active) - 1
 		s.active[s.actCur] = s.active[last]
 		s.active[last] = nil
 		s.active = s.active[:last]
 		c.armed.Store(false)
-		if !c.ingress.empty() && c.armed.CompareAndSwap(false, true) {
+		if !c.gone.Load() && !c.ingress.empty() && c.armed.CompareAndSwap(false, true) {
 			// A push landed between pop and disarm: keep the connection
 			// active (it holds the token again, so no channel round-trip).
 			s.active = append(s.active, c)
@@ -228,12 +243,16 @@ func (s *Server) tickBatch(n int) {
 }
 
 // route pushes a delivered cell onto its owner's egress ring. The
-// credit window guarantees space; a nil owner means the flow was
-// already released (cannot happen while cells are in flight, but
-// never panic on a routing miss).
+// credit window guarantees space. A nil owner on a Resumable server
+// means the owning connection died with its session alive: the
+// delivery parks (a pure count — cells are (queue, seq) pairs) and is
+// replayed into the session's next connection at attach.
 func (s *Server) route(q pktbuf.Queue) {
 	c := s.owner[q].Load()
 	if c == nil {
+		if s.cfg.Resumable {
+			s.parked[q]++
+		}
 		return
 	}
 	if !c.egress.push(int32(q)) {

@@ -16,6 +16,10 @@ import (
 func TestServingLoopZeroAlloc(t *testing.T) {
 	s, err := newServer(Config{
 		Buffer: pktbuf.Config{Queues: 64, LineRate: pktbuf.OC768, Granularity: 2, Banks: 64},
+		// Sessions and checkpointing on: the session table, the parked
+		// delivery accounting, and the checkpoint request check must not
+		// add allocations to the serving path.
+		Resumable: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -24,6 +24,22 @@
 // every per-slot structure (ingress/egress rings, the round-robin
 // request scheduler, the batch conversion buffers) is preallocated at
 // construction, which the package's allocation gate pins.
+//
+// With Config.Resumable the serving tier is crash-safe. Every
+// handshake mints a session token; a connection that dies detaches
+// its session instead of releasing it, and a client that reconnects
+// with the token (Client does this automatically when dialed through
+// DialWith with a Retry budget) is reconciled against per-queue
+// arrival/delivery sequence numbers so no cell is duplicated or lost
+// across the gap. Checkpoint serializes the whole server — engine
+// snapshot plus session table — between serving batches;
+// RestoreServer boots a successor that resumes those sessions, which
+// is how a pktbufd restarted after a crash carries its clients
+// through. Config.KeepAlive arms Ping/Pong probing and read
+// deadlines on both sides so a silent peer surfaces as the typed
+// ErrPeerTimeout instead of a goroutine parked forever. The
+// internal/faultnet chaos suite pins exactly-once delivery through
+// kill/restart, torn frames and blackholes under the race detector.
 package serve
 
 import (
@@ -49,11 +65,23 @@ var ErrDraining = errors.New("serve: server draining")
 // ErrServerClosed is returned by Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("serve: server closed")
 
+// ErrSessionUnknown reports a resume attempt naming a session token
+// the server does not hold — expired, cleanly closed, or from before
+// an un-checkpointed restart. Not transient: the client must start a
+// fresh session.
+var ErrSessionUnknown = errors.New("serve: unknown session")
+
+// ErrPeerTimeout reports a connection reaped because the peer went
+// silent past the keepalive deadline (no frames, not even a Pong, for
+// two KeepAlive intervals).
+var ErrPeerTimeout = errors.New("serve: peer missed keepalive deadline")
+
 // CodeErr maps a wire backpressure code onto the module's typed error
 // taxonomy, so clients dispatch rejects with errors.Is exactly like
 // local engine errors: CodeIngressFull → router.ErrIngressFull,
 // CodeWindowFull → pktbuf.ErrBufferFull, CodeDraining → ErrDraining,
-// CodeBadFlow → router.ErrBadFlow.
+// CodeBadFlow → router.ErrBadFlow, CodeSessionUnknown →
+// ErrSessionUnknown.
 func CodeErr(c wire.Code) error {
 	switch c {
 	case wire.CodeIngressFull:
@@ -64,6 +92,8 @@ func CodeErr(c wire.Code) error {
 		return ErrDraining
 	case wire.CodeBadFlow:
 		return router.ErrBadFlow
+	case wire.CodeSessionUnknown:
+		return ErrSessionUnknown
 	}
 	return fmt.Errorf("serve: unknown reject code %q: %w", c, wire.ErrFrame)
 }
@@ -97,6 +127,22 @@ type Config struct {
 	// goes). When paced, idle wall time is crossed with FastForward
 	// instead of ticking.
 	TickEvery time.Duration
+	// Resumable retains the session of a connection that fails without
+	// a clean Bye: its flows stay allocated, its buffered cells keep
+	// draining (deliveries park for the session's next connection), and
+	// a client reconnecting with the session token resumes exactly
+	// where it left off — no duplicate and no lost deliveries. Implied
+	// by RestoreServer. Sessions that never resume hold their flows
+	// until the server restarts, so leave this off for servers with
+	// anonymous churning clients.
+	Resumable bool
+	// KeepAlive enables liveness probing on data-plane connections:
+	// the server Pings an idle peer every KeepAlive and reaps
+	// connections silent for two KeepAlive intervals (read deadline),
+	// surfacing ErrPeerTimeout in the error log. Writes get the same
+	// deadline so a wedged peer cannot stall a writer goroutine
+	// forever. Zero disables probing and deadlines.
+	KeepAlive time.Duration
 	// Record captures the per-slot stimulus the loop feeds the engine
 	// as a repro/pktbuf/trace trace (Server.Trace), so a served run
 	// can be replayed bit-identically through the batch sim. Recording
@@ -131,6 +177,10 @@ type Server struct {
 	conns     map[*conn]struct{}
 	freeQ     []int32
 	listeners map[net.Listener]struct{}
+	// sessions maps tokens to live sessions (Resumable servers only).
+	sessions map[uint64]*session
+	// tokenFallback backs newToken if crypto/rand ever fails.
+	tokenFallback uint64
 
 	draining atomic.Bool
 	closed   atomic.Bool
@@ -143,8 +193,16 @@ type Server struct {
 	// serving loop: at most one token per connection is in flight
 	// (conn.armed), so the channel never blocks a reader.
 	ingestCh chan *conn
+	// resumeCh carries connections whose resume handshake awaits the
+	// serving loop (attachResume); at most one entry per connection.
+	resumeCh chan *conn
 	// wakeCh pokes a parked serving loop (shutdown, drain).
 	wakeCh chan struct{}
+	// ckpt holds a pending checkpoint request for the serving loop,
+	// which serves it between batches; the loop's steady-state cost is
+	// one atomic nil-check.
+	ckpt   atomic.Pointer[ckptReq]
+	ckptMu sync.Mutex
 
 	drainedOnce sync.Once
 	drainedCh   chan struct{}
@@ -161,6 +219,7 @@ type Server struct {
 	rrHead     int             //pktbuf:owner=Server.loop
 	rrLen      int             //pktbuf:owner=Server.loop
 	active     []*conn         //pktbuf:owner=Server.loop
+	parked     []int32         //pktbuf:owner=Server.loop
 	actCur     int             //pktbuf:owner=Server.loop
 	inBatch    []pktbuf.Input  //pktbuf:owner=Server.loop
 	outBatch   []pktbuf.Output //pktbuf:owner=Server.loop
@@ -202,6 +261,12 @@ func newServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newServerWith(cfg, buf)
+}
+
+// newServerWith builds a Server around an existing engine (freshly
+// constructed, or reconstructed by RestoreServer).
+func newServerWith(cfg Config, buf *pktbuf.Buffer) (*Server, error) {
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 128
 	}
@@ -214,8 +279,8 @@ func newServer(cfg Config) (*Server, error) {
 	if cfg.Batch == 0 {
 		cfg.Batch = 256
 	}
-	if cfg.IngressRing < 0 || cfg.Window < 0 || cfg.Batch < 0 || cfg.TickEvery < 0 {
-		return nil, fmt.Errorf("%w: serve: negative IngressRing/Window/Batch/TickEvery", pktbuf.ErrBadConfig)
+	if cfg.IngressRing < 0 || cfg.Window < 0 || cfg.Batch < 0 || cfg.TickEvery < 0 || cfg.KeepAlive < 0 {
+		return nil, fmt.Errorf("%w: serve: negative IngressRing/Window/Batch/TickEvery/KeepAlive", pktbuf.ErrBadConfig)
 	}
 	sizing := buf.Sizing()
 	if cfg.Window == 0 {
@@ -234,8 +299,10 @@ func newServer(cfg Config) (*Server, error) {
 		conns:     make(map[*conn]struct{}),
 		freeQ:     make([]int32, 0, q),
 		listeners: make(map[net.Listener]struct{}),
+		sessions:  make(map[uint64]*session),
 		owner:     make([]atomic.Pointer[conn], q),
 		ingestCh:  make(chan *conn, cfg.MaxConns+1),
+		resumeCh:  make(chan *conn, cfg.MaxConns+1),
 		wakeCh:    make(chan struct{}, 1),
 		drainedCh: make(chan struct{}),
 		loopDone:  make(chan struct{}),
@@ -243,6 +310,7 @@ func newServer(cfg Config) (*Server, error) {
 		inRing:    make([]bool, q),
 		rrRing:    make([]int32, q),
 		active:    make([]*conn, 0, cfg.MaxConns+1),
+		parked:    make([]int32, q),
 		inBatch:   make([]pktbuf.Input, cfg.Batch),
 		outBatch:  make([]pktbuf.Output, cfg.Batch),
 		dirty:     make([]*conn, 0, cfg.MaxConns+1),
@@ -302,42 +370,6 @@ func (s *Server) Serve(lis net.Listener) error {
 			nc.Close()
 		}
 	}
-}
-
-// allocFlows hands out n free VOQ ids, or nil when the pool is short.
-func (s *Server) allocFlows(c *conn, n int) []int32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if n <= 0 || n > len(s.freeQ) {
-		return nil
-	}
-	qs := make([]int32, n)
-	copy(qs, s.freeQ[len(s.freeQ)-n:])
-	s.freeQ = s.freeQ[:len(s.freeQ)-n]
-	for _, q := range qs {
-		s.owner[q].Store(c)
-	}
-	s.flowG.Add(int64(n))
-	return qs
-}
-
-// releaseConn tears down a connection's registration: flows return to
-// the pool (the caller guarantees the connection has no cells left in
-// the system) and the socket is closed.
-func (s *Server) releaseConn(c *conn) {
-	s.mu.Lock()
-	if _, ok := s.conns[c]; ok {
-		delete(s.conns, c)
-		s.connG.Add(-1)
-	}
-	for _, q := range c.queues {
-		s.owner[q].Store(nil)
-		s.freeQ = append(s.freeQ, q)
-	}
-	s.flowG.Add(int64(-len(c.queues)))
-	c.queues = nil
-	s.mu.Unlock()
-	c.nc.Close()
 }
 
 // wakeLoop pokes a parked serving loop.

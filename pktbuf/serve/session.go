@@ -1,0 +1,407 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/pktbuf"
+	"repro/pktbuf/serve/wire"
+)
+
+// A session is the durable identity of a client across connections:
+// the token named in Welcome, the VOQs the client owns, and — through
+// the engine's per-queue arrived/delivered counters — everything
+// needed to resume after either side crashes. Because a cell is a
+// pure (queue, sequence) pair, a session carries no payload state:
+// lost deliveries are re-synthesized from counters and lost
+// submissions are resubmitted by the client, so the checkpoint entry
+// for a session is just its token and queue list.
+type session struct {
+	token  uint64
+	queues []int32
+	// attached is the connection currently serving the session (nil
+	// while detached). A resuming connection swaps itself in and
+	// force-detaches a stale predecessor, so the newest connection
+	// always wins.
+	attached atomic.Pointer[conn]
+}
+
+// newToken draws a nonzero session token. Callers hold Server.mu.
+func (s *Server) newToken() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; fall back
+			// to a counter rather than handing out a zero token.
+			s.tokenFallback++
+			return s.tokenFallback
+		}
+		tok := binary.LittleEndian.Uint64(b[:])
+		if tok != 0 && s.sessions[tok] == nil {
+			return tok
+		}
+	}
+}
+
+// allocFlows hands out n free VOQ ids, or nil when the pool is short.
+// On a Resumable server it also mints the session that owns them.
+func (s *Server) allocFlows(c *conn, n int) []int32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.freeQ) {
+		return nil
+	}
+	qs := make([]int32, n)
+	copy(qs, s.freeQ[len(s.freeQ)-n:])
+	s.freeQ = s.freeQ[:len(s.freeQ)-n]
+	for _, q := range qs {
+		s.owner[q].Store(c)
+	}
+	s.flowG.Add(int64(n))
+	c.queues = qs
+	if s.cfg.Resumable {
+		sess := &session{token: s.newToken(), queues: qs}
+		sess.attached.Store(c)
+		s.sessions[sess.token] = sess
+		c.sess.Store(sess)
+	}
+	return qs
+}
+
+// resumeSession reattaches c to the session named by token, or
+// reports nil for an unknown token. A stale predecessor connection is
+// force-detached: its socket is closed and the serving loop stops
+// ingesting from it, so its unprocessed cells surface as resubmits.
+func (s *Server) resumeSession(c *conn, token uint64) *session {
+	s.mu.Lock()
+	sess := s.sessions[token]
+	if sess == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	old := sess.attached.Swap(c)
+	c.sess.Store(sess)
+	c.queues = sess.queues
+	s.mu.Unlock()
+	if old != nil && old != c {
+		old.gone.Store(true)
+		old.closing.Store(true)
+		old.nc.Close()
+		old.wakeWriter()
+	}
+	return sess
+}
+
+// releaseConn ends a connection cleanly: flows return to the pool,
+// the session (if any) is forgotten, and the socket is closed. The
+// caller guarantees the connection has no cells left in the system.
+// If another connection has already resumed the session, only this
+// connection's registration is dropped — the flows now belong to the
+// successor.
+func (s *Server) releaseConn(c *conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.connG.Add(-1)
+	}
+	sess := c.sess.Load()
+	succ := (*conn)(nil)
+	if sess != nil {
+		succ = sess.attached.Load()
+	}
+	if succ != nil && succ != c {
+		for _, q := range c.queues {
+			s.owner[q].CompareAndSwap(c, nil)
+		}
+	} else {
+		for _, q := range c.queues {
+			s.owner[q].CompareAndSwap(c, nil)
+			s.freeQ = append(s.freeQ, q)
+		}
+		s.flowG.Add(int64(-len(c.queues)))
+		if sess != nil {
+			delete(s.sessions, sess.token)
+			sess.attached.Store(nil)
+		}
+		c.queues = nil
+	}
+	s.mu.Unlock()
+	c.nc.Close()
+}
+
+// detachConn tears down a failed connection while keeping its session
+// alive for resumption: the socket closes and delivery routing stops
+// (cells park for the session's next connection), but the flows stay
+// allocated and the engine keeps draining the session's cells.
+func (s *Server) detachConn(c *conn) {
+	s.mu.Lock()
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		s.connG.Add(-1)
+	}
+	for _, q := range c.queues {
+		s.owner[q].CompareAndSwap(c, nil)
+	}
+	if sess := c.sess.Load(); sess != nil {
+		sess.attached.CompareAndSwap(c, nil)
+	}
+	s.mu.Unlock()
+	c.nc.Close()
+}
+
+// attachResume finishes a resume handshake on the serving goroutine,
+// where the engine counters, parked deliveries and ready state can be
+// read at one consistent point. Reconciliation is pure counter
+// arithmetic: with a = cells arrived, d = cells delivered-and-gone
+// (delivered minus parked) and r = the client's received count for a
+// queue,
+//
+//   - max(0, d−r) deliveries are synthesized immediately (the engine
+//     discarded them before the crash; the client never got them),
+//   - the client discards its first max(0, r−d) redeliveries (it
+//     already holds them; see the TSeqs frame), and
+//   - the client resubmits its submitted−a trailing cells (the engine
+//     never saw them).
+//
+// Every path preserves per-queue FIFO delivery, so the client's
+// counted sequence numbers line up exactly once.
+func (s *Server) attachResume(c *conn) {
+	sess := c.sess.Load()
+	if sess == nil || sess.attached.Load() != c || c.closing.Load() {
+		return // superseded or already dead; nothing to attach
+	}
+	qs := sess.queues
+	n := len(qs)
+	arrived := make([]uint64, n)
+	delivered := make([]uint64, n)
+	flowQs := make([]pktbuf.Queue, n)
+	var charge, synthTotal int64
+	for i, q := range qs {
+		s.owner[q].Store(c)
+		qq := pktbuf.Queue(q)
+		flowQs[i] = qq
+		a := s.buf.ArrivedSeq(qq)
+		d := s.buf.DeliveredSeq(qq) - uint64(s.parked[q])
+		arrived[i], delivered[i] = a, d
+		charge += int64(a - d)
+		if acked := c.resumeAcks[i]; d > acked {
+			synthTotal += int64(d - acked)
+		}
+	}
+	c.window.Store(int64(c.windowCap) - charge)
+	welcome := wire.Welcome{
+		Flows:       n,
+		IngressRing: c.ingress.capacity(),
+		Window:      c.windowCap,
+		Session:     sess.token,
+		Resumed:     true,
+	}
+	c.sendCtrl(wire.TWelcome, welcome.AppendTo(nil))
+	c.sendCtrl(wire.TSeqs, wire.AppendSeqPairs(nil, flowQs, arrived, delivered))
+	if synthTotal > 0 {
+		// Deliveries the engine discarded before the checkpoint and the
+		// client never received: cells are pure (queue, seq) pairs, so
+		// they are rebuilt from the counters alone.
+		synth := make([]pktbuf.Queue, 0, synthTotal)
+		for i, q := range qs {
+			for acked := c.resumeAcks[i]; acked < delivered[i]; acked++ {
+				synth = append(synth, pktbuf.Queue(q))
+			}
+		}
+		c.sendCtrl(wire.TDeliver, encodeCellPayload(synth))
+	}
+	for _, q := range qs {
+		// Parked deliveries flow out through the egress ring like live
+		// ones; the charge computed above covers them until the writer
+		// returns their credit.
+		for ; s.parked[q] > 0; s.parked[q]-- {
+			if !c.egress.push(q) {
+				s.cfg.ErrorLog.Printf("pktbufd: egress overflow on resumed queue %d (window accounting bug)", q)
+				break
+			}
+		}
+		// Re-arm the request scheduler for everything still buffered;
+		// ready counts survived the detach, so only the delta (cells
+		// restored from a checkpoint) is added.
+		if r := int32(s.buf.Requestable(pktbuf.Queue(q))); r > s.ready[q] {
+			s.readyCount += int(r - s.ready[q])
+			s.ready[q] = r
+			s.rrPush(q)
+		}
+	}
+	c.wakeWriter()
+}
+
+// serveCheckpointVersion is the checkpoint layout version.
+const serveCheckpointVersion = 1
+
+// ckptReq asks the serving loop to write a checkpoint at its next
+// batch boundary.
+type ckptReq struct {
+	w    io.Writer
+	done chan error
+}
+
+// Checkpoint writes a crash-consistent checkpoint — the session table
+// followed by the engine snapshot — to w. The write happens on the
+// serving goroutine at a batch boundary, so it never races a tick;
+// the calling goroutine blocks until it completes. Restore with
+// RestoreServer. Returns ErrServerClosed once the serving loop has
+// stopped.
+func (s *Server) Checkpoint(w io.Writer) error {
+	req := &ckptReq{w: w, done: make(chan error, 1)}
+	s.ckptMu.Lock()
+	select {
+	case <-s.loopDone:
+		s.ckptMu.Unlock()
+		return ErrServerClosed
+	default:
+	}
+	s.ckpt.Store(req)
+	s.wakeLoop()
+	s.ckptMu.Unlock()
+	select {
+	case err := <-req.done:
+		return err
+	case <-s.loopDone:
+		if s.ckpt.CompareAndSwap(req, nil) {
+			return ErrServerClosed
+		}
+		return <-req.done
+	}
+}
+
+// writeCheckpoint runs on the serving goroutine between batches.
+func (s *Server) writeCheckpoint(w io.Writer) error {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].token < sessions[j].token })
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# pktbufd checkpoint: session table, then the engine snapshot.\n")
+	fmt.Fprintf(bw, "!serve-checkpoint version=%d sessions=%d\n", serveCheckpointVersion, len(sessions))
+	for _, sess := range sessions {
+		fmt.Fprintf(bw, "%d", sess.token)
+		for _, q := range sess.queues {
+			fmt.Fprintf(bw, " %d", q)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintf(bw, "!serve-checkpoint-end\n")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("serve: checkpoint: %w", err)
+	}
+	return s.buf.Snapshot(w)
+}
+
+// RestoreServer reconstructs a server from a checkpoint written by
+// Checkpoint. cfg plays the same role as in NewServer and its Buffer
+// section must match the checkpointed engine's configuration
+// (mismatches surface pktbuf.ErrSnapshot); Resumable is implied.
+// The restored server starts with no connections: clients reattach
+// through the session-resume handshake, which redelivers exactly the
+// cells each client is missing. Attach listeners with Serve as usual.
+func RestoreServer(r io.Reader, cfg Config) (*Server, error) {
+	br := bufio.NewReader(r)
+	head, err := readCheckpointLine(br)
+	if err != nil {
+		return nil, fmt.Errorf("serve: checkpoint header: %w", err)
+	}
+	var version, count int
+	if _, err := fmt.Sscanf(head, "!serve-checkpoint version=%d sessions=%d", &version, &count); err != nil {
+		return nil, fmt.Errorf("serve: bad checkpoint header %q: %w", head, pktbuf.ErrSnapshot)
+	}
+	if version != serveCheckpointVersion {
+		return nil, fmt.Errorf("serve: checkpoint version %d: %w", version, pktbuf.ErrSnapshotVersion)
+	}
+	type sessRec struct {
+		token  uint64
+		queues []int32
+	}
+	recs := make([]sessRec, 0, count)
+	for i := 0; i < count; i++ {
+		line, err := readCheckpointLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("serve: checkpoint session %d: %w", i, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 1 {
+			return nil, fmt.Errorf("serve: empty checkpoint session line: %w", pktbuf.ErrSnapshot)
+		}
+		tok, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil || tok == 0 {
+			return nil, fmt.Errorf("serve: bad session token %q: %w", fields[0], pktbuf.ErrSnapshot)
+		}
+		queues := make([]int32, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			q, err := strconv.ParseInt(f, 10, 32)
+			if err != nil || q < 0 {
+				return nil, fmt.Errorf("serve: bad session queue %q: %w", f, pktbuf.ErrSnapshot)
+			}
+			queues = append(queues, int32(q))
+		}
+		recs = append(recs, sessRec{token: tok, queues: queues})
+	}
+	if line, err := readCheckpointLine(br); err != nil || line != "!serve-checkpoint-end" {
+		return nil, fmt.Errorf("serve: checkpoint session table not terminated: %w", pktbuf.ErrSnapshot)
+	}
+	buf, err := pktbuf.Restore(br, cfg.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Resumable = true
+	s, err := newServerWith(cfg, buf)
+	if err != nil {
+		return nil, err
+	}
+	taken := make(map[int32]bool)
+	for _, rec := range recs {
+		for _, q := range rec.queues {
+			if int(q) >= len(s.owner) || taken[q] {
+				return nil, fmt.Errorf("serve: checkpoint session queue %d out of range or duplicated: %w", q, pktbuf.ErrSnapshot)
+			}
+			taken[q] = true
+		}
+		sess := &session{token: rec.token, queues: rec.queues}
+		s.sessions[rec.token] = sess
+		s.flowG.Add(int64(len(rec.queues)))
+	}
+	kept := s.freeQ[:0]
+	for _, q := range s.freeQ {
+		if !taken[q] {
+			kept = append(kept, q)
+		}
+	}
+	s.freeQ = kept
+	go s.loop()
+	return s, nil
+}
+
+// readCheckpointLine reads the next non-comment, non-blank line.
+func readCheckpointLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && line == "" {
+				return "", fmt.Errorf("truncated: %w", pktbuf.ErrSnapshot)
+			} else if err != io.EOF {
+				return "", err
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, nil
+	}
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/pktbuf"
+)
+
+// TestResumeFrameRoundTrip covers the session-resumption vocabulary:
+// Hello/Welcome session fields and the TPing/TPong/TAcks/TSeqs frames.
+func TestResumeFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	hello := Hello{Flows: 4, Session: 0xdeadbeefcafe}
+	if err := w.WriteFrame(THello, hello.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	welcome := Welcome{Flows: 4, IngressRing: 64, Window: 128, Session: 0xdeadbeefcafe, Resumed: true}
+	if err := w.WriteFrame(TWelcome, welcome.AppendTo(nil)); err != nil {
+		t.Fatal(err)
+	}
+	qs := []pktbuf.Queue{2, 5, 9}
+	acks := []uint64{17, 0, 400}
+	if err := w.WriteFrame(TAcks, AppendSeqs(nil, qs, acks)); err != nil {
+		t.Fatal(err)
+	}
+	arrived := []uint64{20, 3, 401}
+	delivered := []uint64{17, 1, 399}
+	if err := w.WriteFrame(TSeqs, AppendSeqPairs(nil, qs, arrived, delivered)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(TPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(TPong, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	typ, p, err := r.Next()
+	if err != nil || typ != THello {
+		t.Fatalf("frame 1: %v %v", typ, err)
+	}
+	if h, err := ParseHello(p); err != nil || h != hello {
+		t.Fatalf("ParseHello = %+v, %v; want %+v", h, err, hello)
+	}
+	typ, p, err = r.Next()
+	if err != nil || typ != TWelcome {
+		t.Fatalf("frame 2: %v %v", typ, err)
+	}
+	if wl, err := ParseWelcome(p); err != nil || wl != welcome {
+		t.Fatalf("ParseWelcome = %+v, %v; want %+v", wl, err, welcome)
+	}
+	typ, p, err = r.Next()
+	if err != nil || typ != TAcks {
+		t.Fatalf("frame 3: %v %v", typ, err)
+	}
+	i := 0
+	if err := ParseSeqs(p, func(q pktbuf.Queue, n uint64) error {
+		if q != qs[i] || n != acks[i] {
+			t.Fatalf("acks[%d] = (%d, %d), want (%d, %d)", i, q, n, qs[i], acks[i])
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(qs) {
+		t.Fatalf("ParseSeqs yielded %d entries, want %d", i, len(qs))
+	}
+	typ, p, err = r.Next()
+	if err != nil || typ != TSeqs {
+		t.Fatalf("frame 4: %v %v", typ, err)
+	}
+	i = 0
+	if err := ParseSeqPairs(p, func(q pktbuf.Queue, a, d uint64) error {
+		if q != qs[i] || a != arrived[i] || d != delivered[i] {
+			t.Fatalf("seqs[%d] = (%d, %d, %d), want (%d, %d, %d)",
+				i, q, a, d, qs[i], arrived[i], delivered[i])
+		}
+		i++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != len(qs) {
+		t.Fatalf("ParseSeqPairs yielded %d entries, want %d", i, len(qs))
+	}
+	for _, want := range []Type{TPing, TPong} {
+		typ, p, err = r.Next()
+		if err != nil || typ != want || len(p) != 0 {
+			t.Fatalf("keepalive frame: %v %q %v, want %v", typ, p, err, want)
+		}
+	}
+}
+
+// TestFreshHelloOmitsSession pins wire compatibility: a session-less
+// Hello and an un-resumed Welcome encode exactly as they did before
+// resumption existed, so old and new endpoints interoperate.
+func TestFreshHelloOmitsSession(t *testing.T) {
+	if p := (Hello{Flows: 3}).AppendTo(nil); bytes.Contains(p, []byte("session")) {
+		t.Fatalf("fresh Hello mentions session: %q", p)
+	}
+	if p := (Welcome{Flows: 3, IngressRing: 8, Window: 16}).AppendTo(nil); bytes.Contains(p, []byte("resumed")) {
+		t.Fatalf("un-resumed Welcome mentions resumed: %q", p)
+	}
+}
+
+func TestParseSeqErrors(t *testing.T) {
+	if err := ParseSeqs([]byte("5=x"), func(pktbuf.Queue, uint64) error { return nil }); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad count: %v, want ErrFrame", err)
+	}
+	if err := ParseSeqPairs([]byte("5=1"), func(pktbuf.Queue, uint64, uint64) error { return nil }); !errors.Is(err, ErrFrame) {
+		t.Fatalf("pair without colon: %v, want ErrFrame", err)
+	}
+	if err := ParseSeqPairs([]byte("5=1:b"), func(pktbuf.Queue, uint64, uint64) error { return nil }); !errors.Is(err, ErrFrame) {
+		t.Fatalf("bad delivered: %v, want ErrFrame", err)
+	}
+	sentinel := errors.New("stop")
+	if err := ParseSeqPairs(AppendSeqPairs(nil, []pktbuf.Queue{1, 2}, []uint64{3, 4}, []uint64{1, 2}),
+		func(pktbuf.Queue, uint64, uint64) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("callback error: %v, want sentinel", err)
+	}
+}

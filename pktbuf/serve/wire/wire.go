@@ -54,6 +54,20 @@ const (
 	TDeliver
 	TReject
 	TDrain
+	// TPing / TPong are the keepalive probe and its echo; both carry an
+	// empty payload. Either side may probe; the peer must echo promptly
+	// or be reaped by the prober's read deadline.
+	TPing
+	TPong
+	// TAcks (client → server) carries the client's per-queue count of
+	// cells received so far; sent with a resuming Hello so the server
+	// can suppress redelivery of cells the client already holds.
+	TAcks
+	// TSeqs (server → client) carries the server's per-queue
+	// (arrived, delivered) counter pairs; sent with a resumed Welcome so
+	// the client can resubmit exactly the cells the server never saw and
+	// discard exactly the redeliveries it already holds.
+	TSeqs
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +89,14 @@ func (t Type) String() string {
 		return "Reject"
 	case TDrain:
 		return "Drain"
+	case TPing:
+		return "Ping"
+	case TPong:
+		return "Pong"
+	case TAcks:
+		return "Acks"
+	case TSeqs:
+		return "Seqs"
 	}
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
@@ -252,12 +274,21 @@ func DecodeCells(payload []byte, side Side, fn func(pktbuf.Queue) error) error {
 type Hello struct {
 	// Flows is the number of VOQs the client asks to own.
 	Flows int
+	// Session resumes an earlier session by its token (0 = new
+	// session). A resuming Hello is followed by a TAcks frame carrying
+	// the client's per-queue received counts.
+	Session uint64
 }
 
 // AppendTo encodes h.
 func (h Hello) AppendTo(dst []byte) []byte {
 	dst = append(dst, "flows="...)
-	return strconv.AppendInt(dst, int64(h.Flows), 10)
+	dst = strconv.AppendInt(dst, int64(h.Flows), 10)
+	if h.Session != 0 {
+		dst = append(dst, " session="...)
+		dst = strconv.AppendUint(dst, h.Session, 10)
+	}
+	return dst
 }
 
 // ParseHello decodes a Hello payload.
@@ -270,7 +301,7 @@ func ParseHello(p []byte) (Hello, error) {
 	if !ok || f <= 0 {
 		return Hello{}, fmt.Errorf("%w: Hello needs flows>0", ErrFrame)
 	}
-	return Hello{Flows: int(f)}, nil
+	return Hello{Flows: int(f), Session: kv["session"]}, nil
 }
 
 // Welcome is the server's handshake reply; the assigned VOQ ids
@@ -287,6 +318,12 @@ type Welcome struct {
 	// submitted−delivered < Window is never rejected with
 	// RejectWindowFull.
 	Window int
+	// Session is the token naming this session for later resumption.
+	Session uint64
+	// Resumed reports that the Hello's session token was recognized and
+	// the session's flows and delivery cursors were reattached; a
+	// resumed Welcome is followed by a TSeqs frame instead of TFlows.
+	Resumed bool
 }
 
 // AppendTo encodes w.
@@ -296,7 +333,13 @@ func (w Welcome) AppendTo(dst []byte) []byte {
 	dst = append(dst, " ring="...)
 	dst = strconv.AppendInt(dst, int64(w.IngressRing), 10)
 	dst = append(dst, " window="...)
-	return strconv.AppendInt(dst, int64(w.Window), 10)
+	dst = strconv.AppendInt(dst, int64(w.Window), 10)
+	dst = append(dst, " session="...)
+	dst = strconv.AppendUint(dst, w.Session, 10)
+	if w.Resumed {
+		dst = append(dst, " resumed=1"...)
+	}
+	return dst
 }
 
 // ParseWelcome decodes a Welcome payload.
@@ -309,6 +352,8 @@ func ParseWelcome(p []byte) (Welcome, error) {
 		Flows:       int(kv["flows"]),
 		IngressRing: int(kv["ring"]),
 		Window:      int(kv["window"]),
+		Session:     kv["session"],
+		Resumed:     kv["resumed"] != 0,
 	}, nil
 }
 
@@ -333,6 +378,11 @@ const (
 	// CodeBadFlow: a submitted cell named a VOQ the connection does
 	// not own. Not transient — fix the client.
 	CodeBadFlow Code = "bad_flow"
+	// CodeSessionUnknown: a resuming Hello named a session token the
+	// server does not hold (expired, reaped, or from before the last
+	// un-checkpointed restart). Not transient — the client must start a
+	// fresh session and resubmit from its own records.
+	CodeSessionUnknown Code = "session_unknown"
 )
 
 // Reject reports that the tail of a Submit frame was not admitted.
@@ -387,6 +437,93 @@ func ParseReject(p []byte) (Reject, error) {
 		Dropped:    int(kv["dropped"]),
 		RetrySlots: kv["retry"],
 	}, nil
+}
+
+// AppendSeqs encodes a per-queue counter vector (a TAcks or TSeqs
+// payload): one "q=count" field per queue, in the order given.
+func AppendSeqs(dst []byte, qs []pktbuf.Queue, counts []uint64) []byte {
+	for i, q := range qs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(q), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendUint(dst, counts[i], 10)
+	}
+	return dst
+}
+
+// ParseSeqs decodes a per-queue counter vector, calling fn once per
+// queue in payload order. fn returning an error stops the walk and
+// returns that error.
+func ParseSeqs(p []byte, fn func(q pktbuf.Queue, n uint64) error) error {
+	for _, f := range strings.Fields(string(p)) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("%w: bad seq field %q", ErrFrame, f)
+		}
+		q, err := strconv.ParseInt(k, 10, 32)
+		if err != nil || q < 0 {
+			return fmt.Errorf("%w: bad seq queue %q", ErrFrame, f)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad seq count %q", ErrFrame, f)
+		}
+		if err := fn(pktbuf.Queue(q), n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendSeqPairs encodes a per-queue (arrived, delivered) counter
+// vector (a TSeqs payload): one "q=arrived:delivered" field per queue,
+// in the order given.
+func AppendSeqPairs(dst []byte, qs []pktbuf.Queue, arrived, delivered []uint64) []byte {
+	for i, q := range qs {
+		if i > 0 {
+			dst = append(dst, ' ')
+		}
+		dst = strconv.AppendInt(dst, int64(q), 10)
+		dst = append(dst, '=')
+		dst = strconv.AppendUint(dst, arrived[i], 10)
+		dst = append(dst, ':')
+		dst = strconv.AppendUint(dst, delivered[i], 10)
+	}
+	return dst
+}
+
+// ParseSeqPairs decodes a per-queue (arrived, delivered) counter
+// vector, calling fn once per queue in payload order. fn returning an
+// error stops the walk and returns that error.
+func ParseSeqPairs(p []byte, fn func(q pktbuf.Queue, arrived, delivered uint64) error) error {
+	for _, f := range strings.Fields(string(p)) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("%w: bad seq field %q", ErrFrame, f)
+		}
+		q, err := strconv.ParseInt(k, 10, 32)
+		if err != nil || q < 0 {
+			return fmt.Errorf("%w: bad seq queue %q", ErrFrame, f)
+		}
+		av, dv, ok := strings.Cut(v, ":")
+		if !ok {
+			return fmt.Errorf("%w: bad seq pair %q", ErrFrame, f)
+		}
+		a, err := strconv.ParseUint(av, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad seq count %q", ErrFrame, f)
+		}
+		d, err := strconv.ParseUint(dv, 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: bad seq count %q", ErrFrame, f)
+		}
+		if err := fn(pktbuf.Queue(q), a, d); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseKV parses "key=value" fields with unsigned integer values.

@@ -1,0 +1,87 @@
+package pktbuf_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/pktbuf"
+)
+
+// TestSnapshotRoundTrip pins the public crash-safety contract: a
+// restored buffer continues a run exactly where the original stopped —
+// same deliveries, same statistics, same clock.
+func TestSnapshotRoundTrip(t *testing.T) {
+	cfg := pktbuf.Config{Queues: 8, LineRate: pktbuf.OC3072, Granularity: 4, Banks: 16}
+	mk := func() *pktbuf.Buffer {
+		buf, err := pktbuf.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	ref, live := mk(), mk()
+
+	drive := func(b *pktbuf.Buffer, from, to int) []pktbuf.Output {
+		t.Helper()
+		var outs []pktbuf.Output
+		for i := from; i < to; i++ {
+			in := pktbuf.Input{Arrival: pktbuf.Queue(i % cfg.Queues), Request: pktbuf.None}
+			if q := pktbuf.Queue((i / 2) % cfg.Queues); i%2 == 1 && b.Requestable(q) > 0 {
+				in.Request = q
+			}
+			out, err := b.Tick(in)
+			if err != nil {
+				t.Fatalf("slot %d: %v", i, err)
+			}
+			outs = append(outs, out)
+		}
+		return outs
+	}
+
+	const cut, end = 500, 1000
+	drive(ref, 0, cut)
+	drive(live, 0, cut)
+
+	var snap bytes.Buffer
+	if err := live.Snapshot(&snap); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := pktbuf.Restore(&snap, cfg)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	wantOut := drive(ref, cut, end)
+	gotOut := drive(restored, cut, end)
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Fatalf("slot %d after restore: got %+v, want %+v", cut+i, gotOut[i], wantOut[i])
+		}
+	}
+	if got, want := restored.Stats(), ref.Stats(); got != want {
+		t.Errorf("stats diverge:\nrestored %+v\nref      %+v", got, want)
+	}
+	if restored.Now() != ref.Now() {
+		t.Errorf("clock diverges: restored %d, ref %d", restored.Now(), ref.Now())
+	}
+}
+
+// TestRestoreRejectsMismatch pins the config-echo gate and its public
+// sentinel.
+func TestRestoreRejectsMismatch(t *testing.T) {
+	cfg := pktbuf.Config{Queues: 4, LineRate: pktbuf.OC3072, Granularity: 4, Banks: 16}
+	buf, err := pktbuf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := buf.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.Queues = 8
+	if _, err := pktbuf.Restore(&snap, other); !errors.Is(err, pktbuf.ErrSnapshot) {
+		t.Fatalf("Restore with mismatched config = %v, want ErrSnapshot", err)
+	}
+}
