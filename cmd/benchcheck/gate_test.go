@@ -188,3 +188,128 @@ func TestCompareMissingBaselineWarned(t *testing.T) {
 		t.Errorf("unused-baseline warnings not sorted: %s", s)
 	}
 }
+
+func TestParseRunsCapturesCpusMetric(t *testing.T) {
+	in := strings.NewReader(strings.Join([]string{
+		"BenchmarkRouterParallel/ports=8-8 \t100\t 2000 ns/op\t 12.0 cells/slot\t 8.000 cpus\t 0 B/op\t 0 allocs/op",
+		"BenchmarkRouterStep/ports=8 \t100\t 5000 ns/op\t 0 allocs/op",
+	}, "\n"))
+	seen, _, err := parseRuns(in, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := seen["BenchmarkRouterParallel/ports=8"]; o.cpus != 8 {
+		t.Errorf("cpus = %v, want 8: %+v", o.cpus, o)
+	}
+	if o := seen["BenchmarkRouterStep/ports=8"]; o.cpus != 0 {
+		t.Errorf("no cpus metric must parse as 0, got %v", o.cpus)
+	}
+}
+
+func TestLoadBaselinesCpusField(t *testing.T) {
+	raw := []byte(`{
+		"s": {
+			"BenchmarkRouterParallel/ports=8": {"ns_op": 2000, "allocs_op": 0, "cpus": 16}
+		}
+	}`)
+	got, err := loadBaselines(raw, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := got["BenchmarkRouterParallel/ports=8"]; r.Cpus != 16 {
+		t.Errorf("Cpus = %v, want 16", r.Cpus)
+	}
+}
+
+func scalingFixture(runCpus, baseCpus, serialNs, parallelNs float64) (map[string]obs, map[string]row) {
+	seen := map[string]obs{
+		"BenchmarkRouterParallel/ports=8": {nsOp: parallelNs, cpus: runCpus},
+		"BenchmarkRouterStep/ports=8":     {nsOp: serialNs, cpus: runCpus},
+	}
+	baselines := map[string]row{
+		"BenchmarkRouterParallel/ports=8": {NsOp: parallelNs, Cpus: baseCpus, hasNs: true},
+	}
+	return seen, baselines
+}
+
+func TestScalingGateEnforced(t *testing.T) {
+	// 8 cpus on both sides, parallel exactly 2× faster: passes.
+	seen, baselines := scalingFixture(8, 8, 4000, 2000)
+	var out strings.Builder
+	if scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("2.0× speedup at the 2.0× bar must pass: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "SCALING cfg=ports=8") ||
+		!strings.Contains(out.String(), "status=ok") {
+		t.Errorf("output missing ok verdict: %s", out.String())
+	}
+	// Parallel below 2× serial: fails.
+	seen, baselines = scalingFixture(8, 8, 4000, 2100)
+	out.Reset()
+	if !scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("sub-2× speedup on an 8-cpu host must fail: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "status=FAIL") {
+		t.Errorf("output missing FAIL verdict: %s", out.String())
+	}
+}
+
+func TestScalingGateSkipsSmallHost(t *testing.T) {
+	// Run host has 1 cpu: SKIP, never fail, machine-readable reason.
+	seen, baselines := scalingFixture(1, 8, 4000, 4100)
+	var out strings.Builder
+	if scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("single-cpu run must skip, not fail: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "SCALING SKIP cfg=ports=8 reason=host-cpus") {
+		t.Errorf("output missing host-cpus skip: %s", out.String())
+	}
+}
+
+func TestScalingGateSkipsSmallBaseline(t *testing.T) {
+	// Baseline recorded on a 1-cpu box: the recorded parallel ns/op
+	// carries serialized-worker overhead, so the bar must not apply.
+	seen, baselines := scalingFixture(16, 1, 4000, 4100)
+	var out strings.Builder
+	if scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("single-cpu baseline must skip, not fail: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "SCALING SKIP cfg=ports=8 reason=baseline-cpus") {
+		t.Errorf("output missing baseline-cpus skip: %s", out.String())
+	}
+}
+
+func TestScalingGateSkipsUnpaired(t *testing.T) {
+	seen := map[string]obs{
+		"BenchmarkRouterParallel/ports=8": {nsOp: 2000, cpus: 8},
+	}
+	baselines := map[string]row{
+		"BenchmarkRouterParallel/ports=8": {NsOp: 2000, Cpus: 8, hasNs: true},
+	}
+	var out strings.Builder
+	if scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("missing serial pair must skip, not fail: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "reason=missing-serial-pair") {
+		t.Errorf("output missing unpaired skip: %s", out.String())
+	}
+	// No baseline row for the parallel benchmark: skip too.
+	seen["BenchmarkRouterStep/ports=8"] = obs{nsOp: 4000, cpus: 8}
+	delete(baselines, "BenchmarkRouterParallel/ports=8")
+	out.Reset()
+	if scalingGate(seen, baselines, 2.0, 8, &out) {
+		t.Fatalf("missing baseline row must skip, not fail: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "reason=no-baseline") {
+		t.Errorf("output missing no-baseline skip: %s", out.String())
+	}
+	// No parallel rows at all: a single summary skip line.
+	out.Reset()
+	if scalingGate(map[string]obs{"BenchmarkRouterStep/ports=8": {nsOp: 4000}},
+		baselines, 2.0, 8, &out) {
+		t.Fatal("no parallel rows must not fail")
+	}
+	if !strings.Contains(out.String(), "reason=no-parallel-rows") {
+		t.Errorf("output missing no-parallel-rows skip: %s", out.String())
+	}
+}

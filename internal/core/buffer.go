@@ -366,6 +366,15 @@ func (b *Buffer) Requestable(q cell.QueueID) int {
 // requests issued.
 func (b *Buffer) PendingRequests() int { return b.pendingTotal }
 
+// TailFree returns the number of future arrivals guaranteed to admit
+// before the tail SRAM could possibly fill: its capacity minus the
+// resident cells. The bound is conservative in the caller's favor —
+// tailTotal only ever grows by one per admitted arrival (staging and
+// bypass deliveries shrink it), so any arrival schedule that stays
+// within TailFree can never observe ErrBufferFull or ErrTailOverflow.
+// The router's epoch planner uses it as the speculation horizon.
+func (b *Buffer) TailFree() int { return b.cfg.TailSRAMCells - b.tailTotal }
+
 // ArrivedSeq returns the number of cells that have ever arrived for
 // queue q — equivalently, the Seq the next arrival to q will be
 // assigned. Samplers that attach to a buffer mid-run (for example the

@@ -10,12 +10,24 @@ import (
 // Engine is the sharded router: each input port's buffer shard is
 // advanced by a dedicated worker goroutine, and the iSLIP
 // request-grant-accept exchange (schedule) plus the in-order egress
-// collection are the only per-slot serialization points. Because
-// tickPort touches only port-local state, schedule reads only the
-// request vectors published by the previous ticks, and collect
-// consumes deliveries in input-port order, the engine's output is
-// bit-identical to Router.Step on the same offered workload —
+// collection are the only serialization points. Because tickPort
+// touches only port-local state, schedule reads only request vectors
+// published by previous ticks, and collect consumes deliveries in
+// input-port order, the engine's output is bit-identical to
+// Router.Step on the same offered workload —
 // TestEngineMatchesSerialRouter pins that equivalence.
+//
+// With Config.EpochSlots = K > 1 the engine runs epoch-batched: the
+// coordinator plans up to K consecutive slots of matchings in one
+// serialized pass against predicted request vectors (plan.go), hands
+// each worker the whole plan in a single command send, and the
+// workers advance their shards K slots without touching a channel
+// (execute.go), so the per-slot barrier of the lockstep engine
+// becomes a per-epoch barrier — coordinator↔worker channel
+// operations drop from 2·workers per slot to 2·workers per epoch.
+// The plan is truncated at the earliest divergence and the engine
+// re-plans from committed state (repair.go); K = 1 degenerates to
+// the lockstep engine exactly.
 //
 // The engine is single-driver: Offer, Step, StepBatch and Close must
 // be called from one goroutine (the workers never touch router state
@@ -25,9 +37,45 @@ import (
 type Engine struct {
 	r       *Router
 	workers int
-	cmd     []chan struct{} // per-worker slot-start signal
-	done    chan struct{}   // fan-in: one token per worker per slot
+	epochK  int        // speculation window (1 = lockstep)
+	cmd     []chan int // per-worker command: 0 = one lockstep slot, k > 0 = run the k-slot plan
+	done    chan struct{}
 	closed  bool
+	// poisoned is set when epoch execution tore the shard state (see
+	// ErrEpochDiverged); every subsequent call returns it.
+	poisoned error
+
+	plan    *epochPlan
+	epDeliv []delivery // [K×Ports] per-slot deliveries, slot-major
+	div     []int32    // div[i] = planned slots port i executed
+	estats  EpochStats
+}
+
+// EpochStats counts the epoch engine's planning and synchronization
+// activity. It is deliberately separate from Stats, which stays
+// bit-identical to the serial router's counters for every K.
+type EpochStats struct {
+	// Epochs counts executed plans (length ≥ 1); PlannedSlots the
+	// slots they covered and CommittedSlots the slots that committed
+	// (equal unless a divergence truncated a plan).
+	Epochs, PlannedSlots, CommittedSlots uint64
+	// HorizonTruncations counts plans cut short of the full window by
+	// the admission horizon (a port's tail-SRAM budget could no longer
+	// guarantee its next arrival admits).
+	HorizonTruncations uint64
+	// SerialFallbackSlots counts slots stepped in exact lockstep
+	// because not even one slot could be planned (ingress waiting on a
+	// full tail SRAM): the serial path applies the reject/retry rule.
+	SerialFallbackSlots uint64
+	// Divergences counts execution-time validation failures. Zero in
+	// every healthy state: the planner's predictions are exact unless
+	// a buffer invariant has already broken.
+	Divergences uint64
+	// SyncOps counts coordinator↔worker channel operations (each
+	// worker costs one command send plus one completion receive per
+	// exchange). The lockstep engine pays 2·workers per slot; the
+	// epoch engine 2·workers per epoch.
+	SyncOps uint64
 }
 
 // NewEngine builds a sharded router over cfg. workers ≤ 0 selects one
@@ -50,12 +98,17 @@ func newEngine(r *Router, workers int) *Engine {
 	if workers <= 0 || workers > ports {
 		workers = ports
 	}
-	e := &Engine{r: r, workers: workers}
+	e := &Engine{r: r, workers: workers, epochK: r.cfg.EpochSlots}
+	if e.epochK > 1 {
+		e.plan = newEpochPlan(e.epochK, ports, r.voqs)
+		e.epDeliv = make([]delivery, e.epochK*ports)
+		e.div = make([]int32, ports)
+	}
 	if workers > 1 {
-		e.cmd = make([]chan struct{}, workers)
+		e.cmd = make([]chan int, workers)
 		e.done = make(chan struct{}, workers)
 		for w := 0; w < workers; w++ {
-			e.cmd[w] = make(chan struct{}, 1)
+			e.cmd[w] = make(chan int, 1)
 			go e.worker(w)
 		}
 	}
@@ -63,15 +116,23 @@ func newEngine(r *Router, workers int) *Engine {
 }
 
 // worker advances the ports striped onto worker w (ports w, w+W,
-// w+2W, …) each time the coordinator signals a slot, then reports
-// completion. Writes to r.deliveries land in per-port slots and are
-// published to the coordinator by the done send.
+// w+2W, …) each time the coordinator sends a command, then reports
+// completion. A command of 0 ticks one lockstep slot from r.matched;
+// k > 0 runs the k-slot epoch plan. Writes land in per-port slots of
+// r.deliveries / e.epDeliv / e.div and are published to the
+// coordinator by the done send.
 func (e *Engine) worker(w int) {
 	r := e.r
 	ports := r.cfg.Ports
-	for range e.cmd[w] {
-		for i := w; i < ports; i += e.workers {
-			r.deliveries[i] = r.tickPort(i, r.matched[i])
+	for k := range e.cmd[w] {
+		if k > 0 {
+			for i := w; i < ports; i += e.workers {
+				e.runPortEpoch(i)
+			}
+		} else {
+			for i := w; i < ports; i += e.workers {
+				r.deliveries[i] = r.tickPort(i, r.matched[i])
+			}
 		}
 		e.done <- struct{}{}
 	}
@@ -92,22 +153,26 @@ func (e *Engine) Offer(port int, p packet.Packet) error {
 	if e.closed {
 		return ErrClosed
 	}
+	if e.poisoned != nil {
+		return e.poisoned
+	}
 	return e.r.Offer(port, p)
 }
 
-// OfferBatch enqueues packets at an input port until one is rejected,
-// returning the number accepted and the first error (ErrIngressFull
-// when the backlog fills; the remaining packets are not offered).
+// OfferBatch enqueues packets at an input port in one validated pass
+// (see Router.OfferBatch): the port and engine state are checked
+// once, the accepted prefix is sized against the ingress budget up
+// front, and its cells are segmented in a single run. It returns the
+// number of packets accepted and the error that stopped the run; the
+// remaining packets are not offered.
 func (e *Engine) OfferBatch(port int, ps []packet.Packet) (int, error) {
 	if e.closed {
 		return 0, ErrClosed
 	}
-	for k := range ps {
-		if err := e.r.Offer(port, ps[k]); err != nil {
-			return k, err
-		}
+	if e.poisoned != nil {
+		return 0, e.poisoned
 	}
-	return len(ps), nil
+	return e.r.OfferBatch(port, ps)
 }
 
 // IngressBacklog returns the number of cells waiting to enter port's
@@ -124,9 +189,15 @@ func (e *Engine) Router() *Router { return e.r }
 // Stats returns the router-level counters.
 func (e *Engine) Stats() Stats { return e.r.stats }
 
+// EpochStats returns the epoch engine's planning and synchronization
+// counters (all zero while EpochSlots ≤ 1, except SyncOps, which the
+// lockstep barrier also maintains).
+func (e *Engine) EpochStats() EpochStats { return e.estats }
+
 // Step advances the engine one slot and returns the packets completed
 // this slot; the slice and payloads are scratch reused by the next
-// Step (see Egress).
+// Step (see Egress). Step always takes the exact lockstep path — a
+// one-slot epoch plans nothing worth amortizing.
 func (e *Engine) Step() ([]Egress, error) {
 	out, err := e.StepAppend(e.r.egScratch[:0])
 	e.r.egScratch = out
@@ -139,16 +210,20 @@ func (e *Engine) StepAppend(out []Egress) ([]Egress, error) {
 	if e.closed {
 		return out, ErrClosed
 	}
+	if e.poisoned != nil {
+		return out, e.poisoned
+	}
 	e.r.egArena = e.r.egArena[:0]
 	return e.stepSlot(out)
 }
 
-// stepSlot advances one slot without resetting the egress arena.
+// stepSlot advances one lockstep slot without resetting the egress
+// arena.
 func (e *Engine) stepSlot(out []Egress) ([]Egress, error) {
 	r := e.r
 	// Serialize: the request-grant-accept exchange over the request
 	// vectors the ports published after their previous ticks.
-	r.schedule(r.matched)
+	r.schedule(r.reqRows, r.matched)
 	// Fan out: every port shard ticks concurrently.
 	if e.workers <= 1 {
 		for i := range r.inputs {
@@ -156,11 +231,12 @@ func (e *Engine) stepSlot(out []Egress) ([]Egress, error) {
 		}
 	} else {
 		for w := 0; w < e.workers; w++ {
-			e.cmd[w] <- struct{}{}
+			e.cmd[w] <- 0
 		}
 		for w := 0; w < e.workers; w++ {
 			<-e.done
 		}
+		e.estats.SyncOps += uint64(2 * e.workers)
 	}
 	// Serialize: collect deliveries in input-port order.
 	var firstErr error
@@ -184,12 +260,22 @@ func (e *Engine) stepSlot(out []Egress) ([]Egress, error) {
 // ingress, no pending requests) the remaining slots are skipped in
 // one lockstep fast-forward of all shards — bit-identical to stepping
 // them, so a batch that outlives its traffic costs O(events), not
-// O(slots).
+// O(slots). With EpochSlots > 1 the batch runs as a sequence of
+// planned epochs (see Engine doc); quiescence is then probed at epoch
+// boundaries, so the only observable difference from the lockstep
+// engine is core.Stats.FastForwardedSlots — egress, router stats and
+// every other buffer counter stay bit-identical.
 func (e *Engine) StepBatch(slots int, out []Egress) ([]Egress, error) {
 	if e.closed {
 		return out, ErrClosed
 	}
+	if e.poisoned != nil {
+		return out, e.poisoned
+	}
 	e.r.egArena = e.r.egArena[:0]
+	if e.epochK > 1 {
+		return e.stepEpochs(slots, out)
+	}
 	for s := 0; s < slots; s++ {
 		if e.r.Quiescent() {
 			e.r.fastForward(uint64(slots - s))

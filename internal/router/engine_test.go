@@ -225,41 +225,54 @@ func TestConfigErrorsWrapBadConfig(t *testing.T) {
 }
 
 // TestEngineZeroAllocSteadyState: once rings and reassembly buffers
-// are warm, the serial engine's slot loop allocates nothing. (The
+// are warm, the serial engine's slot loop allocates nothing — on the
+// lockstep path and on the epoch plan/execute/commit path alike. (The
 // sharded path is asserted by BenchmarkRouterParallel's ReportAllocs.)
 func TestEngineZeroAllocSteadyState(t *testing.T) {
-	e, err := NewEngine(Config{
-		Ports: 4, Classes: 2,
-		Buffer: core.Config{B: 8, Bsmall: 2, Banks: 64},
-	}, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Deterministic sub-saturation workload (one 6-cell packet per 5
-	// slots, destinations round-robin) so every ring and buffer
-	// occupancy plateaus during warmup.
-	payload := make([]byte, 300)
-	out := make([]Egress, 0, 256)
-	slot := 0
-	drive := func(slots int) {
-		for s := 0; s < slots; s, slot = s+1, slot+1 {
-			if slot%5 == 0 {
-				k := slot / 5
-				_ = e.Offer(k%4, packet.Packet{
-					Flow:    e.Router().VOQ((k/4)%4, k%2),
-					Payload: payload,
-				})
-			}
-			var err error
-			out, err = e.StepAppend(out[:0])
+	for _, epoch := range []int{1, 16} {
+		t.Run(fmt.Sprintf("epoch=%d", epoch), func(t *testing.T) {
+			e, err := NewEngine(Config{
+				Ports: 4, Classes: 2,
+				Buffer:     core.Config{B: 8, Bsmall: 2, Banks: 64},
+				EpochSlots: epoch,
+			}, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
-		}
-	}
-	drive(8000) // warm every ring, arena and reassembly buffer
-	if allocs := testing.AllocsPerRun(10, func() { drive(100) }); allocs != 0 {
-		t.Errorf("steady-state engine slots allocated %.2f per 100-slot run", allocs)
+			// Deterministic sub-saturation workload (one 6-cell packet
+			// per 5 slots, destinations round-robin) so every ring and
+			// buffer occupancy plateaus during warmup.
+			payload := make([]byte, 300)
+			out := make([]Egress, 0, 256)
+			slot := 0
+			drive := func(slots int) {
+				for s := 0; s < slots; s, slot = s+5, slot+5 {
+					k := slot / 5
+					_ = e.Offer(k%4, packet.Packet{
+						Flow:    e.Router().VOQ((k/4)%4, k%2),
+						Payload: payload,
+					})
+					var err error
+					out, err = e.StepBatch(5, out[:0])
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			drive(8000) // warm every ring, arena and reassembly buffer
+			if allocs := testing.AllocsPerRun(10, func() { drive(100) }); allocs != 0 {
+				t.Errorf("steady-state engine slots allocated %.2f per 100-slot run", allocs)
+			}
+			if epoch > 1 {
+				es := e.EpochStats()
+				if es.Epochs == 0 {
+					t.Fatal("epoch path never ran")
+				}
+				if es.Divergences != 0 {
+					t.Errorf("epoch execution diverged %d times", es.Divergences)
+				}
+			}
+		})
 	}
 }
 
@@ -274,22 +287,36 @@ func TestEngineZeroAllocSteadyState(t *testing.T) {
 func TestEngineFastForwardMatchesSerial(t *testing.T) {
 	for _, workers := range []int{1, 0} {
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
-			testEngineFastForward(t, workers)
+			testEngineFastForward(t, workers, 1)
 		})
 	}
 }
 
-func testEngineFastForward(t *testing.T, batchWorkers int) {
+// TestEpochFastForwardMatchesSerial is the epoch-boundary
+// Quiescent/StepBatch interaction: with EpochSlots > 1 quiescence is
+// probed between epochs, the drain lands mid-epoch (the planner ticks
+// the idle tail of its window), and the quiescent remainder of each
+// batch must still fast-forward — bit-identical to per-slot stepping
+// apart from the fast-forward counter, and it must actually skip.
+func TestEpochFastForwardMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 0} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			testEngineFastForward(t, workers, 16)
+		})
+	}
+}
+
+func testEngineFastForward(t *testing.T, batchWorkers, epochSlots int) {
 	const ports, classes, slots = 4, 2, 20000
 	bufCfg := core.Config{B: 8, Bsmall: 2, Banks: 16}
-	mk := func(workers int) (*Engine, error) {
-		return NewEngine(Config{Ports: ports, Classes: classes, Buffer: bufCfg, SchedulerIterations: 2}, workers)
+	mk := func(workers, epoch int) (*Engine, error) {
+		return NewEngine(Config{Ports: ports, Classes: classes, Buffer: bufCfg, SchedulerIterations: 2, EpochSlots: epoch}, workers)
 	}
-	serialEng, err := mk(1)
+	serialEng, err := mk(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batchEng, err := mk(batchWorkers)
+	batchEng, err := mk(batchWorkers, epochSlots)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,5 +388,8 @@ func testEngineFastForward(t *testing.T, batchWorkers int) {
 	}
 	if !batchEng.Quiescent() || !serialEng.Quiescent() {
 		t.Error("engines not quiescent after drain")
+	}
+	if es := batchEng.EpochStats(); es.Divergences != 0 {
+		t.Errorf("epoch execution diverged %d times; predictions must be exact", es.Divergences)
 	}
 }

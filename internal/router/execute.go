@@ -1,0 +1,62 @@
+package router
+
+// runPortEpoch advances port i through the epoch plan's slots. Before
+// each slot the port validates its live request vector against the
+// planned prediction — the guard that keeps speculation bounded: a
+// mismatch means the analytic occupancy view broke (possible only
+// when a buffer invariant broke first, see planEpoch), so the port
+// stops before ticking and the coordinator truncates the epoch at the
+// earliest divergence. e.div[i] records how many planned slots the
+// port executed; a tick error also stops the port, with the erroring
+// slot counted as executed so its delivery surfaces through collect
+// exactly as in lockstep.
+//
+// Everything touched here is port-local (the plan and e.epDeliv are
+// indexed by port), so workers run it concurrently with no
+// synchronization inside the epoch.
+//
+//pktbuf:hotpath
+func (e *Engine) runPortEpoch(i int) {
+	r := e.r
+	p := e.plan
+	P := r.cfg.Ports
+	in := r.inputs[i]
+	k := p.k
+	for s := 0; s < k; s++ {
+		row := p.reqVec[(s*P+i)*P : (s*P+i)*P+P]
+		for o := 0; o < P; o++ {
+			if in.reqVec[o] != row[o] {
+				e.div[i] = int32(s)
+				return
+			}
+		}
+		d := r.tickPort(i, p.matched[s*P+i])
+		e.epDeliv[s*P+i] = d
+		if d.err != nil {
+			e.div[i] = int32(s + 1)
+			return
+		}
+	}
+	e.div[i] = int32(k)
+}
+
+// executeEpoch fans the current plan out to the shards: one command
+// send and one completion receive per worker for the whole epoch —
+// the entire synchronization cost that the lockstep engine pays every
+// slot.
+func (e *Engine) executeEpoch() {
+	if e.workers <= 1 {
+		for i := range e.r.inputs {
+			e.runPortEpoch(i)
+		}
+		return
+	}
+	k := e.plan.k
+	for w := 0; w < e.workers; w++ {
+		e.cmd[w] <- k
+	}
+	for w := 0; w < e.workers; w++ {
+		<-e.done
+	}
+	e.estats.SyncOps += uint64(2 * e.workers)
+}

@@ -1,0 +1,143 @@
+package router
+
+import "repro/internal/cell"
+
+// epochPlan is the coordinator's K-slot speculation: the iSLIP
+// exchange run ahead of the shards against a synthetic occupancy
+// view, plus everything needed to validate the plan port-locally and
+// to roll the scheduler state back to any committed prefix. All
+// arenas are sized once at engine construction; planning allocates
+// nothing.
+type epochPlan struct {
+	k int // planned slots this epoch (≤ the EpochSlots window)
+
+	// Per-slot outputs, slot-major.
+	reqVec  []cell.QueueID // [K×P×P] predicted request rows: reqVec[(s·P+i)·P+o]
+	matched []int          // [K×P] matched[s·P+i] = output or -1
+	grant   []int          // [K×P] grant pointers after slot s
+	accept  []int          // [K×P] accept pointers after slot s
+	matches []uint64       // [K] cumulative Stats.Matches after slot s
+
+	// Committed-state snapshot before slot 0, for rollback to an
+	// empty prefix.
+	grantBase   []int
+	acceptBase  []int
+	matchesBase uint64
+
+	// Planner scratch.
+	predReq  []int32          // [P×voqs] predicted Requestable per VOQ
+	arrCur   []int            // [P] pending-ring cells consumed by the plan
+	tailRoom []int            // [P] guaranteed-admission budget (TailFree)
+	rows     [][]cell.QueueID // [P] row views into reqVec handed to schedule
+}
+
+func newEpochPlan(k, ports, voqs int) *epochPlan {
+	return &epochPlan{
+		reqVec:     make([]cell.QueueID, k*ports*ports),
+		matched:    make([]int, k*ports),
+		grant:      make([]int, k*ports),
+		accept:     make([]int, k*ports),
+		matches:    make([]uint64, k),
+		grantBase:  make([]int, ports),
+		acceptBase: make([]int, ports),
+		predReq:    make([]int32, ports*voqs),
+		arrCur:     make([]int, ports),
+		tailRoom:   make([]int, ports),
+		rows:       make([][]cell.QueueID, ports),
+	}
+}
+
+// planEpoch runs the request-grant-accept exchange for up to maxSlots
+// consecutive slots in one serialized pass and returns the plan
+// length. The exchange for slot s needs request vectors the ports
+// will only publish after ticking slot s-1, so the planner evolves a
+// synthetic occupancy view instead of waiting: predReq starts from
+// each VOQ's live Requestable count and advances by the buffer's own
+// conservation law — an arrival raises it by one, an admitted fabric
+// request lowers it by one, and the request's eventual delivery is
+// net zero (it retires the occupancy and the pending request
+// together). That view is exact, not heuristic, as long as every
+// arrival the plan assumes actually admits; the admission horizon
+// below enforces exactly that, so in every healthy state the shards
+// execute the whole plan without divergence and the lag stays
+// bounded by construction rather than by rollback frequency.
+//
+// Pointer evolution is shared, not simulated: each planned slot runs
+// the same Router.schedule the lockstep engine runs, over the
+// predicted rows, mutating the live grant/accept pointers and match
+// counter — so a fully committed epoch leaves them exactly where K
+// lockstep slots would, and per-slot snapshots allow rollback to any
+// shorter prefix.
+//
+//pktbuf:hotpath
+func (e *Engine) planEpoch(maxSlots int) int {
+	r := e.r
+	p := e.plan
+	P := r.cfg.Ports
+	V := r.voqs
+	C := r.cfg.Classes
+	for i, in := range r.inputs {
+		base := i * V
+		for q := 0; q < V; q++ {
+			p.predReq[base+q] = int32(in.buf.Requestable(cell.QueueID(q)))
+		}
+		p.arrCur[i] = 0
+		p.tailRoom[i] = in.buf.TailFree()
+	}
+	copy(p.grantBase, r.grant)
+	copy(p.acceptBase, r.accept)
+	p.matchesBase = r.stats.Matches
+	k := 0
+	for k < maxSlots {
+		// Admission horizon: every arrival the plan assumes must be
+		// guaranteed to admit. A port with ingress waiting but no tail
+		// budget left ends the plan here — tickPort's reject/retry
+		// path would hold the cell back and desynchronize the view.
+		for i, in := range r.inputs {
+			if p.arrCur[i] < in.pending.len() && p.tailRoom[i] <= 0 {
+				p.k = k
+				return k
+			}
+		}
+		// Predicted request rows for this slot: lowest requestable
+		// class per output, exactly computeReqVec's rule.
+		off := k * P
+		for i := 0; i < P; i++ {
+			row := p.reqVec[(off+i)*P : (off+i)*P+P]
+			base := i * V
+			for o := 0; o < P; o++ {
+				row[o] = cell.NoQueue
+				qb := o * C
+				for c := 0; c < C; c++ {
+					if p.predReq[base+qb+c] > 0 {
+						row[o] = cell.QueueID(qb + c)
+						break
+					}
+				}
+			}
+			p.rows[i] = row
+		}
+		matchedRow := p.matched[off : off+P]
+		r.schedule(p.rows, matchedRow)
+		copy(p.grant[off:off+P], r.grant)
+		copy(p.accept[off:off+P], r.accept)
+		p.matches[k] = r.stats.Matches
+		// Evolve the view: one ingress admission per port, one debit
+		// per granted request.
+		for i, in := range r.inputs {
+			if p.arrCur[i] < in.pending.len() {
+				f := in.pending.at(p.arrCur[i]).Flow
+				p.predReq[i*V+int(f)]++
+				p.arrCur[i]++
+				p.tailRoom[i]--
+			}
+			if mo := matchedRow[i]; mo >= 0 {
+				q := p.reqVec[(off+i)*P+mo]
+				p.predReq[i*V+int(q)]--
+			}
+		}
+		k++
+	}
+	p.k = k
+	return k
+}

@@ -51,6 +51,13 @@ type Config struct {
 	// IngressCap bounds each input's pre-segmentation cell backlog
 	// (0 = a generous default of 4096 cells).
 	IngressCap int
+	// EpochSlots is the engine's speculation window K: the coordinator
+	// plans up to K consecutive slots of iSLIP matchings in one
+	// serialized pass and hands each worker the whole plan in a single
+	// exchange, so the per-slot barrier becomes a per-epoch barrier
+	// (≤0 = 1 = the lockstep engine; clamped to 4096). The serial
+	// Router ignores it; see Engine.
+	EpochSlots int
 }
 
 // Errors returned by the router. Config rejections wrap
@@ -61,6 +68,14 @@ var (
 	ErrBadPort     = errors.New("router: port out of range")
 	ErrBadFlow     = errors.New("router: packet flow out of range")
 	ErrClosed      = errors.New("router: engine closed")
+	// ErrEpochDiverged reports that a port shard's live state diverged
+	// from the epoch plan mid-execution and other shards had already
+	// run past the divergence point. The committed prefix returned
+	// with the error is valid; the engine is torn beyond it and
+	// rejects further calls. Reachable only when a buffer invariant
+	// has already broken — the planner's admission horizon makes the
+	// prediction exact in every healthy state (see planEpoch).
+	ErrEpochDiverged = errors.New("router: epoch execution diverged from plan")
 )
 
 // Egress is one packet leaving the router.
@@ -102,6 +117,11 @@ func (q *segRing) push(c packet.SegCell) {
 }
 
 func (q *segRing) front() packet.SegCell { return q.cells[q.start] }
+
+// at returns the j-th queued cell (0 = front) without consuming it.
+// The epoch planner walks the pending ring this way to predict which
+// VOQ each future arrival lands in.
+func (q *segRing) at(j int) packet.SegCell { return q.cells[q.start+j] }
 
 func (q *segRing) popFront() packet.SegCell {
 	c := q.cells[q.start]
@@ -190,6 +210,10 @@ type Router struct {
 	matched     []int  // per-input matched output
 	deliveries  []delivery
 	egScratch   []Egress
+	// reqRows[i] aliases inputs[i].reqVec: the serial path hands
+	// schedule the live request vectors through the same row-view
+	// interface the epoch planner uses for predicted ones.
+	reqRows [][]cell.QueueID
 	// egArena backs the payloads of returned Egress packets. It is
 	// reset at the start of every Step / StepAppend / (engine)
 	// StepBatch call, so egress stays valid for the whole batch: a
@@ -215,6 +239,12 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.IngressCap <= 0 {
 		cfg.IngressCap = 4096
+	}
+	if cfg.EpochSlots <= 0 {
+		cfg.EpochSlots = 1
+	}
+	if cfg.EpochSlots > maxEpochSlots {
+		cfg.EpochSlots = maxEpochSlots
 	}
 	voqs := cfg.Ports * cfg.Classes
 	cfg.Buffer.Q = voqs
@@ -247,8 +277,16 @@ func New(cfg Config) (*Router, error) {
 		// same-flow cells of different inputs never interleave.
 		r.reasm = append(r.reasm, packet.NewDenseReassembler(cfg.Ports*voqs))
 	}
+	r.reqRows = make([][]cell.QueueID, cfg.Ports)
+	for i, in := range r.inputs {
+		r.reqRows[i] = in.reqVec
+	}
 	return r, nil
 }
+
+// maxEpochSlots bounds the speculation window so plan arenas stay a
+// few MB even at large port counts.
+const maxEpochSlots = 4096
 
 func newNoQueueVec(n int) []cell.QueueID {
 	v := make([]cell.QueueID, n)
@@ -286,6 +324,42 @@ func (r *Router) Offer(port int, p packet.Packet) error {
 	in.pending.cells = in.seg.SegmentAppend(in.pending.cells, p)
 	r.stats.OfferedPackets++
 	return nil
+}
+
+// OfferBatch enqueues packets at an input port in one validated pass:
+// the port is bounds-checked once, the accepted prefix is sized
+// against the ingress budget up front, and its cells are segmented in
+// a single run with one ring compaction. It returns the number of
+// packets accepted and the error that stopped the run (ErrBadFlow, or
+// ErrIngressFull when the next packet would overflow the backlog); the
+// remaining packets are not offered.
+func (r *Router) OfferBatch(port int, ps []packet.Packet) (int, error) {
+	if port < 0 || port >= r.cfg.Ports {
+		return 0, fmt.Errorf("%w: %d", ErrBadPort, port)
+	}
+	in := r.inputs[port]
+	budget := r.cfg.IngressCap - in.pending.len()
+	n, cells := 0, 0
+	var stop error
+	for k := range ps {
+		if ps[k].Flow < 0 || int(ps[k].Flow) >= r.voqs {
+			stop = fmt.Errorf("%w: %d", ErrBadFlow, ps[k].Flow)
+			break
+		}
+		c := packet.CellCount(len(ps[k].Payload))
+		if cells+c > budget {
+			stop = fmt.Errorf("%w: port %d", ErrIngressFull, port)
+			break
+		}
+		n++
+		cells += c
+	}
+	in.pending.ensure(cells)
+	for k := 0; k < n; k++ {
+		in.pending.cells = in.seg.SegmentAppend(in.pending.cells, ps[k])
+	}
+	r.stats.OfferedPackets += uint64(n)
+	return n, stop
 }
 
 // IngressBacklog returns the number of cells waiting to enter port's
@@ -334,14 +408,18 @@ func (r *Router) fastForward(n uint64) {
 	r.stats.Slots += n
 }
 
-// schedule computes this slot's input→output matching with iterative
-// round-robin request-grant-accept (iSLIP) over the inputs' request
-// vectors, writing matched[input] = output or -1. It is the single
-// per-slot serialization point of the sharded engine: everything it
-// reads (reqVec) was published by the ports' previous ticks.
+// schedule computes one slot's input→output matching with iterative
+// round-robin request-grant-accept (iSLIP) over the given request
+// rows, writing matched[input] = output or -1. It is the single
+// serialization point of the sharded engine. reqRows[i][o] names the
+// VOQ input i would serve to output o (cell.NoQueue = none): the
+// serial path passes r.reqRows (live per-port vectors published by the
+// ports' previous ticks); the epoch planner passes rows predicted from
+// a synthetic occupancy view, so both evolve the grant/accept pointers
+// through identical code.
 //
 //pktbuf:hotpath
-func (r *Router) schedule(matched []int) {
+func (r *Router) schedule(reqRows [][]cell.QueueID, matched []int) {
 	P := r.cfg.Ports
 	for i := 0; i < P; i++ {
 		matched[i], r.matchedOut[i] = -1, -1
@@ -359,7 +437,7 @@ func (r *Router) schedule(matched []int) {
 				continue
 			}
 			for i := 0; i < P; i++ {
-				row[i] = matched[i] < 0 && r.inputs[i].reqVec[o] != cell.NoQueue
+				row[i] = matched[i] < 0 && reqRows[i][o] != cell.NoQueue
 				any = any || row[i]
 			}
 		}
@@ -528,7 +606,7 @@ func (r *Router) StepAppend(out []Egress) ([]Egress, error) {
 // stepSlot advances one slot without resetting the egress arena (the
 // engine's StepBatch resets it once per batch).
 func (r *Router) stepSlot(out []Egress) ([]Egress, error) {
-	r.schedule(r.matched)
+	r.schedule(r.reqRows, r.matched)
 	for i := range r.inputs {
 		r.deliveries[i] = r.tickPort(i, r.matched[i])
 	}

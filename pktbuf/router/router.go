@@ -16,6 +16,13 @@
 // is deterministic and bit-identical to the serial path (Workers: 1),
 // which the test suite pins with a golden-equivalence test.
 //
+// Config.EpochSlots batches that barrier: the coordinator plans up to
+// K slots of matchings in one pass against analytically predicted
+// request vectors and the workers execute the whole plan between two
+// synchronizations, cutting coordination cost per slot by ~K× while
+// remaining bit-identical for every K (see the README's "Epoch
+// batching" section for the design and measured trade-offs).
+//
 // A minimal session:
 //
 //	eng, err := router.New(router.Config{Ports: 8, Buffer: pktbuf.Config{
@@ -54,6 +61,13 @@ var (
 	ErrBadFlow = irouter.ErrBadFlow
 	// ErrClosed reports use of an engine after Close.
 	ErrClosed = irouter.ErrClosed
+	// ErrEpochDiverged reports that epoch-batched execution
+	// (Config.EpochSlots > 1) diverged from its plan with shards
+	// already past the divergence point, leaving the engine torn; the
+	// egress returned alongside it is the valid committed prefix.
+	// Reachable only after a buffer invariant violation — in healthy
+	// states the epoch planner's predictions are exact.
+	ErrEpochDiverged = irouter.ErrEpochDiverged
 )
 
 // Config describes the router engine.
@@ -80,6 +94,14 @@ type Config struct {
 	// with no goroutines, and 2..Ports-1 stripes the ports across that
 	// many workers. Every setting produces bit-identical results.
 	Workers int
+	// EpochSlots is the speculation window K of the epoch-batched
+	// engine: StepBatch runs as a sequence of K-slot epochs, each
+	// planned in one serialized iSLIP pass and executed by the workers
+	// between a single pair of synchronizations. 0 or 1 selects the
+	// lockstep engine (one barrier per slot); larger K amortizes the
+	// barrier ~K× (clamped to 4096). Every setting produces
+	// bit-identical egress and Stats; only coordination cost changes.
+	EpochSlots int
 }
 
 // Egress is one packet leaving the router.
@@ -110,10 +132,11 @@ type Stats struct {
 
 // Engine is the composed, sharded router.
 type Engine struct {
-	inner   *irouter.Engine
-	cfg     Config
-	scratch []irouter.Egress
-	egOut   []Egress
+	inner     *irouter.Engine
+	cfg       Config
+	scratch   []irouter.Egress
+	egOut     []Egress
+	obScratch []ipacket.Packet
 }
 
 // New builds an engine. Rejected configurations (including buffer
@@ -140,6 +163,7 @@ func New(cfg Config) (*Engine, error) {
 		Buffer:              cc,
 		SchedulerIterations: cfg.SchedulerIterations,
 		IngressCap:          cfg.IngressCap,
+		EpochSlots:          cfg.EpochSlots,
 	}, cfg.Workers)
 	if err != nil {
 		return nil, err
@@ -147,6 +171,7 @@ func New(cfg Config) (*Engine, error) {
 	norm := inner.Config()
 	cfg.SchedulerIterations = norm.SchedulerIterations
 	cfg.IngressCap = norm.IngressCap
+	cfg.EpochSlots = norm.EpochSlots
 	cfg.Workers = inner.Workers()
 	return &Engine{inner: inner, cfg: cfg}, nil
 }
@@ -178,16 +203,23 @@ func (e *Engine) Offer(port int, p packet.Packet) error {
 	return e.inner.Offer(port, ipacket.Packet{Flow: cell.QueueID(p.Flow), Payload: p.Payload})
 }
 
-// OfferBatch enqueues packets at an input port until one is rejected,
-// returning the number accepted and the first error (ErrIngressFull
-// when the backlog fills; the remaining packets are not offered).
+// OfferBatch enqueues packets at an input port in one validated pass:
+// the port and engine state are checked once, the accepted prefix is
+// sized against the ingress budget up front, and its cells are
+// segmented in a single run. It returns the number of packets
+// accepted and the error that stopped the run (ErrIngressFull when
+// the backlog fills, ErrBadFlow on an invalid flow id); the remaining
+// packets are not offered.
 func (e *Engine) OfferBatch(port int, ps []packet.Packet) (int, error) {
+	e.obScratch = e.obScratch[:0]
 	for k := range ps {
-		if err := e.Offer(port, ps[k]); err != nil {
-			return k, err
-		}
+		e.obScratch = append(e.obScratch, ipacket.Packet{Flow: cell.QueueID(ps[k].Flow), Payload: ps[k].Payload})
 	}
-	return len(ps), nil
+	n, err := e.inner.OfferBatch(port, e.obScratch)
+	for k := range e.obScratch {
+		e.obScratch[k] = ipacket.Packet{} // drop payload references
+	}
+	return n, err
 }
 
 // Step advances the engine one slot: one ingress cell per port, one
@@ -241,6 +273,43 @@ func (e *Engine) Stats() Stats {
 		SwitchedCells:    s.SwitchedCells,
 		Matches:          s.Matches,
 		Slots:            s.Slots,
+	}
+}
+
+// EpochStats counts the epoch-batched engine's planning and
+// synchronization activity. It is separate from Stats, which stays
+// bit-identical across every EpochSlots setting.
+type EpochStats struct {
+	// Epochs counts executed plans; PlannedSlots the slots they
+	// covered and CommittedSlots the slots that committed (equal
+	// unless a divergence truncated a plan).
+	Epochs, PlannedSlots, CommittedSlots uint64
+	// HorizonTruncations counts plans cut short of the full window by
+	// the admission horizon; SerialFallbackSlots counts slots stepped
+	// in exact lockstep because no slot could be planned.
+	HorizonTruncations, SerialFallbackSlots uint64
+	// Divergences counts execution-time prediction failures (zero in
+	// every healthy state).
+	Divergences uint64
+	// SyncOps counts coordinator↔worker channel operations: the
+	// lockstep engine pays 2×Workers per slot, the epoch engine
+	// 2×Workers per epoch.
+	SyncOps uint64
+}
+
+// EpochStats returns the epoch engine's planning and synchronization
+// counters (all zero while EpochSlots ≤ 1, except SyncOps, which the
+// lockstep barrier also maintains).
+func (e *Engine) EpochStats() EpochStats {
+	s := e.inner.EpochStats()
+	return EpochStats{
+		Epochs:              s.Epochs,
+		PlannedSlots:        s.PlannedSlots,
+		CommittedSlots:      s.CommittedSlots,
+		HorizonTruncations:  s.HorizonTruncations,
+		SerialFallbackSlots: s.SerialFallbackSlots,
+		Divergences:         s.Divergences,
+		SyncOps:             s.SyncOps,
 	}
 }
 
